@@ -1,0 +1,279 @@
+(* The Longnail command-line driver.
+
+     longnail compile -c vexriscv -t X_DOTP input.core_desc -o out/
+         compile a CoreDSL description: writes one SystemVerilog module per
+         ISAX functionality plus the SCAIE-V configuration YAML
+     longnail cores
+         list the supported host cores and their virtual datasheets
+     longnail bundled [-n dotprod]
+         list (or print) the bundled benchmark ISAXes
+     longnail asic -c vexriscv -n dotprod
+         run the ASIC flow model on a bundled ISAX *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let core_conv =
+  let parse s =
+    match Scaiev.Datasheet.find_core s with
+    | Some c -> Ok c
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown core '%s' (available: %s)" s
+                (String.concat ", "
+                   (List.map
+                      (fun (c : Scaiev.Datasheet.t) -> String.lowercase_ascii c.core_name)
+                      Scaiev.Datasheet.all_cores))))
+  in
+  Arg.conv (parse, fun fmt (c : Scaiev.Datasheet.t) -> Format.pp_print_string fmt c.core_name)
+
+let core_arg =
+  Arg.(
+    required
+    & opt (some core_conv) None
+    & info [ "c"; "core" ] ~docv:"CORE" ~doc:"Host core (orca, piccolo, picorv32, vexriscv).")
+
+(* ---- compile ---- *)
+
+let compile_cmd =
+  let input =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"CoreDSL input file.")
+  in
+  let target =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"NAME" ~doc:"InstructionSet or Core to elaborate.")
+  in
+  let outdir =
+    Arg.(value & opt string "." & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let scheduler =
+    Arg.(
+      value
+      & opt (enum [ ("ilp", Longnail.Sched_build.Ilp); ("asap", Longnail.Sched_build.Asap) ])
+          Longnail.Sched_build.Ilp
+      & info [ "scheduler" ] ~docv:"KIND" ~doc:"Scheduler: ilp (default) or asap.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Also write a Graphviz CDFG per functionality.")
+  in
+  let run input target core outdir scheduler dot =
+    try
+      let src = read_file input in
+      let tu = Coredsl.compile ~provider:Isax.Registry.provider ~file:input ~target src in
+      let c = Longnail.Flow.compile ~scheduler core tu in
+      if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+      List.iter
+        (fun (f : Longnail.Flow.compiled_functionality) ->
+          let path = Filename.concat outdir (f.cf_name ^ ".sv") in
+          write_file path f.cf_sv;
+          Printf.printf "wrote %s (%s, last stage %d)\n" path
+            (Scaiev.Config.mode_to_string f.cf_mode)
+            f.cf_hw.Longnail.Hwgen.max_stage;
+          if dot then begin
+            let dpath = Filename.concat outdir (f.cf_name ^ ".dot") in
+            let time_of oid =
+              try
+                Some
+                  (Longnail.Sched_build.start_time f.cf_built
+                     (List.find (fun (o : Ir.Mir.op) -> o.oid = oid) (Ir.Mir.all_ops f.cf_lil)))
+              with _ -> None
+            in
+            write_file dpath (Ir.Dot.of_graph ~time_of f.cf_lil);
+            Printf.printf "wrote %s\n" dpath
+          end)
+        c.funcs;
+      let cfg_path = Filename.concat outdir "scaiev_config.yaml" in
+      write_file cfg_path c.config_yaml;
+      Printf.printf "wrote %s\n" cfg_path;
+      `Ok ()
+    with
+    | Coredsl.Error m | Longnail.Flow.Flow_error m -> `Error (false, m)
+    | Scaiev.Generator.Generate_error m -> `Error (false, "SCAIE-V: " ^ m)
+  in
+  let doc = "Compile a CoreDSL description to SystemVerilog + SCAIE-V configuration." in
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(ret (const run $ input $ target $ core_arg $ outdir $ scheduler $ dot))
+
+(* ---- cores ---- *)
+
+let cores_cmd =
+  let run () =
+    List.iter
+      (fun (c : Scaiev.Datasheet.t) ->
+        print_endline (Scaiev.Datasheet.to_yaml c);
+        Printf.printf "baseline: %.0f um^2, %.0f MHz\n\n" c.base_area_um2 c.base_freq_mhz)
+      Scaiev.Datasheet.all_cores
+  in
+  let doc = "List the supported host cores and their virtual datasheets." in
+  Cmd.v (Cmd.info "cores" ~doc) Term.(const run $ const ())
+
+(* ---- bundled ---- *)
+
+let bundled_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "n"; "name" ] ~docv:"ISAX" ~doc:"Print the CoreDSL source of one bundled ISAX.")
+  in
+  let run = function
+    | None ->
+        List.iter
+          (fun (e : Isax.Registry.entry) -> Printf.printf "%-15s %s\n" e.name e.description)
+          Isax.Registry.all;
+        `Ok ()
+    | Some n -> (
+        match Isax.Registry.find n with
+        | Some e ->
+            print_string e.source;
+            `Ok ()
+        | None -> `Error (false, "unknown ISAX " ^ n))
+  in
+  let doc = "List the bundled benchmark ISAXes (Table 3) or print one." in
+  Cmd.v (Cmd.info "bundled" ~doc) Term.(ret (const run $ name_arg))
+
+(* ---- asic ---- *)
+
+let asic_cmd =
+  let name_arg =
+    Arg.(
+      required & opt (some string) None & info [ "n"; "name" ] ~docv:"ISAX" ~doc:"Bundled ISAX.")
+  in
+  let run core name =
+    match Isax.Registry.find name with
+    | None -> `Error (false, "unknown ISAX " ^ name)
+    | Some e ->
+        let c = Longnail.Flow.compile core (Isax.Registry.compile e) in
+        let r = Asic.Flow.run ~isax_name:name c in
+        Printf.printf "core          %s\n" r.core_name;
+        Printf.printf "base          %.0f um^2 @ %.0f MHz\n" r.base_area_um2 r.base_freq_mhz;
+        Printf.printf "ISAX modules  %.0f um^2\n" r.isax_area_um2;
+        Printf.printf "adapter       %.0f um^2\n" r.adapter_area_um2;
+        Printf.printf "total         %.0f um^2 (+%.0f%%)\n" r.total_area_um2 r.area_overhead_pct;
+        Printf.printf "frequency     %.0f MHz (%+.0f%%)\n" r.achieved_freq_mhz r.freq_delta_pct;
+        List.iter
+          (fun (n, (rep : Asic.Synth.report)) ->
+            Printf.printf "  module %-12s %8.0f um^2, critical path %.2f ns, %d cells\n" n
+              rep.area_um2 rep.critical_path_ns rep.n_cells)
+          r.module_reports;
+        `Ok ()
+  in
+  let doc = "Run the 22nm ASIC flow model on a bundled ISAX for one core." in
+  Cmd.v (Cmd.info "asic" ~doc) Term.(ret (const run $ core_arg $ name_arg))
+
+(* ---- run: execute an assembly program on an extended core ---- *)
+
+let run_cmd =
+  let prog_arg =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"PROG.S" ~doc:"Assembly program (RV32IM + .isax directives).")
+  in
+  let isax_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "n"; "isax" ] ~docv:"ISAX" ~doc:"Bundled ISAX to extend the core with.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("cost", `Cost); ("pipeline", `Pipeline); ("rtl-loop", `Rtl_loop) ]) `Cost
+      & info [ "engine" ]
+          ~doc:
+            "Execution engine: 'cost' (cycle-cost model), 'pipeline' (structural pipeline with              the generated RTL wired in), or 'rtl-loop' (ISAXes through the RTL, base ISA              interpreted).")
+  in
+  let run core isax engine prog =
+    try
+      let tu =
+        match isax with
+        | Some n -> (
+            match Isax.Registry.find n with
+            | Some e -> Isax.Registry.compile e
+            | None -> failwith ("unknown ISAX " ^ n))
+        | None -> Coredsl.compile_rv32im ()
+      in
+      let c = Longnail.Flow.compile core tu in
+      let enc = Riscv.Machine.isax_encoder tu in
+      let words = Riscv.Asm.assemble ~custom:enc (read_file prog) in
+      let dump_regs read =
+        for r = 10 to 17 do
+          Printf.printf "  a%d = %d (0x%08x)\n" (r - 10) (read r) (read r)
+        done
+      in
+      (match engine with
+      | `Cost ->
+          let m = Riscv.Machine.of_compiled c in
+          Riscv.Machine.write_gpr m 2 0x10000;
+          Riscv.Machine.load_program m words;
+          let cycles = Riscv.Machine.run m in
+          Printf.printf "engine: cycle-cost model (%s)\n" core.Scaiev.Datasheet.core_name;
+          Printf.printf "cycles: %d, instructions: %d\n" cycles m.Riscv.Machine.instret;
+          dump_regs (Riscv.Machine.read_gpr m)
+      | `Pipeline ->
+          let p = Riscv.Pipeline.create c in
+          Riscv.Pipeline.load_program p words;
+          Riscv.Pipeline.write_gpr p 2 0x10000;
+          let cycles = Riscv.Pipeline.run p in
+          Printf.printf "engine: structural pipeline with ISAX RTL (%s)\n"
+            core.Scaiev.Datasheet.core_name;
+          Printf.printf "cycles: %d, instructions: %d\n" cycles p.Riscv.Pipeline.instret;
+          dump_regs (Riscv.Pipeline.read_gpr p)
+      | `Rtl_loop ->
+          let rl = Riscv.Rtl_loop.create c in
+          Riscv.Rtl_loop.load_program rl words;
+          let instret = Riscv.Rtl_loop.run rl in
+          Printf.printf "engine: RTL-in-the-loop (%s)\n" core.Scaiev.Datasheet.core_name;
+          Printf.printf "instructions: %d\n" instret;
+          dump_regs (Riscv.Rtl_loop.read_gpr rl));
+      `Ok ()
+    with
+    | Coredsl.Error m | Failure m -> `Error (false, m)
+    | Riscv.Asm.Asm_error m -> `Error (false, "assembler: " ^ m)
+  in
+  let doc = "Run an assembly program on an (optionally ISAX-extended) core model." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ core_arg $ isax_arg $ engine_arg $ prog_arg))
+
+(* ---- report ---- *)
+
+let report_cmd =
+  let name_arg =
+    Arg.(
+      required & opt (some string) None & info [ "n"; "name" ] ~docv:"ISAX" ~doc:"Bundled ISAX.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let run core name out =
+    match Isax.Registry.find name with
+    | None -> `Error (false, "unknown ISAX " ^ name)
+    | Some e ->
+        let c = Longnail.Flow.compile core (Isax.Registry.compile e) in
+        let md = Asic.Report.generate ~isax_name:name c in
+        (match out with
+        | Some path ->
+            write_file path md;
+            Printf.printf "wrote %s\n" path
+        | None -> print_string md);
+        `Ok ()
+  in
+  let doc = "Generate a Markdown report for a bundled ISAX on one core." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ core_arg $ name_arg $ out_arg))
+
+let () =
+  let doc = "high-level synthesis of portable RISC-V ISA extensions from CoreDSL" in
+  let info = Cmd.info "longnail" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd ]))

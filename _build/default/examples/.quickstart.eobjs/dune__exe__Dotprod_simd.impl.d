@@ -1,0 +1,1 @@
+examples/dotprod_simd.ml: Asic Bitvec Coredsl Isax List Longnail Option Printf Riscv Scaiev

@@ -1,0 +1,1 @@
+examples/dotprod_simd.mli:

@@ -1,0 +1,1 @@
+examples/pipeline_view.ml: Array Bitvec Coredsl Isax Longnail Printf Riscv Scaiev String

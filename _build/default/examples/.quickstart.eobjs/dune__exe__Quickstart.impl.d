@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Coredsl List Longnail Option Printf Scaiev

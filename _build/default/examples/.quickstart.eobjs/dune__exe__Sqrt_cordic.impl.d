@@ -1,0 +1,1 @@
+examples/sqrt_cordic.ml: Asic Isax List Longnail Option Printf Riscv Scaiev

@@ -1,0 +1,1 @@
+examples/sqrt_cordic.mli:

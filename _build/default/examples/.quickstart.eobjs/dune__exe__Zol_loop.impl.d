@@ -1,0 +1,1 @@
+examples/zol_loop.ml: Bitvec Coredsl Isax List Longnail Option Printf Riscv Scaiev

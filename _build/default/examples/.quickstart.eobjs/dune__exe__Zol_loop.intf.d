@@ -1,0 +1,1 @@
+examples/zol_loop.mli:

@@ -1,0 +1,1 @@
+lib/asic/flow.ml: Hashtbl Library List Longnail Scaiev Synth

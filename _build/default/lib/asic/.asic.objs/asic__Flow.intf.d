@@ -1,0 +1,1 @@
+lib/asic/flow.mli: Longnail Scaiev Synth

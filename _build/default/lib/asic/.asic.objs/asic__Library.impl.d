@@ -1,0 +1,1 @@
+lib/asic/library.ml: Longnail

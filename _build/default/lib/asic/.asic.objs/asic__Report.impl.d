@@ -1,0 +1,1 @@
+lib/asic/report.ml: Buffer Flow List Longnail Printf Scaiev Synth

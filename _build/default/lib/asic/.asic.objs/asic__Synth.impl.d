@@ -1,0 +1,1 @@
+lib/asic/synth.ml: Array Hashtbl Library List Option Rtl

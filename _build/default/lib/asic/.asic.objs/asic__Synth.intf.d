@@ -1,0 +1,1 @@
+lib/asic/synth.mli: Rtl

@@ -1,0 +1,131 @@
+(* The full ASIC-flow model: given a Longnail compile for one core, produce
+   the Table 4 data point (area and frequency overhead versus the
+   unmodified base core).
+
+   The base-core area/fmax values are the calibrated Table 4 baselines
+   (they come from a commercial 22nm flow we cannot run; see DESIGN.md).
+   Everything on top is derived from the actually generated hardware:
+   - ISAX module area/timing from technology mapping + STA ({!Synth}),
+   - SCAIE-V adapter area from the integration plan
+     ({!Scaiev.Generator.adapter}),
+   - achieved frequency from the worst per-stage path, including the
+     forwarding-path effect that penalizes cores which forward from the
+     writeback stage (ORCA, Section 5.4),
+   - a synthesis "extra effort" area bloat when a module misses timing,
+   - a small deterministic jitter modelling place-and-route noise. *)
+
+type result = {
+  core_name : string;
+  isax_name : string;
+  base_area_um2 : float;
+  base_freq_mhz : float;
+  isax_area_um2 : float;  (* generated ISAX modules *)
+  adapter_area_um2 : float;  (* SCAIE-V integration logic *)
+  total_area_um2 : float;
+  achieved_freq_mhz : float;
+  area_overhead_pct : float;
+  freq_delta_pct : float;
+  module_reports : (string * Synth.report) list;
+}
+
+(* ---- adapter area model ---- *)
+
+let adapter_area (a : Scaiev.Generator.adapter) =
+  let f = float_of_int in
+  let open Scaiev.Generator in
+  f a.decode_comparator_bits *. 0.4
+  +. (f a.custom_reg_bits *. (Library.flop_area_per_bit +. 0.6))
+  +. (f (a.custom_reg_read_ports + a.custom_reg_write_ports) *. 30.0)
+  +. (f a.arbitration_mux_bits *. 0.7)
+  +. (f a.scoreboard_bits *. 2.0)
+  +. (f a.hazard_comparators *. 12.0)
+  +. (f a.stall_counter_bits *. 3.0 +. if a.stall_counter_bits > 0 then 30.0 else 0.0)
+  +. (f a.stage_taps *. 25.0)
+  +. (if a.uses_mem_port then 120.0 else 0.0)
+  +. (if a.uses_pc_write then 80.0 else 0.0)
+  +. if a.has_always_block then 50.0 else 0.0
+
+(* deterministic pseudo-random jitter in [-amp, +amp] *)
+let jitter ~seed ~amp =
+  let h = Hashtbl.hash seed in
+  let u = float_of_int (h mod 1000) /. 999.0 in
+  amp *. ((2.0 *. u) -. 1.0)
+
+(* ---- the flow ---- *)
+
+let run ?(isax_name = "isax") (c : Longnail.Flow.compiled) : result =
+  let core = c.core in
+  let base_period = 1000.0 /. core.base_freq_mhz in
+  let reports =
+    List.map
+      (fun (f : Longnail.Flow.compiled_functionality) ->
+        (f.cf_name, Synth.synthesize f.cf_hw.Longnail.Hwgen.netlist, f))
+      c.funcs
+  in
+  (* timing requirement per module: its worst stage path plus the
+     integration mux; modules writing back in the forwarding stage of a
+     forwarding core sit on the operand-bypass path *)
+  let module_requirement (rep : Synth.report) (f : Longnail.Flow.compiled_functionality) =
+    let cp = rep.critical_path_ns in
+    let base = cp +. 0.06 (* integration mux *) in
+    let wb_writer =
+      List.exists
+        (fun b ->
+          b.Longnail.Hwgen.ib_iface = "WrRD"
+          && b.Longnail.Hwgen.ib_mode = Scaiev.Config.In_pipeline
+          && b.Longnail.Hwgen.ib_stage >= core.writeback_stage)
+        f.cf_hw.Longnail.Hwgen.bindings
+    in
+    (* Forwarding-path loading (Section 5.4): in-pipeline results written in
+       the writeback stage of a core that forwards from there join the
+       operand-bypass network; deep result logic lengthens that path. *)
+    let fwd =
+      if core.forwarding_from_writeback && wb_writer then max 0.0 (0.45 *. (cp -. 0.30))
+      else 0.0
+    in
+    (* Tightly-coupled stall distribution: the stall request must settle
+       across the whole core, which gets harder the deeper the module
+       (the paper's "more effort to achieve timing closure"). *)
+    let tc =
+      if f.cf_mode = Scaiev.Config.Tightly_coupled then max 0.0 (0.8 *. (cp -. 0.35)) else 0.0
+    in
+    (base, fwd +. tc)
+  in
+  let worst_req =
+    List.fold_left
+      (fun acc (_, rep, f) ->
+        let own, core_load = module_requirement rep f in
+        max acc (max own (base_period +. core_load)))
+      0.0 reports
+  in
+  (* synthesis puts in extra effort (= area) when a module misses timing *)
+  let isax_area =
+    List.fold_left
+      (fun acc (_, (rep : Synth.report), f) ->
+        let own, core_load = module_requirement rep f in
+        let req = max own (base_period +. core_load) in
+        let bloat = if req > base_period then 1.0 +. (0.35 *. ((req /. base_period) -. 1.0)) else 1.0 in
+        acc +. (rep.area_um2 *. bloat))
+      0.0 reports
+  in
+  let adapter = adapter_area c.adapter in
+  let seed = core.core_name ^ "/" ^ isax_name in
+  let area_noise = 1.0 +. jitter ~seed:(seed ^ "#area") ~amp:0.012 in
+  let freq_noise = 1.0 +. jitter ~seed:(seed ^ "#freq") ~amp:0.02 in
+  let period = max base_period worst_req in
+  let achieved_freq = 1000.0 /. period *. freq_noise in
+  let isax_area = isax_area *. area_noise in
+  let total = core.base_area_um2 +. isax_area +. adapter in
+  {
+    core_name = core.core_name;
+    isax_name;
+    base_area_um2 = core.base_area_um2;
+    base_freq_mhz = core.base_freq_mhz;
+    isax_area_um2 = isax_area;
+    adapter_area_um2 = adapter;
+    total_area_um2 = total;
+    achieved_freq_mhz = achieved_freq;
+    area_overhead_pct = (isax_area +. adapter) /. core.base_area_um2 *. 100.0;
+    freq_delta_pct = (achieved_freq -. core.base_freq_mhz) /. core.base_freq_mhz *. 100.0;
+    module_reports = List.map (fun (n, r, _) -> (n, r)) reports;
+  }

@@ -1,0 +1,32 @@
+(** The full ASIC-flow model: given a Longnail compile for one core, produce
+   the Table 4 data point (area and frequency overhead versus the
+   unmodified base core).
+
+   The base-core area/fmax values are the calibrated Table 4 baselines
+   (they come from a commercial 22nm flow we cannot run; see DESIGN.md).
+   Everything on top is derived from the actually generated hardware:
+   - ISAX module area/timing from technology mapping + STA ({!Synth}),
+   - SCAIE-V adapter area from the integration plan
+     ({!Scaiev.Generator.adapter}),
+   - achieved frequency from the worst per-stage path, including the
+     forwarding-path effect that penalizes cores which forward from the
+     writeback stage (ORCA, Section 5.4),
+   - a synthesis "extra effort" area bloat when a module misses timing,
+   - a small deterministic jitter modelling place-and-route noise. *)
+
+type result = {
+  core_name : string;
+  isax_name : string;
+  base_area_um2 : float;
+  base_freq_mhz : float;
+  isax_area_um2 : float;
+  adapter_area_um2 : float;
+  total_area_um2 : float;
+  achieved_freq_mhz : float;
+  area_overhead_pct : float;
+  freq_delta_pct : float;
+  module_reports : (string * Synth.report) list;
+}
+val adapter_area : Scaiev.Generator.adapter -> float
+val jitter : seed:'a -> amp:float -> float
+val run : ?isax_name:string -> Longnail.Flow.compiled -> result

@@ -1,0 +1,38 @@
+(* Synthetic 22nm standard-cell library.
+
+   Substitutes for the commercial ASIC reference flow of Section 5.3 (see
+   DESIGN.md, substitution 1). Per-operator area and delay constants are in
+   the range of published 22nm FDSOI data and were calibrated so that the
+   Table 4 baselines and overhead *shapes* reproduce. Delay is the same
+   width-aware model the scheduler can optionally use
+   ({!Longnail.Delay_model.physical}); area is per result bit except for
+   multipliers/dividers (quadratic) and ROMs (per stored bit). *)
+
+(* area of one node, in um^2 *)
+let comb_area ~op ~width ~(n_inputs : int) =
+  let w = float_of_int width in
+  match op with
+  | "hw.constant" -> 0.0
+  | "comb.extract" | "comb.concat" | "comb.replicate" -> 0.0 (* wiring *)
+  | "comb.and" | "comb.or" -> 0.25 *. w
+  | "comb.xor" -> 0.5 *. w
+  | "comb.mux" -> 0.35 *. w *. float_of_int (max 1 (n_inputs - 2))
+  | "comb.add" | "comb.sub" -> 1.0 *. w
+  | "comb.shl" | "comb.shru" | "comb.shrs" -> 0.8 *. w
+  | "comb.icmp_eq" | "comb.icmp_ne" -> 0.6 *. w
+  | "comb.icmp_ult" | "comb.icmp_ule" | "comb.icmp_ugt" | "comb.icmp_uge" | "comb.icmp_slt"
+  | "comb.icmp_sle" | "comb.icmp_sgt" | "comb.icmp_sge" ->
+      0.6 *. w
+  | "comb.mul" -> 0.35 *. w *. w
+  | "comb.divu" | "comb.divs" | "comb.modu" | "comb.mods" -> 1.0 *. w *. w
+  | _ -> 0.5 *. w
+
+let flop_area_per_bit = 0.6
+let rom_area_per_bit = 0.06
+
+(* physical propagation delay of one node, ns *)
+let comb_delay ~op ~width = Longnail.Delay_model.default_op_delay op width
+
+(* delay contributed by a register output / input port pad *)
+let launch_delay = 0.05
+let setup_time = 0.04

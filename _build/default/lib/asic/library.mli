@@ -1,0 +1,16 @@
+(** Synthetic 22nm standard-cell library.
+
+   Substitutes for the commercial ASIC reference flow of Section 5.3 (see
+   DESIGN.md, substitution 1). Per-operator area and delay constants are in
+   the range of published 22nm FDSOI data and were calibrated so that the
+   Table 4 baselines and overhead *shapes* reproduce. Delay is the same
+   width-aware model the scheduler can optionally use
+   ({!Longnail.Delay_model.physical}); area is per result bit except for
+   multipliers/dividers (quadratic) and ROMs (per stored bit). *)
+
+val comb_area : op:string -> width:int -> n_inputs:int -> float
+val flop_area_per_bit : float
+val rom_area_per_bit : float
+val comb_delay : op:string -> width:int -> float
+val launch_delay : float
+val setup_time : float

@@ -1,0 +1,59 @@
+(* Markdown report generator: one page summarizing a Longnail compile for
+   a host core — functionality table, schedules, ASIC cost breakdown,
+   sharing opportunities, and the SCAIE-V configuration. Used by the
+   CLI's `report` command. *)
+
+let generate ?(isax_name = "isax") (c : Longnail.Flow.compiled) : string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let core = c.Longnail.Flow.core in
+  let r = Flow.run ~isax_name c in
+  pr "# Longnail report: %s on %s\n\n" isax_name core.core_name;
+  pr "Base core: %.0f um^2 at %.0f MHz (%d-stage %s)\n\n" core.base_area_um2 core.base_freq_mhz
+    core.pipeline_stages
+    (if core.is_fsm then "FSM" else "pipeline");
+  pr "## Functionalities\n\n";
+  pr "| name | kind | mode | last stage | module area (um^2) | critical path (ns) |\n";
+  pr "|------|------|------|-----------:|-------------------:|-------------------:|\n";
+  List.iter
+    (fun (f : Longnail.Flow.compiled_functionality) ->
+      let rep = Synth.synthesize f.cf_hw.Longnail.Hwgen.netlist in
+      pr "| %s | %s | %s | %d | %.0f | %.2f |\n" f.cf_name
+        (match f.cf_kind with `Instruction -> "instruction" | `Always -> "always")
+        (Scaiev.Config.mode_to_string f.cf_mode)
+        f.cf_hw.Longnail.Hwgen.max_stage rep.area_um2 rep.critical_path_ns)
+    c.funcs;
+  pr "\n## Interface schedule\n\n";
+  List.iter
+    (fun (f : Longnail.Flow.compiled_functionality) ->
+      pr "### %s\n\n" f.cf_name;
+      pr "| sub-interface | stage | mode |\n|---|---:|---|\n";
+      List.iter
+        (fun (b : Longnail.Hwgen.iface_binding) ->
+          pr "| %s | %d | %s |\n" b.ib_iface b.ib_stage (Scaiev.Config.mode_to_string b.ib_mode))
+        f.cf_hw.Longnail.Hwgen.bindings;
+      pr "\n")
+    c.funcs;
+  pr "## ASIC cost (synthetic 22nm flow)\n\n";
+  pr "| | um^2 |\n|---|---:|\n";
+  pr "| ISAX modules | %.0f |\n" r.isax_area_um2;
+  pr "| SCAIE-V adapter | %.0f |\n" r.adapter_area_um2;
+  pr "| total (incl. base core) | %.0f |\n\n" r.total_area_um2;
+  pr "Area overhead **%+.1f%%**, achieved frequency **%.0f MHz** (%+.1f%%).\n\n"
+    r.area_overhead_pct r.achieved_freq_mhz r.freq_delta_pct;
+  let opps = Longnail.Sharing.analyze c in
+  if opps <> [] then begin
+    pr "## Resource-sharing opportunities (prototype analysis)\n\n";
+    pr "| operator | width | shareable units | estimated saving (um^2) | scope |\n";
+    pr "|---|---:|---:|---:|---|\n";
+    List.iter
+      (fun (o : Longnail.Sharing.opportunity) ->
+        pr "| %s | %d | %d | %.0f | %s |\n" o.sh_op o.sh_width o.sh_shareable o.sh_saved_area_um2
+          (match o.sh_scope with
+          | `Within f -> Printf.sprintf "within %s" f
+          | `Across (a, b) -> Printf.sprintf "across %s/%s" a b))
+      opps;
+    pr "\n"
+  end;
+  pr "## SCAIE-V configuration\n\n```yaml\n%s```\n" c.config_yaml;
+  Buffer.contents buf

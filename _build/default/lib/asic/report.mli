@@ -1,0 +1,6 @@
+(** Markdown report generator: one page summarizing a Longnail compile for
+   a host core — functionality table, schedules, ASIC cost breakdown,
+   sharing opportunities, and the SCAIE-V configuration. Used by the
+   CLI's `report` command. *)
+
+val generate : ?isax_name:string -> Longnail.Flow.compiled -> string

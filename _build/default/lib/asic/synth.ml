@@ -1,0 +1,74 @@
+(* "Synthesis" of an RTL netlist: technology mapping into the synthetic
+   cell library (area accounting) and static timing analysis (longest
+   combinational path between sequential elements / ports). *)
+
+open Rtl.Netlist
+
+type report = {
+  area_um2 : float;  (* combinational + sequential + ROM area *)
+  comb_area_um2 : float;
+  seq_area_um2 : float;
+  rom_area_um2 : float;
+  critical_path_ns : float;  (* longest register-to-register/port path *)
+  n_cells : int;
+}
+
+let node_area = function
+  | Comb c -> Library.comb_area ~op:c.op ~width:c.width ~n_inputs:(List.length c.inputs)
+  | Rom r -> Library.rom_area_per_bit *. float_of_int (Array.length r.table * r.width)
+  | Reg r -> Library.flop_area_per_bit *. float_of_int r.width
+
+(* longest path: arrival time at each signal, walking combinational nodes
+   in dependency order; registers and inputs launch at [launch_delay] *)
+let critical_path (m : Rtl.Netlist.t) =
+  let arrival = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace arrival p.port_signal Library.launch_delay) m.inputs;
+  List.iter
+    (fun (r : reg_node) -> Hashtbl.replace arrival r.out Library.launch_delay)
+    (registers m);
+  let at s = Option.value ~default:0.0 (Hashtbl.find_opt arrival s) in
+  let worst = ref 0.0 in
+  List.iter
+    (fun n ->
+      let inputs, delay, out =
+        match n with
+        | Comb c ->
+            (c.inputs, Library.comb_delay ~op:c.op ~width:c.width, c.out)
+        | Rom r -> ([ r.index ], Library.comb_delay ~op:"lil.rom" ~width:r.width, r.out)
+        | Reg _ -> ([], 0.0, "")
+      in
+      if out <> "" then begin
+        let arr = List.fold_left (fun acc s -> max acc (at s)) 0.0 inputs +. delay in
+        Hashtbl.replace arrival out arr;
+        worst := max !worst arr
+      end)
+    (topo_nodes m);
+  (* paths terminate at register data/enable inputs and output ports *)
+  let endpoint s = at s +. Library.setup_time in
+  List.iter
+    (fun (r : reg_node) ->
+      worst := max !worst (endpoint r.next);
+      match r.enable with Some e -> worst := max !worst (endpoint e) | None -> ())
+    (registers m);
+  List.iter (fun p -> worst := max !worst (endpoint p.port_signal)) m.outputs;
+  !worst
+
+let synthesize (m : Rtl.Netlist.t) : report =
+  let comb = ref 0.0 and seq = ref 0.0 and rom = ref 0.0 and cells = ref 0 in
+  List.iter
+    (fun n ->
+      incr cells;
+      let a = node_area n in
+      match n with
+      | Comb _ -> comb := !comb +. a
+      | Rom _ -> rom := !rom +. a
+      | Reg _ -> seq := !seq +. a)
+    m.nodes;
+  {
+    area_um2 = !comb +. !seq +. !rom;
+    comb_area_um2 = !comb;
+    seq_area_um2 = !seq;
+    rom_area_um2 = !rom;
+    critical_path_ns = critical_path m;
+    n_cells = !cells;
+  }

@@ -1,0 +1,15 @@
+(** "Synthesis" of an RTL netlist: technology mapping into the synthetic
+   cell library (area accounting) and static timing analysis (longest
+   combinational path between sequential elements / ports). *)
+
+type report = {
+  area_um2 : float;
+  comb_area_um2 : float;
+  seq_area_um2 : float;
+  rom_area_um2 : float;
+  critical_path_ns : float;
+  n_cells : int;
+}
+val node_area : Rtl.Netlist.node -> float
+val critical_path : Rtl.Netlist.t -> float
+val synthesize : Rtl.Netlist.t -> report

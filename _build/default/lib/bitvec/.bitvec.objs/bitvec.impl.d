@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Bn Buffer Format Printf String

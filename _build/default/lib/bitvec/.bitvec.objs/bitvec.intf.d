@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.mli: Bn Format

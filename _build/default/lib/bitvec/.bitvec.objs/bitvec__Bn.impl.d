@@ -1,0 +1,1 @@
+lib/bitvec/bn.ml: Array Buffer Char Format List Printf String

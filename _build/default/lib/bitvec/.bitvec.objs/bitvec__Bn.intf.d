@@ -1,0 +1,1 @@
+lib/bitvec/bn.mli: Format

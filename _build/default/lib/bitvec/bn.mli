@@ -1,0 +1,43 @@
+(** Arbitrary-precision signed integers in sign-magnitude representation.
+
+   This is the numeric engine underneath {!Bitvec}. The magnitude is a
+   little-endian array of base-2^30 limbs with no trailing zero limbs; the
+   sign is -1, 0 or +1, and [sign = 0] iff the magnitude is empty. Keeping
+   the invariant canonical makes structural equality coincide with numeric
+   equality, which the rest of the library relies on. *)
+
+val limb_bits : int
+val limb_base : int
+val limb_mask : int
+type t = { sign : int; mag : int array; }
+val zero : t
+val is_zero : t -> bool
+val norm : int -> int array -> t
+val of_int : int -> t
+val one : t
+val mag_compare : 'a array -> 'a array -> int
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val mag_add : int array -> int array -> int array
+val mag_sub : int array -> int array -> int array
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val num_bits : t -> int
+val mag_testbit : t -> int -> bool
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+val divmod : t -> t -> t * t
+val pow2 : int -> t
+val bitwise : (int -> int -> int) -> t -> t -> t
+val mod_pow2 : t -> int -> t
+val min_int_mag : int array
+val to_int_opt : t -> int option
+val gcd : t -> t -> t
+val to_int_exn : t -> int
+val to_float : t -> float
+val of_string_base : int -> string -> t
+val of_string : string -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

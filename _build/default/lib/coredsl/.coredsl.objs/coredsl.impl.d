@@ -1,0 +1,1 @@
+lib/coredsl/coredsl.ml: Ast Base_isa Elaborate Format Interp Lexer Parser Tast Typecheck

@@ -1,0 +1,1 @@
+lib/coredsl/ast.ml: Bitvec Format

@@ -1,0 +1,1 @@
+lib/coredsl/ast.mli: Bitvec Format

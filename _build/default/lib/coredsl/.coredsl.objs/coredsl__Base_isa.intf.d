@@ -1,0 +1,1 @@
+lib/coredsl/base_isa.mli:

@@ -1,0 +1,1 @@
+lib/coredsl/elaborate.ml: Array Ast Bitvec Format Hashtbl List Parser

@@ -1,0 +1,1 @@
+lib/coredsl/elaborate.mli: Ast Bitvec Format Hashtbl

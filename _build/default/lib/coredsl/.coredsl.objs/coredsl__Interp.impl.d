@@ -1,0 +1,1 @@
+lib/coredsl/interp.ml: Array Ast Bitvec Elaborate Format Fun Hashtbl List Option Tast

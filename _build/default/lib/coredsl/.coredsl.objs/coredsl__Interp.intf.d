@@ -1,0 +1,1 @@
+lib/coredsl/interp.mli: Ast Bitvec Elaborate Format Hashtbl Tast

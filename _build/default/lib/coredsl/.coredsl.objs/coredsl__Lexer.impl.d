@@ -1,0 +1,1 @@
+lib/coredsl/lexer.ml: Ast Bitvec Buffer Char List String

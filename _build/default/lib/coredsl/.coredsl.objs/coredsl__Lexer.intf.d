@@ -1,0 +1,1 @@
+lib/coredsl/lexer.mli: Ast Bitvec

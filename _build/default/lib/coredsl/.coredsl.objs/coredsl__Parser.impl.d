@@ -1,0 +1,1 @@
+lib/coredsl/parser.ml: Array Ast Bitvec Lexer List Printf

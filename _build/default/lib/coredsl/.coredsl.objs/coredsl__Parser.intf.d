@@ -1,0 +1,1 @@
+lib/coredsl/parser.mli: Ast Bitvec Format Lexer

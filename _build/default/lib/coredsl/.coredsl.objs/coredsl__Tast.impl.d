@@ -1,0 +1,1 @@
+lib/coredsl/tast.ml: Ast Bitvec Elaborate Format List

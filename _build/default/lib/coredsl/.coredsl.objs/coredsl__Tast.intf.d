@@ -1,0 +1,1 @@
+lib/coredsl/tast.mli: Ast Bitvec Elaborate Format

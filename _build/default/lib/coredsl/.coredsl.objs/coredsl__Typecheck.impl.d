@@ -1,0 +1,1 @@
+lib/coredsl/typecheck.ml: Array Ast Bitvec Elaborate Format Hashtbl List Option Printf Tast

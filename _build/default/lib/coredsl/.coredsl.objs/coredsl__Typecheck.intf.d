@@ -1,0 +1,1 @@
+lib/coredsl/typecheck.mli: Ast Bitvec Elaborate Format Tast

@@ -1,0 +1,298 @@
+(* Built-in CoreDSL description of the RV32I base instruction set.
+
+   ISAX descriptions import this via [import "RV32I.core_desc"] and extend
+   it (Figure 1 of the paper). The description declares the standard
+   register file X, the program counter and byte-addressable main memory,
+   and defines the RV32I unprivileged instructions. It doubles as a large
+   test input for the front-end: the interpreter executing these behaviors
+   is cross-checked against the hand-written ISS in lib/riscv. *)
+
+let rv32i =
+  {|
+InstructionSet RV32I {
+  architectural_state {
+    unsigned int XLEN = 32;
+    register unsigned<XLEN> X[32];
+    register unsigned<XLEN> PC [[is_pc]];
+    extern unsigned<8> MEM[4294967296] [[is_main_mem]];
+  }
+  instructions {
+    LUI {
+      encoding: imm[31:12] :: rd[4:0] :: 7'b0110111;
+      behavior: { if (rd != 0) X[rd] = imm; }
+    }
+    AUIPC {
+      encoding: imm[31:12] :: rd[4:0] :: 7'b0010111;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(PC + imm); }
+    }
+    JAL {
+      encoding: imm[20:20] :: imm[10:1] :: imm[11:11] :: imm[19:12] :: rd[4:0] :: 7'b1101111;
+      behavior: {
+        if (rd != 0) X[rd] = (unsigned<32>)(PC + 4);
+        PC = (unsigned<32>)(PC + (signed<21>)imm);
+      }
+    }
+    JALR {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b1100111;
+      behavior: {
+        unsigned<32> target = (unsigned<32>)((X[rs1] + (signed<12>)imm) & 4294967294);
+        if (rd != 0) X[rd] = (unsigned<32>)(PC + 4);
+        PC = target;
+      }
+    }
+    BEQ {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b000 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if (X[rs1] == X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    BNE {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b001 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if (X[rs1] != X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    BLT {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b100 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if ((signed)X[rs1] < (signed)X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    BGE {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if ((signed)X[rs1] >= (signed)X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    BLTU {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b110 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if (X[rs1] < X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    BGEU {
+      encoding: imm[12:12] :: imm[10:5] :: rs2[4:0] :: rs1[4:0] :: 3'b111 :: imm[4:1] :: imm[11:11] :: 7'b1100011;
+      behavior: { if (X[rs1] >= X[rs2]) PC = (unsigned<32>)(PC + (signed<13>)imm); }
+    }
+    LB {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0000011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        if (rd != 0) X[rd] = (unsigned<32>)(signed<32>)(signed<8>)MEM[addr];
+      }
+    }
+    LH {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0000011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        if (rd != 0) X[rd] = (unsigned<32>)(signed<32>)(signed<16>)MEM[addr+1:addr];
+      }
+    }
+    LW {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0000011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        if (rd != 0) X[rd] = MEM[addr+3:addr];
+      }
+    }
+    LBU {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b100 :: rd[4:0] :: 7'b0000011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        if (rd != 0) X[rd] = (unsigned<32>)MEM[addr];
+      }
+    }
+    LHU {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0000011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        if (rd != 0) X[rd] = (unsigned<32>)MEM[addr+1:addr];
+      }
+    }
+    SB {
+      encoding: imm[11:5] :: rs2[4:0] :: rs1[4:0] :: 3'b000 :: imm[4:0] :: 7'b0100011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        MEM[addr] = (unsigned<8>)X[rs2];
+      }
+    }
+    SH {
+      encoding: imm[11:5] :: rs2[4:0] :: rs1[4:0] :: 3'b001 :: imm[4:0] :: 7'b0100011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        MEM[addr+1:addr] = (unsigned<16>)X[rs2];
+      }
+    }
+    SW {
+      encoding: imm[11:5] :: rs2[4:0] :: rs1[4:0] :: 3'b010 :: imm[4:0] :: 7'b0100011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        MEM[addr+3:addr] = X[rs2];
+      }
+    }
+    ADDI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] + (signed<12>)imm); }
+    }
+    SLTI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)((signed)X[rs1] < (signed<12>)imm); }
+    }
+    SLTIU {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] < (unsigned<32>)(signed<32>)(signed<12>)imm); }
+    }
+    XORI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b100 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] ^ (unsigned<32>)(signed<32>)(signed<12>)imm); }
+    }
+    ORI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b110 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] | (unsigned<32>)(signed<32>)(signed<12>)imm); }
+    }
+    ANDI {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] & (unsigned<32>)(signed<32>)(signed<12>)imm); }
+    }
+    SLLI {
+      encoding: 7'b0000000 :: shamt[4:0] :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] << shamt); }
+    }
+    SRLI {
+      encoding: 7'b0000000 :: shamt[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] >> shamt); }
+    }
+    SRAI {
+      encoding: 7'b0100000 :: shamt[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0010011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)((signed)X[rs1] >> shamt); }
+    }
+    ADD {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] + X[rs2]); }
+    }
+    SUB {
+      encoding: 7'b0100000 :: rs2[4:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] - X[rs2]); }
+    }
+    SLL {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] << (X[rs2] & 31)); }
+    }
+    SLT {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)((signed)X[rs1] < (signed)X[rs2]); }
+    }
+    SLTU {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] < X[rs2]); }
+    }
+    XOR {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b100 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] ^ X[rs2]); }
+    }
+    SRL {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] >> (X[rs2] & 31)); }
+    }
+    SRA {
+      encoding: 7'b0100000 :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)((signed)X[rs1] >> (X[rs2] & 31)); }
+    }
+    OR {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b110 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] | X[rs2]); }
+    }
+    AND {
+      encoding: 7'b0000000 :: rs2[4:0] :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] & X[rs2]); }
+    }
+    FENCE {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0001111;
+      behavior: { }
+    }
+    ECALL {
+      encoding: 12'd0 :: 5'd0 :: 3'b000 :: 5'd0 :: 7'b1110011;
+      behavior: { }
+    }
+    EBREAK {
+      encoding: 12'd1 :: 5'd0 :: 3'b000 :: 5'd0 :: 7'b1110011;
+      behavior: { }
+    }
+  }
+}
+|}
+
+(* The RV32M standard extension, demonstrating instruction-set
+   composition: it extends RV32I and is combined with it through the
+   RV32IM core definition. Division follows the RISC-V corner-case rules
+   (x/0 = -1, min/-1 = min, x%0 = x, min%-1 = 0), which fall out of the
+   bitwidth-aware arithmetic plus the final truncating cast. *)
+let rv32m =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet RV32M extends RV32I {
+  instructions {
+    MUL {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b000 :: rd[4:0] :: 7'b0110011;
+      behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] * X[rs2]); }
+    }
+    MULH {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        signed<64> p = (signed<64>)((signed)X[rs1] * (signed)X[rs2]);
+        if (rd != 0) X[rd] = (unsigned<32>)(p >> 32);
+      }
+    }
+    MULHSU {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        signed<65> p = (signed<65>)((signed)X[rs1] * X[rs2]);
+        if (rd != 0) X[rd] = (unsigned<32>)(p >> 32);
+      }
+    }
+    MULHU {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        unsigned<64> p = X[rs1] * X[rs2];
+        if (rd != 0) X[rd] = (unsigned<32>)(p >> 32);
+      }
+    }
+    DIV {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b100 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        if (rd != 0) {
+          if (X[rs2] == 0) X[rd] = 4294967295;
+          else X[rd] = (unsigned<32>)((signed)X[rs1] / (signed)X[rs2]);
+        }
+      }
+    }
+    DIVU {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        if (rd != 0) {
+          if (X[rs2] == 0) X[rd] = 4294967295;
+          else X[rd] = (unsigned<32>)(X[rs1] / X[rs2]);
+        }
+      }
+    }
+    REM {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b110 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        if (rd != 0) {
+          if (X[rs2] == 0) X[rd] = X[rs1];
+          else X[rd] = (unsigned<32>)((signed)X[rs1] % (signed)X[rs2]);
+        }
+      }
+    }
+    REMU {
+      encoding: 7'b0000001 :: rs2[4:0] :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b0110011;
+      behavior: {
+        if (rd != 0) {
+          if (X[rs2] == 0) X[rd] = X[rs1];
+          else X[rd] = (unsigned<32>)(X[rs1] % X[rs2]);
+        }
+      }
+    }
+  }
+}
+
+Core RV32IM provides RV32M {
+}
+|}
+
+(* Default import provider: resolves the built-in base ISAs. *)
+let provider = function
+  | "RV32I.core_desc" | "rv32i.core_desc" | "RV32I" -> Some rv32i
+  | "RV32M.core_desc" | "rv32m.core_desc" | "RV32M" -> Some rv32m
+  | _ -> None

@@ -1,0 +1,17 @@
+(** Built-in CoreDSL description of the RV32I base instruction set.
+
+   ISAX descriptions import this via [import "RV32I.core_desc"] and extend
+   it (Figure 1 of the paper). The description declares the standard
+   register file X, the program counter and byte-addressable main memory,
+   and defines the RV32I unprivileged instructions. It doubles as a large
+   test input for the front-end: the interpreter executing these behaviors
+   is cross-checked against the hand-written ISS in lib/riscv. *)
+
+(** The RV32I base instruction set. *)
+val rv32i : string
+
+(** The RV32M standard extension plus the RV32IM core definition. *)
+val rv32m : string
+
+(** Resolves the built-in import paths ("RV32I.core_desc", ...). *)
+val provider : string -> string option

@@ -1,0 +1,46 @@
+(* CoreDSL front-end: public entry points.
+
+   Typical use:
+   {[
+     let tu = Coredsl.compile ~target:"X_DOTP" source in
+     let st = Coredsl.Interp.create tu in
+     ...
+   ]}
+
+   [compile] parses [source] (resolving imports through the built-in base
+   ISA provider plus an optional user provider), elaborates the requested
+   Core or InstructionSet, and type-checks every instruction, always-block
+   and function. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Elaborate = Elaborate
+module Tast = Tast
+module Typecheck = Typecheck
+module Interp = Interp
+module Base_isa = Base_isa
+
+exception Error of string
+
+(* Combine the built-in provider with a user-supplied one. *)
+let combined_provider user path =
+  match user path with Some s -> Some s | None -> Base_isa.provider path
+
+let compile ?(provider = fun _ -> None) ?(file = "<input>") ~target src =
+  try
+    let elab = Elaborate.elaborate ~provider:(combined_provider provider) ~file ~target src in
+    Typecheck.check elab
+  with
+  | Ast.Syntax_error (loc, m) ->
+      raise (Error (Format.asprintf "%a: syntax error: %s" Ast.pp_loc loc m))
+  | Elaborate.Elab_error (loc, m) ->
+      raise (Error (Format.asprintf "%a: elaboration error: %s" Ast.pp_loc loc m))
+  | Typecheck.Type_error (loc, m) ->
+      raise (Error (Format.asprintf "%a: type error: %s" Ast.pp_loc loc m))
+
+(* Compile the built-in RV32I base ISA on its own. *)
+let compile_rv32i () = compile ~file:"RV32I.core_desc" ~target:"RV32I" Base_isa.rv32i
+
+(* Compile RV32I + the M standard extension (the RV32IM core). *)
+let compile_rv32im () = compile ~file:"RV32M.core_desc" ~target:"RV32IM" Base_isa.rv32m

@@ -1,0 +1,69 @@
+(** Elaboration of CoreDSL descriptions.
+
+   Resolves imports, flattens InstructionSet inheritance chains into the
+   providing Core (or a stand-alone set), evaluates ISA parameters, and
+   resolves the architectural state into concrete registers, register files,
+   ROMs and address spaces with fixed widths. The result is the input to
+   {!Typecheck}. *)
+
+module Bn = Bitvec.Bn
+exception Elab_error of Ast.loc * string
+val elab_error :
+  Ast.loc -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+type cenv = { vars : (string * Bitvec.t) list; }
+val empty_cenv : cenv
+val const_eval : cenv -> Ast.expr -> Bitvec.t
+val const_binop :
+  Ast.loc ->
+  Ast.binop -> Bitvec.t -> Bitvec.t -> Bitvec.t
+val const_eval_int : cenv -> Ast.expr -> int
+val resolve_ty :
+  cenv -> Ast.loc -> Ast.ty_expr -> Bitvec.ty
+type reg = {
+  rname : string;
+  rty : Bitvec.ty;
+  elems : int;
+  is_pc : bool;
+  rconst : bool;
+  rinit : Bitvec.t array option;
+}
+type addr_space = {
+  sname : string;
+  elem_ty : Bitvec.ty;
+  space_size : Ast.Bn.t;
+  is_main_mem : bool;
+}
+type elaborated = {
+  ename : string;
+  params : (string * Bitvec.t) list;
+  regs : reg list;
+  spaces : addr_space list;
+  instructions : Ast.instruction list;
+  always : Ast.always_block list;
+  functions : Ast.func list;
+}
+val find_reg : elaborated -> string -> reg option
+val find_space : elaborated -> string -> addr_space option
+val pc_reg : elaborated -> reg option
+val main_mem : elaborated -> addr_space option
+val find_function : elaborated -> string -> Ast.func option
+type provider = string -> string option
+val load :
+  provider:provider ->
+  file:string ->
+  string ->
+  (string, Ast.instr_set) Hashtbl.t * string list *
+  (string, Ast.core_def) Hashtbl.t * string list
+val inheritance_chain :
+  (string, Ast.instr_set) Hashtbl.t ->
+  string -> Ast.instr_set list
+val concat_isa : Ast.isa list -> Ast.isa
+val flatten :
+  (string, Ast.instr_set) Hashtbl.t * 'a *
+  (string, Ast.core_def) Hashtbl.t * 'b ->
+  string -> Ast.isa
+val elaborate_state :
+  Ast.isa ->
+  (string * Bitvec.t) list * reg list * addr_space list
+val elaborate :
+  ?provider:provider -> ?file:string -> target:string -> string -> elaborated

@@ -1,0 +1,220 @@
+(* Hand-written lexer for CoreDSL.
+
+   Replaces the Xtext-generated front-end of the paper. Supports C-style
+   comments, decimal/hex/binary literals, and Verilog-style sized literals
+   such as [7'd0] or [3'b101] (which carry their type, cf. Section 2.3). *)
+
+module Bn = Bitvec.Bn
+open Ast
+
+type token =
+  | ID of string
+  | INT of { value : Bn.t; forced : Bitvec.ty option }
+  | STRING of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; loc : loc }
+
+let keywords =
+  [
+    "import"; "InstructionSet"; "Core"; "extends"; "provides";
+    "architectural_state"; "instructions"; "always"; "functions";
+    "encoding"; "behavior"; "assembly"; "register"; "extern"; "const";
+    "signed"; "unsigned"; "if"; "else"; "for"; "while"; "do"; "switch"; "case";
+    "default"; "break"; "return"; "spawn";
+    "void"; "bool"; "int"; "char"; "long"; "short"; "true"; "false";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+type state = { src : string; file : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let cur_loc st = { file = st.file; line = st.line; col = st.pos - st.bol + 1 }
+
+let peek_char st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek_char2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek_char st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek_char2 st = Some '/' ->
+      while peek_char st <> None && peek_char st <> Some '\n' do
+        advance st
+      done;
+      skip_ws st
+  | Some '/' when peek_char2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec go () =
+        match (peek_char st, peek_char2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> syntax_error (cur_loc st) "unterminated comment"
+        | _ ->
+            advance st;
+            go ()
+      in
+      go ();
+      skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_digits st pred =
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek_char st with
+    | Some c when pred c || c = '_' ->
+        if c <> '_' then Buffer.add_char b c;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  Buffer.contents b
+
+(* A number, possibly a Verilog-sized literal <width>'<base><digits>. *)
+let lex_number st =
+  let loc = cur_loc st in
+  let digits =
+    match (peek_char st, peek_char2 st) with
+    | Some '0', Some ('x' | 'X') ->
+        advance st;
+        advance st;
+        "0x" ^ lex_digits st is_hex_digit
+    | Some '0', Some ('b' | 'B') ->
+        advance st;
+        advance st;
+        "0b" ^ lex_digits st (fun c -> c = '0' || c = '1')
+    | _ -> lex_digits st is_digit
+  in
+  if digits = "" || digits = "0x" || digits = "0b" then
+    syntax_error loc "malformed numeric literal";
+  match peek_char st with
+  | Some '\'' ->
+      (* sized literal: the digits lexed so far are the width *)
+      advance st;
+      let base =
+        match peek_char st with
+        | Some (('d' | 'D' | 'b' | 'B' | 'h' | 'H' | 'x' | 'X' | 'o' | 'O') as c) ->
+            advance st;
+            c
+        | _ -> syntax_error (cur_loc st) "expected base character after ' in sized literal"
+      in
+      let width =
+        try int_of_string digits
+        with _ -> syntax_error loc "width of sized literal must be a plain decimal"
+      in
+      let body =
+        match base with
+        | 'd' | 'D' -> lex_digits st is_digit
+        | 'b' | 'B' -> lex_digits st (fun c -> c = '0' || c = '1')
+        | 'h' | 'H' | 'x' | 'X' -> lex_digits st is_hex_digit
+        | _ -> lex_digits st (fun c -> c >= '0' && c <= '7')
+      in
+      if body = "" then syntax_error (cur_loc st) "empty sized literal";
+      let value =
+        match base with
+        | 'd' | 'D' -> Bn.of_string body
+        | 'b' | 'B' -> Bn.of_string ("0b" ^ body)
+        | 'h' | 'H' | 'x' | 'X' -> Bn.of_string ("0x" ^ body)
+        | _ ->
+            (* octal: fold manually *)
+            String.fold_left
+              (fun acc c -> Bn.add (Bn.mul acc (Bn.of_int 8)) (Bn.of_int (Char.code c - 48)))
+              Bn.zero body
+      in
+      INT { value; forced = Some (Bitvec.unsigned_ty width) }
+  | _ -> INT { value = Bn.of_string digits; forced = None }
+
+let lex_string st =
+  advance st (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek_char st with
+        | Some 'n' -> Buffer.add_char b '\n'
+        | Some 't' -> Buffer.add_char b '\t'
+        | Some c -> Buffer.add_char b c
+        | None -> syntax_error (cur_loc st) "unterminated string");
+        advance st;
+        go ()
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+    | None -> syntax_error (cur_loc st) "unterminated string"
+  in
+  go ();
+  STRING (Buffer.contents b)
+
+(* Multi-character punctuation, longest match first. *)
+let puncts =
+  [
+    "<<="; ">>="; "::"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^=";
+    "{"; "}"; "("; ")"; "["; "]"; ";"; ":"; ","; "?"; "."; "=";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "#";
+  ]
+
+let lex_punct st =
+  let rest = String.length st.src - st.pos in
+  let matches p = String.length p <= rest && String.sub st.src st.pos (String.length p) = p in
+  match List.find_opt matches puncts with
+  | Some p ->
+      for _ = 1 to String.length p do
+        advance st
+      done;
+      PUNCT p
+  | None -> syntax_error (cur_loc st) "unexpected character '%c'" st.src.[st.pos]
+
+let next_token st =
+  skip_ws st;
+  let loc = cur_loc st in
+  let tok =
+    match peek_char st with
+    | None -> EOF
+    | Some c when is_ident_start c ->
+        let id = lex_ident st in
+        if is_keyword id then KW id else ID id
+    | Some c when is_digit c -> lex_number st
+    | Some '"' -> lex_string st
+    | Some _ -> lex_punct st
+  in
+  { tok; loc }
+
+(* Tokenize the whole input. *)
+let tokenize ?(file = "<input>") src =
+  let st = { src; file; pos = 0; line = 1; bol = 0 } in
+  let rec go acc =
+    let t = next_token st in
+    match t.tok with EOF -> List.rev (t :: acc) | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,1 @@
+lib/ir/comb_eval.ml: Bitvec List Mir Printf

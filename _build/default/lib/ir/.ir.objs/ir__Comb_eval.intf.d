@@ -1,0 +1,1 @@
+lib/ir/comb_eval.mli: Bitvec Mir

@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Bitvec Buffer Hashtbl List Mir Option Printf String

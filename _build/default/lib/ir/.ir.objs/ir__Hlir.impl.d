@@ -1,0 +1,1 @@
+lib/ir/hlir.ml: Bitvec Coredsl Format List Mir Option

@@ -1,0 +1,1 @@
+lib/ir/hlir.mli: Bitvec Coredsl Format Mir

@@ -1,0 +1,1 @@
+lib/ir/lil.ml: Bitvec Coredsl Format Hashtbl List Mir Option

@@ -1,0 +1,1 @@
+lib/ir/lil.mli: Bitvec Coredsl Format Hashtbl Mir

@@ -1,0 +1,1 @@
+lib/ir/mir.ml: Bitvec Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/mir.mli: Bitvec Format Hashtbl

@@ -1,0 +1,1 @@
+lib/ir/passes.ml: Bitvec Comb_eval Hashtbl List Mir Option Printf String

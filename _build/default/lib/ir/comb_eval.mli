@@ -1,0 +1,16 @@
+(** Evaluation semantics of the signless [comb] dialect.
+
+   Shared by the constant-folding pass and the RTL simulator: both need to
+   compute the value of a comb operation from unsigned bit patterns. All
+   inputs and the output are {!Bitvec} values with unsigned types; signed
+   operators (divs, shrs, signed comparisons) reinterpret their patterns. *)
+
+val u : int -> Bitvec.ty
+val s : int -> Bitvec.ty
+val as_signed : Bitvec.t -> Bitvec.t
+val bool_bv : bool -> Bitvec.t
+val eval :
+  name:string ->
+  attrs:(string * Mir.attr) list ->
+  ops:Bitvec.t list -> result_width:int -> Bitvec.t
+val is_comb : string -> bool

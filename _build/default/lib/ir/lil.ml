@@ -1,0 +1,366 @@
+(* Lowering from the high-level IR to the "Longnail Intermediate Language"
+   CDFG (Figure 5c).
+
+   Two things happen here, mirroring Section 4.1(c):
+   - architectural state accesses become explicit SCAIE-V sub-interface
+     operations (lil.read_rs1, lil.write_rd, lil.read_mem, ...), making
+     them schedulable alongside the computation;
+   - bitwidth-aware [hwarith] arithmetic is legalized to the signless
+     [comb] dialect, materializing sign/zero extensions as
+     comb.replicate/comb.concat and truncations as comb.extract, exactly
+     like the ADDI example in the paper.
+
+   All lil/comb values are plain unsigned bit vectors. *)
+
+module Bn = Bitvec.Bn
+open Mir
+
+exception Lil_error of string
+
+let lil_error fmt = Format.kasprintf (fun m -> raise (Lil_error m)) fmt
+
+let u w = Bitvec.unsigned_ty w
+let width_of (v : value) = v.vty.Bitvec.width
+
+(* the standard register file and its access fields *)
+let std_regfile = "X"
+
+type ctx = {
+  b : builder;
+  elab : Coredsl.Elaborate.elaborated;
+  vmap : (int, value) Hashtbl.t;  (* old vid -> new value *)
+  defs : (int, op) Hashtbl.t;  (* old vid -> old defining op *)
+  mutable instr_word : value option;
+}
+
+let map_v ctx (v : value) =
+  match Hashtbl.find_opt ctx.vmap v.vid with
+  | Some v' -> v'
+  | None -> lil_error "unmapped value %%%d" v.vid
+
+let const ctx v =
+  let pat = Bitvec.of_bn (u (Bitvec.width v)) (Bitvec.pattern v) in
+  add_op1 ctx.b "hw.constant" [] (u (Bitvec.width v)) ~attrs:[ ("value", A_bv pat) ]
+
+let const_int ctx w i = const ctx (Bitvec.of_int (u w) i)
+
+(* zero-extend, sign-extend or truncate [v] to [w] bits *)
+let resize ctx ~signed (v : value) w =
+  let vw = width_of v in
+  if vw = w then v
+  else if w < vw then
+    add_op1 ctx.b "comb.extract" [ v ] (u w) ~attrs:[ ("lowBit", A_int 0) ]
+  else if signed then begin
+    let sign = add_op1 ctx.b "comb.extract" [ v ] (u 1) ~attrs:[ ("lowBit", A_int (vw - 1)) ] in
+    let rep = add_op1 ctx.b "comb.replicate" [ sign ] (u (w - vw)) in
+    add_op1 ctx.b "comb.concat" [ rep; v ] (u w)
+  end
+  else begin
+    let zeros = const_int ctx (w - vw) 0 in
+    add_op1 ctx.b "comb.concat" [ zeros; v ] (u w)
+  end
+
+(* extend an hwarith operand to the result width per its own signedness *)
+let ext_operand ctx (old : value) (nv : value) w = resize ctx ~signed:old.vty.Bitvec.signed nv w
+
+let get_instr_word ctx enc_width =
+  match ctx.instr_word with
+  | Some v -> v
+  | None ->
+      let v = add_op1 ctx.b "lil.instr_word" [] (u enc_width) ~hint:"iw" in
+      ctx.instr_word <- Some v;
+      v
+
+(* reconstruct an encoding field value from instruction-word bits:
+   comb.extract per segment, zero fill for uncovered bits, one concat *)
+let lower_field ctx enc_width (fi : Coredsl.Tast.field_info) =
+  let iw = get_instr_word ctx enc_width in
+  let segs =
+    List.sort
+      (fun (a : Coredsl.Tast.field_segment) b -> compare b.fld_lo a.fld_lo)
+      fi.segments
+  in
+  (* walk from the MSB side of the field, collecting pieces *)
+  let rec build pos segs acc =
+    if pos < 0 then acc
+    else
+      match segs with
+      | (s : Coredsl.Tast.field_segment) :: rest when s.fld_lo + s.seg_len - 1 = pos ->
+          let piece =
+            add_op1 ctx.b "comb.extract" [ iw ] (u s.seg_len)
+              ~attrs:[ ("lowBit", A_int s.instr_lo) ]
+          in
+          build (s.fld_lo - 1) rest (piece :: acc)
+      | _ ->
+          (* gap: bits above the next segment (or all remaining) are zero *)
+          let next_top = match segs with s :: _ -> s.fld_lo + s.seg_len - 1 | [] -> -1 in
+          let gap = pos - next_top in
+          let zeros = const_int ctx gap 0 in
+          build (pos - gap) segs (zeros :: acc)
+  in
+  let pieces = List.rev (build (fi.fld_width - 1) segs []) in
+  match pieces with
+  | [ p ] -> p
+  | _ -> add_op1 ctx.b "comb.concat" pieces (u fi.fld_width)
+
+(* Does [v] come (transitively through extensions/casts) from field [f]? *)
+let rec traces_to_field ctx (v : value) fname =
+  match Hashtbl.find_opt ctx.defs v.vid with
+  | Some { opname = "coredsl.field"; attrs; _ } -> (
+      match List.assoc_opt "name" attrs with Some (A_str n) -> n = fname | _ -> false)
+  | Some { opname = "hwarith.cast"; operands = [ a ]; _ } -> traces_to_field ctx a fname
+  | _ -> false
+
+let icmp_name ~signed = function
+  | "eq" -> "comb.icmp_eq"
+  | "ne" -> "comb.icmp_ne"
+  | "lt" -> if signed then "comb.icmp_slt" else "comb.icmp_ult"
+  | "le" -> if signed then "comb.icmp_sle" else "comb.icmp_ule"
+  | "gt" -> if signed then "comb.icmp_sgt" else "comb.icmp_ugt"
+  | "ge" -> if signed then "comb.icmp_sge" else "comb.icmp_uge"
+  | p -> lil_error "unknown icmp predicate %s" p
+
+let carry_attrs op =
+  List.filter (fun (k, _) -> k = "spawn" || k = "has_pred") op.attrs
+
+(* Lower one high-level op into the lil/comb builder. *)
+let lower_op ctx enc_width (op : op) =
+  let bind old nv = Hashtbl.replace ctx.vmap old.vid nv in
+  let operand i = map_v ctx (List.nth op.operands i) in
+  let old_operand i = List.nth op.operands i in
+  let result0 () = List.hd op.results in
+  match op.opname with
+  | "hw.constant" ->
+      let v = match attr_bv op "value" with Some v -> v | None -> lil_error "constant without value" in
+      bind (result0 ()) (const ctx v)
+  | "coredsl.field" ->
+      let name = Option.get (attr_str op "name") in
+      let fi =
+        {
+          Coredsl.Tast.fld_name = name;
+          fld_width = width_of (result0 ());
+          segments = [];
+        }
+      in
+      ignore fi;
+      (* field segments are stored graph-side; the caller pre-computes them *)
+      lil_error "coredsl.field must be lowered by of_hlir (missing segment info for %s)" name
+  | "coredsl.get" -> (
+      let state = Option.get (attr_str op "state") in
+      let r = result0 () in
+      match op.operands with
+      | [] ->
+          (* scalar register: PC or custom *)
+          let reg = Coredsl.Elaborate.find_reg ctx.elab state in
+          let is_pc = match reg with Some r -> r.is_pc | None -> false in
+          if is_pc then bind r (add_op1 ctx.b "lil.read_pc" [] (u (width_of r)) ~hint:"pc")
+          else
+            bind r
+              (add_op1 ctx.b "lil.read_custreg" [ const_int ctx 1 0 ] (u (width_of r))
+                 ~attrs:[ ("reg", A_str state) ] ~hint:state)
+      | [ idx ] ->
+          if state = std_regfile then begin
+            if traces_to_field ctx idx "rs1" then
+              bind r (add_op1 ctx.b "lil.read_rs1" [] (u (width_of r)) ~hint:"rs1")
+            else if traces_to_field ctx idx "rs2" then
+              bind r (add_op1 ctx.b "lil.read_rs2" [] (u (width_of r)) ~hint:"rs2")
+            else
+              lil_error
+                "reads of the standard register file must use the rs1/rs2 encoding fields"
+          end
+          else begin
+            let vi = operand 0 in
+            bind r
+              (add_op1 ctx.b "lil.read_custreg" [ vi ] (u (width_of r))
+                 ~attrs:[ ("reg", A_str state) ] ~hint:state)
+          end
+      | _ -> lil_error "malformed coredsl.get")
+  | "coredsl.set" -> (
+      let state = Option.get (attr_str op "state") in
+      let has_pred = attr_bool op "has_pred" in
+      let extra = carry_attrs op in
+      let reg = Coredsl.Elaborate.find_reg ctx.elab state in
+      let is_pc = match reg with Some r -> r.is_pc | None -> false in
+      let elems = match reg with Some r -> r.elems | None -> 1 in
+      match op.operands with
+      | _ when is_pc ->
+          (* scalar PC write: operands [value] or [value; pred] *)
+          let ops = List.map (map_v ctx) op.operands in
+          ignore (add_op ctx.b "lil.write_pc" ops [] ~attrs:extra)
+      | [ _v ] | [ _v; _ ] when elems = 1 ->
+          let ops = List.map (map_v ctx) op.operands in
+          ignore
+            (add_op ctx.b "lil.write_custreg" (const_int ctx 1 0 :: ops) []
+               ~attrs:(("reg", A_str state) :: extra))
+      | idx :: _rest when state = std_regfile ->
+          if not (traces_to_field ctx idx "rd") then
+            lil_error "writes to the standard register file must use the rd encoding field";
+          let ops = List.map (map_v ctx) (List.tl op.operands) in
+          ignore (add_op ctx.b "lil.write_rd" ops [] ~attrs:extra)
+      | _ :: _rest ->
+          let ops = List.map (map_v ctx) op.operands in
+          ignore (add_op ctx.b "lil.write_custreg" ops [] ~attrs:(("reg", A_str state) :: extra))
+      | [] -> lil_error "malformed coredsl.set")
+  | "coredsl.rom" ->
+      let state = Option.get (attr_str op "state") in
+      let vi = operand 0 in
+      bind (result0 ())
+        (add_op1 ctx.b "lil.rom" [ vi ] (u (width_of (result0 ())))
+           ~attrs:[ ("rom", A_str state) ] ~hint:state)
+  | "coredsl.load" ->
+      let space = Option.get (attr_str op "space") in
+      let elems = Option.value ~default:1 (attr_int op "elems") in
+      let ops = List.map (map_v ctx) op.operands in
+      bind (result0 ())
+        (add_op1 ctx.b "lil.read_mem" ops (u (width_of (result0 ())))
+           ~attrs:([ ("space", A_str space); ("elems", A_int elems) ] @ carry_attrs op))
+  | "coredsl.store" ->
+      let space = Option.get (attr_str op "space") in
+      let elems = Option.value ~default:1 (attr_int op "elems") in
+      let ops = List.map (map_v ctx) op.operands in
+      ignore
+        (add_op ctx.b "lil.write_mem" ops []
+           ~attrs:([ ("space", A_str space); ("elems", A_int elems) ] @ carry_attrs op))
+  | "coredsl.concat" ->
+      let ops = List.map (map_v ctx) op.operands in
+      bind (result0 ()) (add_op1 ctx.b "comb.concat" ops (u (width_of (result0 ()))))
+  | "coredsl.extract" -> (
+      let w = Option.get (attr_int op "width") in
+      let v = operand 0 in
+      let lo_old = old_operand 1 in
+      let lo_def = Hashtbl.find_opt ctx.defs lo_old.vid in
+      match lo_def with
+      | Some { opname = "hw.constant"; attrs; _ } ->
+          let c = match List.assoc_opt "value" attrs with Some (A_bv c) -> Bitvec.to_int c | _ -> 0 in
+          bind (result0 ()) (add_op1 ctx.b "comb.extract" [ v ] (u w) ~attrs:[ ("lowBit", A_int c) ])
+      | _ ->
+          (* dynamic extract: shift right then truncate *)
+          let lo = operand 1 in
+          let lo' = resize ctx ~signed:false lo (width_of v) in
+          let shifted = add_op1 ctx.b "comb.shru" [ v; lo' ] (u (width_of v)) in
+          bind (result0 ())
+            (add_op1 ctx.b "comb.extract" [ shifted ] (u w) ~attrs:[ ("lowBit", A_int 0) ]))
+  | "hwarith.cast" ->
+      let old = old_operand 0 in
+      let v = operand 0 in
+      bind (result0 ()) (resize ctx ~signed:old.vty.Bitvec.signed v (width_of (result0 ())))
+  | "hwarith.add" | "hwarith.sub" | "hwarith.mul" | "hwarith.band" | "hwarith.bor"
+  | "hwarith.bxor" ->
+      let w = width_of (result0 ()) in
+      let a = ext_operand ctx (old_operand 0) (operand 0) w in
+      let b = ext_operand ctx (old_operand 1) (operand 1) w in
+      let name =
+        match op.opname with
+        | "hwarith.add" -> "comb.add"
+        | "hwarith.sub" -> "comb.sub"
+        | "hwarith.mul" -> "comb.mul"
+        | "hwarith.band" -> "comb.and"
+        | "hwarith.bor" -> "comb.or"
+        | _ -> "comb.xor"
+      in
+      bind (result0 ()) (add_op1 ctx.b name [ a; b ] (u w))
+  | "hwarith.div" | "hwarith.rem" ->
+      let w = width_of (result0 ()) in
+      let signed = (old_operand 0).vty.Bitvec.signed || (old_operand 1).vty.Bitvec.signed in
+      let a = ext_operand ctx (old_operand 0) (operand 0) w in
+      let b = ext_operand ctx (old_operand 1) (operand 1) w in
+      let name =
+        match (op.opname, signed) with
+        | "hwarith.div", true -> "comb.divs"
+        | "hwarith.div", false -> "comb.divu"
+        | _, true -> "comb.mods"
+        | _, false -> "comb.modu"
+      in
+      bind (result0 ()) (add_op1 ctx.b name [ a; b ] (u w))
+  | "hwarith.icmp" ->
+      let pred = Option.get (attr_str op "predicate") in
+      let oa = old_operand 0 and ob = old_operand 1 in
+      let common = Bitvec.union_ty oa.vty ob.vty in
+      let w = common.Bitvec.width in
+      let a = ext_operand ctx oa (operand 0) w in
+      let b = ext_operand ctx ob (operand 1) w in
+      bind (result0 ())
+        (add_op1 ctx.b (icmp_name ~signed:common.Bitvec.signed pred) [ a; b ] (u 1))
+  | "hwarith.shl" | "hwarith.shr" ->
+      let w = width_of (result0 ()) in
+      let old_a = old_operand 0 in
+      let a = resize ctx ~signed:old_a.vty.Bitvec.signed (operand 0) w in
+      let amt = resize ctx ~signed:false (operand 1) w in
+      let name =
+        if op.opname = "hwarith.shl" then "comb.shl"
+        else if old_a.vty.Bitvec.signed then "comb.shrs"
+        else "comb.shru"
+      in
+      bind (result0 ()) (add_op1 ctx.b name [ a; amt ] (u w))
+  | "hwarith.not" ->
+      let w = width_of (result0 ()) in
+      let ones = const ctx (Bitvec.lognot (Bitvec.zero (u w))) in
+      bind (result0 ()) (add_op1 ctx.b "comb.xor" [ operand 0; ones ] (u w))
+  | "hwarith.mux" ->
+      let w = width_of (result0 ()) in
+      let c = operand 0 in
+      let t = ext_operand ctx (old_operand 1) (operand 1) w in
+      let f = ext_operand ctx (old_operand 2) (operand 2) w in
+      bind (result0 ()) (add_op1 ctx.b "comb.mux" [ c; t; f ] (u w))
+  | "hwarith.and" ->
+      bind (result0 ()) (add_op1 ctx.b "comb.and" [ operand 0; operand 1 ] (u 1))
+  | "hwarith.or" ->
+      bind (result0 ()) (add_op1 ctx.b "comb.or" [ operand 0; operand 1 ] (u 1))
+  | other -> lil_error "cannot lower op '%s' to lil" other
+
+(* Lower a full high-level graph to a lil graph. *)
+let of_hlir (elab : Coredsl.Elaborate.elaborated) ?(fields : Coredsl.Tast.field_info list = [])
+    (g : graph) : graph =
+  let b = builder () in
+  let ctx = { b; elab; vmap = Hashtbl.create 64; defs = Hashtbl.create 64; instr_word = None } in
+  List.iter
+    (fun op -> List.iter (fun r -> Hashtbl.replace ctx.defs r.vid op) op.results)
+    (all_ops g);
+  let enc_width =
+    match List.assoc_opt "enc_width" g.gattrs with Some (A_int w) -> w | _ -> 32
+  in
+  List.iter
+    (fun op ->
+      match op.opname with
+      | "coredsl.field" ->
+          let name = Option.get (attr_str op "name") in
+          let fi =
+            match List.find_opt (fun (f : Coredsl.Tast.field_info) -> f.fld_name = name) fields with
+            | Some fi -> fi
+            | None -> lil_error "no segment info for field '%s'" name
+          in
+          Hashtbl.replace ctx.vmap (List.hd op.results).vid (lower_field ctx enc_width fi)
+      | _ -> lower_op ctx enc_width op)
+    g.body;
+  ignore (add_op b "lil.sink" [] []);
+  finish b ~name:g.gname ~kind:g.gkind ~attrs:g.gattrs ()
+
+(* the SCAIE-V sub-interface operations present in a lil graph *)
+let interface_ops g =
+  List.filter
+    (fun op ->
+      match op.opname with
+      | "lil.instr_word" | "lil.read_rs1" | "lil.read_rs2" | "lil.read_pc" | "lil.read_custreg"
+      | "lil.write_rd" | "lil.write_pc" | "lil.write_custreg" | "lil.read_mem" | "lil.write_mem"
+        ->
+          true
+      | _ -> false)
+    (all_ops g)
+
+(* Enforce the SCAIE-V rule that each sub-interface is used at most once per
+   functionality (Section 3.1). Run after CSE. *)
+let validate_single_use g =
+  let key op =
+    match op.opname with
+    | "lil.read_custreg" | "lil.write_custreg" ->
+        op.opname ^ ":" ^ Option.value ~default:"" (attr_str op "reg")
+    | name -> name
+  in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let k = key op in
+      if Hashtbl.mem seen k then
+        lil_error "sub-interface %s used more than once in %s" k g.gname
+      else Hashtbl.add seen k ())
+    (interface_ops g)

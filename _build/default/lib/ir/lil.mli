@@ -1,0 +1,43 @@
+(** Lowering from the high-level IR to the "Longnail Intermediate Language"
+   CDFG (Figure 5c).
+
+   Two things happen here, mirroring Section 4.1(c):
+   - architectural state accesses become explicit SCAIE-V sub-interface
+     operations (lil.read_rs1, lil.write_rd, lil.read_mem, ...), making
+     them schedulable alongside the computation;
+   - bitwidth-aware [hwarith] arithmetic is legalized to the signless
+     [comb] dialect, materializing sign/zero extensions as
+     comb.replicate/comb.concat and truncations as comb.extract, exactly
+     like the ADDI example in the paper.
+
+   All lil/comb values are plain unsigned bit vectors. *)
+
+module Bn = Bitvec.Bn
+exception Lil_error of string
+val lil_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val u : int -> Bitvec.ty
+val width_of : Mir.value -> int
+val std_regfile : string
+type ctx = {
+  b : Mir.builder;
+  elab : Coredsl.Elaborate.elaborated;
+  vmap : (int, Mir.value) Hashtbl.t;
+  defs : (int, Mir.op) Hashtbl.t;
+  mutable instr_word : Mir.value option;
+}
+val map_v : ctx -> Mir.value -> Mir.value
+val const : ctx -> Bitvec.t -> Mir.value
+val const_int : ctx -> int -> int -> Mir.value
+val resize : ctx -> signed:bool -> Mir.value -> int -> Mir.value
+val ext_operand : ctx -> Mir.value -> Mir.value -> int -> Mir.value
+val get_instr_word : ctx -> int -> Mir.value
+val lower_field : ctx -> int -> Coredsl.Tast.field_info -> Mir.value
+val traces_to_field : ctx -> Mir.value -> string -> bool
+val icmp_name : signed:bool -> string -> string
+val carry_attrs : Mir.op -> (string * Mir.attr) list
+val lower_op : ctx -> 'a -> Mir.op -> unit
+val of_hlir :
+  Coredsl.Elaborate.elaborated ->
+  ?fields:Coredsl.Tast.field_info list -> Mir.graph -> Mir.graph
+val interface_ops : Mir.graph -> Mir.op list
+val validate_single_use : Mir.graph -> unit

@@ -1,0 +1,276 @@
+(* Optimization passes over lil graphs: constant folding (canonicalization),
+   common-subexpression elimination, and dead-code elimination. These mirror
+   MLIR's canonicalization infrastructure the paper relies on ("constant
+   registers are internalized into the ISAX module and subject to MLIR's
+   usual canonicalization patterns"). *)
+
+open Mir
+
+(* ops with side effects must never be removed or deduplicated *)
+let has_side_effect op =
+  match op.opname with
+  | "lil.write_rd" | "lil.write_pc" | "lil.write_custreg" | "lil.write_mem" | "lil.sink"
+  | "coredsl.set" | "coredsl.store" ->
+      true
+  | _ -> false
+
+(* interface reads are kept even when pure: they anchor the schedule *)
+let is_interface_read op =
+  match op.opname with
+  | "lil.instr_word" | "lil.read_rs1" | "lil.read_rs2" | "lil.read_pc" | "lil.read_custreg"
+  | "lil.read_mem" | "lil.rom" | "coredsl.get" | "coredsl.load" | "coredsl.rom"
+  | "coredsl.field" ->
+      true
+  | _ -> false
+
+(* ---- constant folding ---- *)
+
+let fold_constants (g : graph) : graph =
+  let const_of : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 32 in
+  let subst = Hashtbl.create 16 in
+  let changed = ref false in
+  let body =
+    List.filter_map
+      (fun op ->
+        match op.opname with
+        | "hw.constant" ->
+            (match (op.results, attr_bv op "value") with
+            | [ r ], Some v -> Hashtbl.replace const_of r.vid v
+            | _ -> ());
+            Some op
+        | name when Comb_eval.is_comb name && op.results <> [] -> (
+            let operand_consts =
+              List.map (fun v -> Hashtbl.find_opt const_of v.vid) op.operands
+            in
+            if List.for_all Option.is_some operand_consts then begin
+              let vals = List.map Option.get operand_consts in
+              let r = List.hd op.results in
+              match
+                (try Some (Comb_eval.eval ~name ~attrs:op.attrs ~ops:vals ~result_width:r.vty.Bitvec.width)
+                 with _ -> None)
+              with
+              | Some folded ->
+                  changed := true;
+                  Hashtbl.replace const_of r.vid folded;
+                  (* replace with a fresh constant op reusing the result *)
+                  Some { op with opname = "hw.constant"; operands = []; attrs = [ ("value", A_bv folded) ] }
+              | None -> Some op
+            end
+            else begin
+              (* simple mux canonicalization: constant condition *)
+              match (op.opname, op.operands) with
+              | "comb.mux", [ c; t; f ] -> (
+                  match Hashtbl.find_opt const_of c.vid with
+                  | Some cv ->
+                      changed := true;
+                      let keep = if Bitvec.to_bool cv then t else f in
+                      Hashtbl.replace subst (List.hd op.results).vid keep;
+                      None
+                  | None -> Some op)
+              | _ -> Some op
+            end)
+        | _ -> Some op)
+      g.body
+  in
+  let g = { g with body } in
+  if Hashtbl.length subst > 0 then rewrite g ~subst ~keep:(fun _ -> true) else g
+
+(* ---- common-subexpression elimination ---- *)
+
+let cse (g : graph) : graph =
+  let table : (string, value list) Hashtbl.t = Hashtbl.create 32 in
+  let subst : (int, value) Hashtbl.t = Hashtbl.create 16 in
+  let canon v = match Hashtbl.find_opt subst v.vid with Some v' -> v' | None -> v in
+  let key op =
+    let operands = List.map (fun v -> string_of_int (canon v).vid) op.operands in
+    (* result types are part of the identity: the same extract/concat can
+       produce different widths *)
+    let results = List.map (fun r -> Bitvec.ty_to_string r.vty) op.results in
+    let attrs =
+      List.map
+        (fun (k, a) ->
+          Printf.sprintf "%s=%s" k
+            (match a with
+            | A_int i -> string_of_int i
+            | A_str s -> s
+            | A_bv v -> Bitvec.to_hex_string v ^ "/" ^ string_of_int (Bitvec.width v)
+            | A_bool b -> string_of_bool b))
+        op.attrs
+    in
+    Printf.sprintf "%s(%s){%s}:%s" op.opname (String.concat "," operands)
+      (String.concat "," attrs) (String.concat "," results)
+  in
+  let body =
+    List.filter
+      (fun op ->
+        if has_side_effect op || op.results = [] then true
+        else begin
+          let k = key op in
+          match Hashtbl.find_opt table k with
+          | Some prior ->
+              List.iter2 (fun r p -> Hashtbl.replace subst r.vid p) op.results prior;
+              false
+          | None ->
+              Hashtbl.replace table k op.results;
+              true
+        end)
+      g.body
+  in
+  rewrite { g with body } ~subst ~keep:(fun _ -> true)
+
+(* ---- dead-code elimination ---- *)
+
+let dce (g : graph) : graph =
+  let changed = ref true in
+  let g = ref g in
+  while !changed do
+    changed := false;
+    let uses = use_map !g in
+    let body =
+      List.filter
+        (fun op ->
+          if has_side_effect op || is_interface_read op then true
+          else begin
+            let live =
+              List.exists
+                (fun r ->
+                  match Hashtbl.find_opt uses r.vid with
+                  | Some (_ :: _) -> true
+                  | _ -> false)
+                op.results
+            in
+            if not live then changed := true;
+            live
+          end)
+        (!g).body
+    in
+    g := { !g with body }
+  done;
+  !g
+
+(* Also drop interface *reads* that are completely unused (e.g. a register
+   read whose value was optimized away). Writes are always kept. *)
+let dce_interface_reads (g : graph) : graph =
+  let uses = use_map g in
+  let body =
+    List.filter
+      (fun op ->
+        if not (is_interface_read op) then true
+        else
+          List.exists
+            (fun r ->
+              match Hashtbl.find_opt uses r.vid with Some (_ :: _) -> true | _ -> false)
+            op.results)
+      g.body
+  in
+  { g with body }
+
+(* ---- constant-shift lowering ---- *)
+
+(* A shift by a compile-time-constant amount is pure wiring in hardware:
+   rewrite it to extract/concat/replicate so that neither the scheduler
+   nor the timing analysis charges barrel-shifter delay or area for it.
+   (Rotations expressed as shl|shru, as in the sparkle ISAX, become free.) *)
+let lower_constant_shifts (g : graph) : graph =
+  let const_of : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun op ->
+      match (op.opname, op.results, attr_bv op "value") with
+      | "hw.constant", [ r ], Some v -> Hashtbl.replace const_of r.vid v
+      | _ -> ())
+    (all_ops g);
+  let b = builder () in
+  (* continue id numbering above the existing graph to keep SSA ids unique *)
+  List.iter
+    (fun op ->
+      b.next_o <- max b.next_o (op.oid + 1);
+      List.iter (fun r -> b.next_v <- max b.next_v (r.vid + 1)) op.results)
+    (all_ops g);
+  (* keep existing value ids stable by tracking a substitution for results *)
+  let subst : (int, value) Hashtbl.t = Hashtbl.create 16 in
+  let s v = match Hashtbl.find_opt subst v.vid with Some v' -> v' | None -> v in
+  let u w = Bitvec.unsigned_ty w in
+  let rewrite_shift op kind x k =
+    let w = x.vty.Bitvec.width in
+    let r = List.hd op.results in
+    let replacement =
+      if k = 0 then s x
+      else if k >= w then begin
+        match kind with
+        | `Shl | `Shru ->
+            add_op1 b "hw.constant" [] (u w) ~attrs:[ ("value", A_bv (Bitvec.zero (u w))) ]
+        | `Shrs ->
+            let sign =
+              add_op1 b "comb.extract" [ s x ] (u 1) ~attrs:[ ("lowBit", A_int (w - 1)) ]
+            in
+            add_op1 b "comb.replicate" [ sign ] (u w)
+      end
+      else begin
+        match kind with
+        | `Shl ->
+            let kept =
+              add_op1 b "comb.extract" [ s x ] (u (w - k)) ~attrs:[ ("lowBit", A_int 0) ]
+            in
+            let zeros =
+              add_op1 b "hw.constant" [] (u k) ~attrs:[ ("value", A_bv (Bitvec.zero (u k))) ]
+            in
+            add_op1 b "comb.concat" [ kept; zeros ] (u w)
+        | `Shru ->
+            let kept =
+              add_op1 b "comb.extract" [ s x ] (u (w - k)) ~attrs:[ ("lowBit", A_int k) ]
+            in
+            let zeros =
+              add_op1 b "hw.constant" [] (u k) ~attrs:[ ("value", A_bv (Bitvec.zero (u k))) ]
+            in
+            add_op1 b "comb.concat" [ zeros; kept ] (u w)
+        | `Shrs ->
+            let kept =
+              add_op1 b "comb.extract" [ s x ] (u (w - k)) ~attrs:[ ("lowBit", A_int k) ]
+            in
+            let sign =
+              add_op1 b "comb.extract" [ s x ] (u 1) ~attrs:[ ("lowBit", A_int (w - 1)) ]
+            in
+            let rep = add_op1 b "comb.replicate" [ sign ] (u k) in
+            add_op1 b "comb.concat" [ rep; kept ] (u w)
+      end
+    in
+    Hashtbl.replace subst r.vid replacement
+  in
+  List.iter
+    (fun op ->
+      match (op.opname, op.operands) with
+      | ("comb.shl" | "comb.shru" | "comb.shrs"), [ x; amt ]
+        when Hashtbl.mem const_of amt.vid ->
+          let k =
+            match Bitvec.to_int_opt (Hashtbl.find const_of amt.vid) with
+            | Some k when k >= 0 -> k
+            | _ -> max_int
+          in
+          if k = max_int then
+            b.ops <- { op with operands = List.map s op.operands } :: b.ops
+          else
+            rewrite_shift op
+              (match op.opname with
+              | "comb.shl" -> `Shl
+              | "comb.shru" -> `Shru
+              | _ -> `Shrs)
+              x k
+      | _ -> b.ops <- { op with operands = List.map s op.operands } :: b.ops)
+    g.body;
+  (* fresh value ids from the builder may collide with existing ones; remap
+     everything through a final rewrite that only applies the subst *)
+  { g with body = List.rev b.ops }
+
+(* standard pipeline: fold to fixpoint, share, strip dead logic *)
+let optimize ?(fold_rounds = 4) (g : graph) : graph =
+  let g = ref g in
+  g := fold_constants !g;
+  g := lower_constant_shifts !g;
+  for _ = 1 to fold_rounds do
+    g := fold_constants !g;
+    g := cse !g
+  done;
+  g := dce !g;
+  g := dce_interface_reads !g;
+  g := dce !g;
+  !g

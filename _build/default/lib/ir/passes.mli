@@ -1,0 +1,14 @@
+(** Optimization passes over lil graphs: constant folding (canonicalization),
+   common-subexpression elimination, and dead-code elimination. These mirror
+   MLIR's canonicalization infrastructure the paper relies on ("constant
+   registers are internalized into the ISAX module and subject to MLIR's
+   usual canonicalization patterns"). *)
+
+val has_side_effect : Mir.op -> bool
+val is_interface_read : Mir.op -> bool
+val fold_constants : Mir.graph -> Mir.graph
+val cse : Mir.graph -> Mir.graph
+val dce : Mir.graph -> Mir.graph
+val dce_interface_reads : Mir.graph -> Mir.graph
+val lower_constant_shifts : Mir.graph -> Mir.graph
+val optimize : ?fold_rounds:int -> Mir.graph -> Mir.graph

@@ -1,0 +1,1 @@
+lib/isax/extra.ml: Coredsl List Registry

@@ -1,0 +1,1 @@
+lib/isax/extra.mli: Coredsl

@@ -1,0 +1,1 @@
+lib/isax/registry.ml: Coredsl List Option Printf Sources

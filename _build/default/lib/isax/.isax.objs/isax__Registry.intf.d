@@ -1,0 +1,1 @@
+lib/isax/registry.mli: Coredsl

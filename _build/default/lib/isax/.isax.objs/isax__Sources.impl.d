@@ -1,0 +1,1 @@
+lib/isax/sources.ml: Buffer Printf String

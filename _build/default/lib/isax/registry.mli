@@ -1,0 +1,20 @@
+(** Registry of the benchmark ISAXes (Table 3 of the paper).
+
+   Each entry names the CoreDSL target to elaborate, carries the source
+   text, and records the description/demonstrates columns of Table 3 so the
+   bench harness can regenerate the table. *)
+
+type entry = {
+  name : string;
+  target : string;
+  import_name : string;
+  source : string;
+  description : string;
+  demonstrates : string;
+}
+val all : entry list
+val find : string -> entry option
+val find_exn : string -> entry
+val provider : string -> string option
+val compile : entry -> Coredsl.Tast.tunit
+val compile_by_name : string -> Coredsl.Tast.tunit

@@ -1,0 +1,283 @@
+(* The benchmark ISAXes of Table 3, as CoreDSL sources.
+
+   Each source imports the built-in RV32I base description and extends it.
+   The encodings use the RISC-V custom-0 (0001011) and custom-1 (0101011)
+   opcode spaces, with disjoint funct3 values so that any subset of ISAXes
+   can be combined into one core without encoding conflicts. *)
+
+(* textual substitution helper for deriving the decoupled sqrt variant *)
+let replace_all s ~needle ~by =
+  let nl = String.length needle in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i <= String.length s - nl do
+    if String.sub s !i nl = needle then begin
+      Buffer.add_string buf by;
+      i := !i + nl
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf (String.sub s !i (String.length s - !i));
+  Buffer.contents buf
+
+(* Figure 1: 4x8-bit SIMD dot product. *)
+let dotprod =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_DOTP extends RV32I {
+  instructions {
+    DOTP {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'd0 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        signed<32> res = 0;
+        for (int i = 0; i < 32; i += 8) {
+          signed<16> prod = (signed) X[rs1][i+7:i] * (signed) X[rs2][i+7:i];
+          res += prod;
+        }
+        X[rd] = (unsigned) res;
+      }
+    }
+  }
+}
+|}
+
+(* Auto-incrementing load/store with a custom address register. *)
+let autoinc =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_AUTOINC extends RV32I {
+  architectural_state {
+    register unsigned<32> ADDR;
+  }
+  instructions {
+    AI_SETUP {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b000 :: 5'b00000 :: 7'b0101011;
+      behavior: { ADDR = (unsigned<32>)(X[rs1] + (signed<12>)imm); }
+    }
+    AI_LW {
+      encoding: 12'd0 :: 5'b00000 :: 3'b001 :: rd[4:0] :: 7'b0101011;
+      behavior: {
+        if (rd != 0) X[rd] = MEM[ADDR+3:ADDR];
+        ADDR = (unsigned<32>)(ADDR + 4);
+      }
+    }
+    AI_SW {
+      encoding: 7'd0 :: rs2[4:0] :: 5'b00000 :: 3'b010 :: 5'b00000 :: 7'b0101011;
+      behavior: {
+        MEM[ADDR+3:ADDR] = X[rs2];
+        ADDR = (unsigned<32>)(ADDR + 4);
+      }
+    }
+  }
+}
+|}
+
+(* Indirect jump: read the next PC from main memory. *)
+let ijmp =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_IJMP extends RV32I {
+  instructions {
+    IJMP {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b100 :: 5'b00000 :: 7'b0001011;
+      behavior: {
+        unsigned<32> addr = (unsigned<32>)(X[rs1] + (signed<12>)imm);
+        PC = MEM[addr+3:addr];
+      }
+    }
+  }
+}
+|}
+
+(* AES SubBytes on a full word via a constant S-Box ROM. *)
+let sbox =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_SBOX extends RV32I {
+  architectural_state {
+    const unsigned<8> SBOX[256] = {
+      0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+      0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+      0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+      0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+      0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+      0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+      0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+      0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+      0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+      0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+      0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+      0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+      0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+      0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+      0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+      0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16
+    };
+  }
+  instructions {
+    SUBBYTES {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        if (rd != 0)
+          X[rd] = SBOX[X[rs1][31:24]] :: SBOX[X[rs1][23:16]]
+               :: SBOX[X[rs1][15:8]] :: SBOX[X[rs1][7:0]];
+      }
+    }
+  }
+}
+|}
+
+(* One Alzette ARX-box of the SPARKLE suite (lightweight post-quantum
+   cryptography), split into two R-type instructions returning the x and y
+   halves. Demonstrates bit manipulation and helper functions. *)
+let sparkle =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_SPARKLE extends RV32I {
+  functions {
+    unsigned<32> ror(unsigned<32> x, unsigned<32> n) {
+      return (unsigned<32>)((x >> n) | (x << (unsigned<32>)(32 - n)));
+    }
+    unsigned<32> alzette_x(unsigned<32> x0, unsigned<32> y0, unsigned<32> c) {
+      unsigned<32> x = x0;
+      unsigned<32> y = y0;
+      x = (unsigned<32>)(x + ror(y, 31)); y = (unsigned<32>)(y ^ ror(x, 24)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + ror(y, 17)); y = (unsigned<32>)(y ^ ror(x, 17)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + y);          y = (unsigned<32>)(y ^ ror(x, 31)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + ror(y, 24)); y = (unsigned<32>)(y ^ ror(x, 16)); x = (unsigned<32>)(x ^ c);
+      return x;
+    }
+    unsigned<32> alzette_y(unsigned<32> x0, unsigned<32> y0, unsigned<32> c) {
+      unsigned<32> x = x0;
+      unsigned<32> y = y0;
+      x = (unsigned<32>)(x + ror(y, 31)); y = (unsigned<32>)(y ^ ror(x, 24)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + ror(y, 17)); y = (unsigned<32>)(y ^ ror(x, 17)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + y);          y = (unsigned<32>)(y ^ ror(x, 31)); x = (unsigned<32>)(x ^ c);
+      x = (unsigned<32>)(x + ror(y, 24)); y = (unsigned<32>)(y ^ ror(x, 16)); x = (unsigned<32>)(x ^ c);
+      return y;
+    }
+  }
+  instructions {
+    ALZ_X {
+      encoding: 7'd1 :: rs2[4:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0001011;
+      behavior: { if (rd != 0) X[rd] = alzette_x(X[rs1], X[rs2], 0xb7e15162); }
+    }
+    ALZ_Y {
+      encoding: 7'd2 :: rs2[4:0] :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b0001011;
+      behavior: { if (rd != 0) X[rd] = alzette_y(X[rs1], X[rs2], 0xb7e15162); }
+    }
+  }
+}
+|}
+
+(* Fix-point square root, 32 shift-subtract iterations (the paper's CORDIC
+   stand-in): computes floor(sqrt(x * 2^32)), i.e. a Q16.16 root. The
+   tightly-coupled variant runs inside the stalled pipeline... *)
+let sqrt_body =
+  {|
+        unsigned<64> v = X[rs1] :: 32'd0;
+        unsigned<32> q = 0;
+        unsigned<34> r = 0;
+        for (int i = 31; i >= 0; --i) {
+          r = (unsigned<34>)((r :: 2'd0) | v[2*i+1 : 2*i]);
+          unsigned<34> t = q :: 2'd1;
+          if (r >= t) {
+            r = (unsigned<34>)(r - t);
+            q = (unsigned<32>)(q :: 1'b1);
+          } else {
+            q = (unsigned<32>)(q :: 1'b0);
+          }
+        }
+|}
+
+let sqrt_tightly =
+  Printf.sprintf
+    {|
+import "RV32I.core_desc"
+
+InstructionSet X_SQRT_T extends RV32I {
+  instructions {
+    SQRT {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+%s
+        if (rd != 0) X[rd] = q;
+      }
+    }
+  }
+}
+|}
+    sqrt_body
+
+(* ... while the decoupled variant wraps the long-running part in a
+   spawn-block (Figure 4), letting independent instructions overtake. *)
+let sqrt_decoupled =
+  Printf.sprintf
+    {|
+import "RV32I.core_desc"
+
+InstructionSet X_SQRT_D extends RV32I {
+  instructions {
+    SQRT_D {
+      encoding: 12'd0 :: rs1[4:0] :: 3'b101 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> op = X[rs1];
+        spawn {
+%s
+          if (rd != 0) X[rd] = q;
+        }
+      }
+    }
+  }
+}
+|}
+    (* inside the spawn block the operand was latched into 'op' *)
+    (replace_all sqrt_body ~needle:"X[rs1]" ~by:"op")
+
+(* Figure 3: zero-overhead loop via custom registers and an always-block. *)
+let zol =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_ZOL extends RV32I {
+  architectural_state {
+    register unsigned<32> START_PC, END_PC, COUNT;
+  }
+  instructions {
+    setup_zol {
+      encoding: uimmL[11:0] :: uimmS[4:0] :: 3'b110 :: 5'b00000 :: 7'b0101011;
+      behavior: {
+        START_PC = (unsigned<32>)(PC + 4);
+        END_PC = (unsigned<32>)(PC + (uimmS :: 1'b0));
+        COUNT = uimmL;
+      }
+    }
+  }
+  always {
+    zol {
+      if (COUNT != 0 && END_PC == PC) {
+        PC = START_PC;
+        --COUNT;
+      }
+    }
+  }
+}
+|}
+
+(* Combination used in the Section 5.5 case study. *)
+let autoinc_zol =
+  {|
+import "X_AUTOINC.core_desc"
+import "X_ZOL.core_desc"
+
+Core AUTOINC_ZOL provides X_AUTOINC, X_ZOL {
+}
+|}

@@ -1,0 +1,18 @@
+(** The benchmark ISAXes of Table 3, as CoreDSL sources.
+
+   Each source imports the built-in RV32I base description and extends it.
+   The encodings use the RISC-V custom-0 (0001011) and custom-1 (0101011)
+   opcode spaces, with disjoint funct3 values so that any subset of ISAXes
+   can be combined into one core without encoding conflicts. *)
+
+val replace_all : string -> needle:string -> by:string -> string
+val dotprod : string
+val autoinc : string
+val ijmp : string
+val sbox : string
+val sparkle : string
+val sqrt_body : string
+val sqrt_tightly : string
+val sqrt_decoupled : string
+val zol : string
+val autoinc_zol : string

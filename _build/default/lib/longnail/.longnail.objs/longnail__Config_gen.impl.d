@@ -1,0 +1,1 @@
+lib/longnail/config_gen.ml: Bitvec Coredsl Hashtbl Hwgen List Printf Scaiev

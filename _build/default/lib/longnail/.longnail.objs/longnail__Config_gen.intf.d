@@ -1,0 +1,1 @@
+lib/longnail/config_gen.mli: Coredsl Hwgen Scaiev

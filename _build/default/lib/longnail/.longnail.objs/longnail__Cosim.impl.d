@@ -1,0 +1,1 @@
+lib/longnail/cosim.ml: Bitvec Flow Hwgen List Option Printf Rtl String

@@ -1,0 +1,1 @@
+lib/longnail/cosim.mli: Bitvec Flow

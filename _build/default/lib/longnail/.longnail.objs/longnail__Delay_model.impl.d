@@ -1,0 +1,1 @@
+lib/longnail/delay_model.ml:

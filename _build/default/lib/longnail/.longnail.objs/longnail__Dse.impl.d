@@ -1,0 +1,1 @@
+lib/longnail/dse.ml: Coredsl Delay_model Flow Hwgen List Printf Scaiev Sched_build

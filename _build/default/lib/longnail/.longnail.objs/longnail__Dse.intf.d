@@ -1,0 +1,1 @@
+lib/longnail/dse.mli: Coredsl Flow Scaiev Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/flow.ml: Config_gen Coredsl Delay_model Hwgen Ir Lazy List Option Printf Rtl Scaiev Sched Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/flow.mli: Coredsl Delay_model Hwgen Ir Scaiev Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/hwgen.ml: Bitvec Coredsl Format Hashtbl Ir Lazy List Option Printf Rtl Scaiev Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/hwgen.mli: Coredsl Format Hashtbl Ir Rtl Scaiev Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/sched_build.ml: Array Bitvec Delay_model Format Hashtbl Ir List Printf Scaiev Sched

@@ -1,0 +1,1 @@
+lib/longnail/sched_build.mli: Delay_model Format Hashtbl Ir Scaiev Sched

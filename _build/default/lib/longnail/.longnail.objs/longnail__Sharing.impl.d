@@ -1,0 +1,1 @@
+lib/longnail/sharing.ml: Bitvec Flow Hashtbl Ir List Option Scaiev Sched_build

@@ -1,0 +1,1 @@
+lib/longnail/sharing.mli: Flow

@@ -1,0 +1,57 @@
+(* Emission of the SCAIE-V configuration (Figures 8 and 9) from the
+   hardware-generation results. *)
+
+open Hwgen
+
+(* the Figure 8 representation of one interface use *)
+let entries_of_binding (b : iface_binding) : Scaiev.Config.sched_entry list =
+  match (b.ib_opname, b.ib_reg) with
+  | "lil.write_custreg", Some reg ->
+      (* WrCustReg splits into .addr and .data; SCAIE-V derives the hazard
+         window from the earliest write access to the addr port *)
+      [
+        { Scaiev.Config.se_iface = Printf.sprintf "Wr%s.addr" reg; se_stage = b.ib_stage; se_has_valid = false; se_mode = b.ib_mode };
+        { se_iface = Printf.sprintf "Wr%s.data" reg; se_stage = b.ib_stage; se_has_valid = b.ib_has_valid; se_mode = b.ib_mode };
+      ]
+  | _, Some reg when b.ib_opname = "lil.read_custreg" ->
+      [ { se_iface = "Rd" ^ reg; se_stage = b.ib_stage; se_has_valid = false; se_mode = b.ib_mode } ]
+  | _ ->
+      [
+        {
+          se_iface = b.ib_iface;
+          se_stage = b.ib_stage;
+          se_has_valid = b.ib_has_valid && b.ib_iface <> "RdMem";
+          se_mode = b.ib_mode;
+        };
+      ]
+
+let functionality_of ~name ~kind ~mask (hw : result) : Scaiev.Config.functionality =
+  {
+    Scaiev.Config.fn_name = name;
+    fn_kind = kind;
+    fn_mask = mask;
+    fn_entries = List.concat_map entries_of_binding hw.bindings;
+  }
+
+(* the custom registers requested from SCAIE-V: every non-constant,
+   non-standard register actually touched by some functionality *)
+let reg_requests (elab : Coredsl.Elaborate.elaborated) (hws : result list) :
+    Scaiev.Config.reg_req list =
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun hw ->
+      List.iter
+        (fun b -> match b.ib_reg with Some r -> Hashtbl.replace used r () | None -> ())
+        hw.bindings)
+    hws;
+  List.filter_map
+    (fun (r : Coredsl.Elaborate.reg) ->
+      if Hashtbl.mem used r.rname && not r.rconst && not r.is_pc then
+        Some
+          {
+            Scaiev.Config.cr_name = r.rname;
+            cr_width = r.rty.Bitvec.width;
+            cr_elems = r.elems;
+          }
+      else None)
+    elab.regs

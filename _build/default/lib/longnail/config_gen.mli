@@ -1,0 +1,12 @@
+(** Emission of the SCAIE-V configuration (Figures 8 and 9) from the
+   hardware-generation results. *)
+
+val entries_of_binding :
+  Hwgen.iface_binding -> Scaiev.Config.sched_entry list
+val functionality_of :
+  name:string ->
+  kind:[ `Always | `Instruction ] ->
+  mask:string -> Hwgen.result -> Scaiev.Config.functionality
+val reg_requests :
+  Coredsl.Elaborate.elaborated ->
+  Hwgen.result list -> Scaiev.Config.reg_req list

@@ -1,0 +1,14 @@
+(** Physical delay model for scheduling.
+
+   The paper currently assumes uniform delays ("we plan to leverage an
+   actual target-specific technology library in the future"); we use a
+   slightly richer width-aware linear model calibrated against typical
+   22nm standard-cell data so that chaining produces realistic pipeline
+   depths (e.g. the 32-iteration sqrt spans about 10 stages, Section 5.4).
+   All delays in nanoseconds. *)
+
+type t = { op_delay : string -> int -> float; }
+val default_op_delay : string -> int -> float
+val physical : t
+val uniform : float -> t
+val default : t

@@ -1,0 +1,108 @@
+(* Automated design-space exploration (the Section 7 outlook feature).
+
+   Area minimization and performance metrics conflict, so for one ISAX on
+   one core we sweep the knobs Longnail exposes —
+   - the scheduler (lifetime-minimizing ILP vs. plain ASAP),
+   - the target cycle time handed to chain breaking (scheduling for a
+     slower clock packs stages fuller: fewer pipeline registers, lower
+     fmax; scheduling for a faster clock spreads the logic),
+   - the scheduling delay model (the paper's uniform delays vs. the
+     physical width-aware model),
+   and report the Pareto-optimal trade-off points over (area, frequency,
+   instruction latency). *)
+
+type point = {
+  dp_label : string;
+  dp_scheduler : Sched_build.scheduler;
+  dp_cycle_factor : float;  (* multiplier on the core's base period *)
+  dp_physical : bool;
+  dp_area_pct : float;
+  dp_freq_mhz : float;
+  dp_latency : int;  (* last interface stage = instruction latency proxy *)
+  dp_pipe_bits : int;
+  dp_pareto : bool;
+}
+
+(* p dominates q if no worse on all axes and better on one *)
+let dominates p q =
+  p.dp_area_pct <= q.dp_area_pct
+  && p.dp_freq_mhz >= q.dp_freq_mhz
+  && p.dp_latency <= q.dp_latency
+  && (p.dp_area_pct < q.dp_area_pct || p.dp_freq_mhz > q.dp_freq_mhz
+    || p.dp_latency < q.dp_latency)
+
+let mark_pareto points =
+  List.map
+    (fun p -> { p with dp_pareto = not (List.exists (fun q -> dominates q p) points) })
+    points
+
+(* [measure] converts a compile into (area %, fmax); injected so that the
+   asic library (which depends on this one) can supply the real flow. *)
+let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ])
+    ~(measure : Flow.compiled -> float * float) (core : Scaiev.Datasheet.t)
+    (tu : Coredsl.Tast.tunit) : point list =
+  let base_ct = Scaiev.Datasheet.cycle_time_ns core in
+  let configs =
+    List.concat_map
+      (fun factor ->
+        List.concat_map
+          (fun scheduler ->
+            List.map (fun physical -> (factor, scheduler, physical)) [ false; true ])
+          [ Sched_build.Ilp; Sched_build.Asap ])
+      cycle_factors
+  in
+  let points =
+    List.filter_map
+      (fun (factor, scheduler, physical) ->
+        let cycle_time = base_ct *. factor in
+        let delay_model =
+          if physical then Some Delay_model.physical
+          else Some (Delay_model.uniform (cycle_time /. 14.0))
+        in
+        match Flow.compile ~scheduler ?delay_model ~cycle_time core tu with
+        | exception _ -> None
+        | c ->
+            let area_pct, freq = measure c in
+            let latency =
+              List.fold_left
+                (fun acc (f : Flow.compiled_functionality) -> max acc f.cf_hw.Hwgen.max_stage)
+                0 c.funcs
+            in
+            let pipe_bits =
+              List.fold_left
+                (fun acc (f : Flow.compiled_functionality) -> acc + f.cf_hw.Hwgen.pipe_reg_bits)
+                0 c.funcs
+            in
+            Some
+              {
+                dp_label =
+                  Printf.sprintf "%s/ct*%.2f/%s"
+                    (match scheduler with Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap")
+                    factor
+                    (if physical then "phys" else "unif");
+                dp_scheduler = scheduler;
+                dp_cycle_factor = factor;
+                dp_physical = physical;
+                dp_area_pct = area_pct;
+                dp_freq_mhz = freq;
+                dp_latency = latency;
+                dp_pipe_bits = pipe_bits;
+                dp_pareto = false;
+              })
+      configs
+  in
+  (* deduplicate identical outcomes to keep the report readable *)
+  let distinct =
+    List.fold_left
+      (fun acc p ->
+        if
+          List.exists
+            (fun q ->
+              q.dp_area_pct = p.dp_area_pct && q.dp_freq_mhz = p.dp_freq_mhz
+              && q.dp_latency = p.dp_latency)
+            acc
+        then acc
+        else p :: acc)
+      [] points
+  in
+  mark_pareto (List.rev distinct)

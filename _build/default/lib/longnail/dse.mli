@@ -1,0 +1,30 @@
+(** Automated design-space exploration (the Section 7 outlook feature).
+
+   Area minimization and performance metrics conflict, so for one ISAX on
+   one core we sweep the knobs Longnail exposes —
+   - the scheduler (lifetime-minimizing ILP vs. plain ASAP),
+   - the target cycle time handed to chain breaking (scheduling for a
+     slower clock packs stages fuller: fewer pipeline registers, lower
+     fmax; scheduling for a faster clock spreads the logic),
+   - the scheduling delay model (the paper's uniform delays vs. the
+     physical width-aware model),
+   and report the Pareto-optimal trade-off points over (area, frequency,
+   instruction latency). *)
+
+type point = {
+  dp_label : string;
+  dp_scheduler : Sched_build.scheduler;
+  dp_cycle_factor : float;
+  dp_physical : bool;
+  dp_area_pct : float;
+  dp_freq_mhz : float;
+  dp_latency : int;
+  dp_pipe_bits : int;
+  dp_pareto : bool;
+}
+val dominates : point -> point -> bool
+val mark_pareto : point list -> point list
+val explore :
+  ?cycle_factors:float list ->
+  measure:(Flow.compiled -> float * float) ->
+  Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> point list

@@ -1,0 +1,85 @@
+(** The end-to-end Longnail flow (Figure 9 of the paper):
+
+    {v
+    CoreDSL source
+      -> typed AST                     (lib/coredsl)
+      -> high-level IR, Figure 5b      (Ir.Hlir)
+      -> lil CDFG, Figure 5c           (Ir.Lil + Ir.Passes)
+      -> LongnailProblem + schedule    (Sched_build, against the core's
+                                        virtual datasheet)
+      -> RTL + SystemVerilog, Fig 5d   (Hwgen, Rtl.Sv_emit)
+      -> SCAIE-V configuration, Fig 8  (Config_gen)
+    v}
+
+    Only the ISAX instructions (those not part of the RV32I base set) and
+    always-blocks are synthesized; base instructions are implemented by
+    the host core itself. *)
+
+(** Raised when a functionality cannot be scheduled for the target core. *)
+exception Flow_error of string
+
+(** One compiled functionality: a custom instruction or an always-block,
+    with every intermediate artifact retained for inspection. *)
+type compiled_functionality = {
+  cf_name : string;
+  cf_kind : [ `Always | `Instruction ];
+  cf_hlir : Ir.Mir.graph;  (** the Figure 5b coredsl+hwarith form *)
+  cf_lil : Ir.Mir.graph;  (** the optimized Figure 5c CDFG *)
+  cf_built : Sched_build.built;  (** the solved LongnailProblem *)
+  cf_hw : Hwgen.result;  (** netlist + SCAIE-V port bindings *)
+  cf_sv : string;  (** emitted SystemVerilog *)
+  cf_mode : Scaiev.Config.mode;  (** dominant execution mode (Section 3.2) *)
+}
+
+(** A whole ISAX compiled for one host core. *)
+type compiled = {
+  core : Scaiev.Datasheet.t;
+  unit_ : Coredsl.Tast.tunit;
+  funcs : compiled_functionality list;
+  config : Scaiev.Config.t;  (** the SCAIE-V configuration (Figure 8) *)
+  config_yaml : string;  (** the same, rendered in the YAML exchange format *)
+  adapter : Scaiev.Generator.adapter;  (** SCAIE-V's integration plan *)
+}
+
+(** Names of the built-in RV32I base instructions (not ISAXes). *)
+val base_instr_names : string list lazy_t
+
+val is_isax_instruction : Coredsl.Tast.tinstr -> bool
+
+(** The strongest mode used by any interface binding of a functionality:
+    decoupled > tightly-coupled > in-pipeline. *)
+val dominant_mode : Hwgen.result -> kind:[> `Always ] -> Scaiev.Config.mode
+
+(** The paper schedules with uniform operator delays; the default model
+    charges one fourteenth of the target clock period per logic operator
+    (wiring is free), reproducing the reported ~10-stage sqrt. *)
+val default_delay_model : Scaiev.Datasheet.t -> float option -> Delay_model.t
+
+(** Compile a single instruction or always-block. [cycle_time] defaults to
+    the core's base clock period; [delay_model] to {!default_delay_model}.
+    Raises {!Flow_error} when scheduling is infeasible. *)
+val compile_functionality :
+  Scaiev.Datasheet.t ->
+  Coredsl.Tast.tunit ->
+  ?scheduler:Sched_build.scheduler ->
+  ?delay_model:Delay_model.t ->
+  ?cycle_time:float ->
+  [ `Always of Coredsl.Tast.talways | `Instr of Coredsl.Tast.tinstr ] ->
+  compiled_functionality
+
+(** The Figure 8 bit-pattern string of an instruction's encoding. *)
+val mask_of : Coredsl.Tast.tinstr -> string
+
+(** Compile every ISAX functionality of a typed unit for one host core and
+    produce the integration artifacts. [hazard_handling:false] drops the
+    decoupled-mode scoreboard (the Table 4 ablation row). *)
+val compile :
+  ?scheduler:Sched_build.scheduler ->
+  ?delay_model:Delay_model.t ->
+  ?cycle_time:float ->
+  ?hazard_handling:bool ->
+  Scaiev.Datasheet.t ->
+  Coredsl.Tast.tunit ->
+  compiled
+
+val find_func : compiled -> string -> compiled_functionality option

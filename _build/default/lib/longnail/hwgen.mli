@@ -1,0 +1,42 @@
+(** Hardware generation from a scheduled lil graph (Section 4.5).
+
+   Each graph becomes one RTL module whose interface operations turn into
+   input/output ports carrying the stage number in which they are active
+   (matching Figure 5d, e.g. [instr_word_2], [res_3_data]). Stallable
+   pipeline registers are inserted wherever a value crosses a stage
+   boundary; the registers feeding stage s+1 are gated by [stall_in_s].
+   Longnail does not generate a controller: SCAIE-V's logic tracks the
+   progress of the custom instruction and commits results (Section 4.5). *)
+
+exception Hwgen_error of string
+val hw_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** One SCAIE-V port binding of a generated module: which sub-interface,
+    in which stage, in which execution mode, and the module port names by
+    role ("data", "valid", "addr"). *)
+type iface_binding = {
+  ib_opname : string;  (** the lil op name, e.g. "lil.read_rs1" *)
+  ib_iface : string;  (** SCAIE-V sub-interface name, e.g. "RdRS1" *)
+  ib_reg : string option;  (** custom register, if any *)
+  ib_stage : int;  (** scheduled stage *)
+  ib_mode : Scaiev.Config.mode;
+  ib_has_valid : bool;
+  ib_ports : (string * string) list;  (** role -> port name *)
+}
+
+(** A generated hardware module with its interface bindings. *)
+type result = {
+  netlist : Rtl.Netlist.t;
+  bindings : iface_binding list;
+  max_stage : int;  (** last stage any interface is active in *)
+  pipe_reg_bits : int;  (** bits of stallable pipeline registers inserted *)
+}
+val select_mode :
+  Scaiev.Datasheet.t ->
+  always:bool -> Ir.Mir.op -> iface:string -> t:int -> Scaiev.Config.mode
+val effective_stages :
+  Sched_build.built -> Ir.Mir.graph -> (int, int) Hashtbl.t
+val generate :
+  Scaiev.Datasheet.t ->
+  Coredsl.Elaborate.elaborated ->
+  Sched_build.built -> Ir.Mir.graph -> result

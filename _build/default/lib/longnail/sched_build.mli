@@ -1,0 +1,31 @@
+(** Construction of the LongnailProblem (Section 4.2) from a lil graph and a
+   SCAIE-V virtual datasheet.
+
+   - every lil/comb operation becomes a scheduling operation;
+   - SSA def-use edges become dependences;
+   - SCAIE-V sub-interface operations get operator types whose
+     earliest/latest windows come from the datasheet; WrRD/RdMem/WrMem get
+     latest = infinity so that the tightly-coupled/decoupled variants are
+     reachable (Section 4.2);
+   - for always-blocks, every interface constraint is stage 0 and solving
+     merely checks single-cycle feasibility (Section 4.4). *)
+
+exception Build_error of string
+val build_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+type built = {
+  problem : Sched.Problem.t;
+  index_of_op : (int, int) Hashtbl.t;
+  ops_by_index : Ir.Mir.op array;
+}
+val result_width : Ir.Mir.op -> int
+val operator_type_for :
+  Scaiev.Datasheet.t ->
+  Delay_model.t ->
+  always:bool -> Ir.Mir.op -> Sched.Problem.operator_type
+val build :
+  Scaiev.Datasheet.t ->
+  ?delay_model:Delay_model.t ->
+  ?cycle_time:float -> Ir.Mir.graph -> built
+type scheduler = Ilp | Asap
+val schedule : ?scheduler:scheduler -> built -> bool
+val start_time : built -> Ir.Mir.op -> int

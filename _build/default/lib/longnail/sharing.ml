@@ -1,0 +1,131 @@
+(* Resource-sharing opportunity analysis (Section 7 outlook).
+
+   Longnail currently builds fully spatial data paths ("allocation and
+   binding are trivial", Section 4.2); the paper's planned extension shares
+   operators within an instruction and across instruction boundaries. This
+   module implements the *analysis* half: it identifies which expensive
+   operators could be time-multiplexed and estimates the area saving, so
+   the sharing bench can quantify the opportunity on the benchmark ISAXes.
+
+   Sharing is only legal where two operations can never be active in the
+   same cycle with different data:
+   - within one functionality, operations of the same kind and width in
+     different stages can share a unit if the module's initiation interval
+     is greater than one - true for tightly-coupled modules (the core
+     stalls, so only one instruction is in flight) and decoupled modules
+     with a busy scoreboard, but not for in-pipeline modules;
+   - across functionalities, same-kind/width/stage operations in different
+     instructions can share because the decoder dispatches one custom
+     instruction per cycle per stage. *)
+
+type opportunity = {
+  sh_op : string;  (* operator kind, e.g. "comb.mul" *)
+  sh_width : int;
+  sh_count : int;  (* instances found *)
+  sh_shareable : int;  (* instances that could be eliminated *)
+  sh_saved_area_um2 : float;  (* net of the multiplexers a binder would add *)
+  sh_scope : [ `Within of string | `Across of string * string ];
+}
+
+(* operators worth sharing, with per-bit area and the per-bit mux cost a
+   shared binding adds on each input *)
+let shareable_area = function
+  | "comb.mul" -> Some (fun w -> 0.35 *. float_of_int (w * w))
+  | "comb.divu" | "comb.divs" | "comb.modu" | "comb.mods" ->
+      Some (fun w -> 1.0 *. float_of_int (w * w))
+  | "comb.add" | "comb.sub" -> Some (fun w -> 1.0 *. float_of_int w)
+  | _ -> None
+
+let mux_cost_per_input w = 0.35 *. float_of_int w *. 2.0 (* two operand muxes *)
+
+(* ops of one functionality grouped by (kind, width, stage) / (kind, width) *)
+let op_instances (f : Flow.compiled_functionality) =
+  List.filter_map
+    (fun (op : Ir.Mir.op) ->
+      match (shareable_area op.opname, op.results) with
+      | Some _, r :: _ ->
+          Some (op.opname, r.vty.Bitvec.width, Sched_build.start_time f.cf_built op)
+      | _ -> None)
+    f.cf_lil.Ir.Mir.body
+
+let group_by key xs =
+  let t = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      Hashtbl.replace t k (x :: Option.value ~default:[] (Hashtbl.find_opt t k)))
+    xs;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+
+(* sharing within one functionality: only meaningful when the module does
+   not accept a new instruction every cycle *)
+let within (f : Flow.compiled_functionality) : opportunity list =
+  let sequential =
+    match f.cf_mode with
+    | Scaiev.Config.Tightly_coupled | Scaiev.Config.Decoupled -> true
+    | Scaiev.Config.In_pipeline | Scaiev.Config.Always_mode -> false
+  in
+  if not sequential then []
+  else
+    group_by (fun (op, w, _) -> (op, w)) (op_instances f)
+    |> List.filter_map (fun ((op, w), instances) ->
+           (* instances in distinct stages can take turns on one unit *)
+           let stages = List.sort_uniq compare (List.map (fun (_, _, s) -> s) instances) in
+           let n = List.length instances in
+           let distinct = List.length stages in
+           if distinct < 2 then None
+           else begin
+             let area = Option.get (shareable_area op) w in
+             let eliminated = distinct - 1 in
+             let saved =
+               (float_of_int eliminated *. area) -. (mux_cost_per_input w *. float_of_int distinct)
+             in
+             if saved <= 0.0 then None
+             else
+               Some
+                 {
+                   sh_op = op;
+                   sh_width = w;
+                   sh_count = n;
+                   sh_shareable = eliminated;
+                   sh_saved_area_um2 = saved;
+                   sh_scope = `Within f.cf_name;
+                 }
+           end)
+
+(* sharing across two functionalities: same kind/width/stage pairs *)
+let across (f1 : Flow.compiled_functionality) (f2 : Flow.compiled_functionality) :
+    opportunity list =
+  let i2 = op_instances f2 in
+  group_by (fun (op, w, s) -> (op, w, s)) (op_instances f1)
+  |> List.filter_map (fun ((op, w, s), insts1) ->
+         let n2 = List.length (List.filter (fun x -> x = (op, w, s)) i2) in
+         let pairs = min (List.length insts1) n2 in
+         if pairs = 0 then None
+         else begin
+           let area = Option.get (shareable_area op) w in
+           let saved = float_of_int pairs *. (area -. mux_cost_per_input w) in
+           if saved <= 0.0 then None
+           else
+             Some
+               {
+                 sh_op = op;
+                 sh_width = w;
+                 sh_count = List.length insts1 + n2;
+                 sh_shareable = pairs;
+                 sh_saved_area_um2 = saved;
+                 sh_scope = `Across (f1.cf_name, f2.cf_name);
+               }
+         end)
+
+(* all opportunities in a compiled unit *)
+let analyze (c : Flow.compiled) : opportunity list =
+  let instrs = List.filter (fun f -> f.Flow.cf_kind = `Instruction) c.funcs in
+  let rec pairs = function
+    | [] -> []
+    | f :: rest -> List.map (fun g -> (f, g)) rest @ pairs rest
+  in
+  List.concat_map within instrs @ List.concat_map (fun (a, b) -> across a b) (pairs instrs)
+
+let total_saving opportunities =
+  List.fold_left (fun acc o -> acc +. o.sh_saved_area_um2) 0.0 opportunities

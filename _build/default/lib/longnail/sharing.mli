@@ -1,0 +1,39 @@
+(** Resource-sharing opportunity analysis (Section 7 outlook).
+
+   Longnail currently builds fully spatial data paths ("allocation and
+   binding are trivial", Section 4.2); the paper's planned extension shares
+   operators within an instruction and across instruction boundaries. This
+   module implements the *analysis* half: it identifies which expensive
+   operators could be time-multiplexed and estimates the area saving, so
+   the sharing bench can quantify the opportunity on the benchmark ISAXes.
+
+   Sharing is only legal where two operations can never be active in the
+   same cycle with different data:
+   - within one functionality, operations of the same kind and width in
+     different stages can share a unit if the module's initiation interval
+     is greater than one - true for tightly-coupled modules (the core
+     stalls, so only one instruction is in flight) and decoupled modules
+     with a busy scoreboard, but not for in-pipeline modules;
+   - across functionalities, same-kind/width/stage operations in different
+     instructions can share because the decoder dispatches one custom
+     instruction per cycle per stage. *)
+
+type opportunity = {
+  sh_op : string;
+  sh_width : int;
+  sh_count : int;
+  sh_shareable : int;
+  sh_saved_area_um2 : float;
+  sh_scope : [ `Across of string * string | `Within of string ];
+}
+val shareable_area : string -> (int -> float) option
+val mux_cost_per_input : int -> float
+val op_instances :
+  Flow.compiled_functionality -> (string * int * int) list
+val group_by : ('a -> 'b) -> 'a list -> ('b * 'a list) list
+val within : Flow.compiled_functionality -> opportunity list
+val across :
+  Flow.compiled_functionality ->
+  Flow.compiled_functionality -> opportunity list
+val analyze : Flow.compiled -> opportunity list
+val total_saving : opportunity list -> float

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Array Buffer Difference List Netopt Option Printf Rat Simplex

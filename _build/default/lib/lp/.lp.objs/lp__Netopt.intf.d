@@ -1,0 +1,1 @@
+lib/lp/netopt.mli:

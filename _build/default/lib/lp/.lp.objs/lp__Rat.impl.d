@@ -1,0 +1,1 @@
+lib/lp/rat.ml: Bitvec Format Printf

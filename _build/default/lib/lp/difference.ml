@@ -1,0 +1,56 @@
+(* Solver for systems of difference constraints.
+
+   The precedence part of the Longnail scheduling problem (constraints C1,
+   C3, C5 in Figure 7 of the paper) is a system of constraints of the form
+   x_j - x_i >= w plus per-variable bounds. Such systems admit a
+   componentwise-minimal solution computed by longest paths from a virtual
+   source (Bellman-Ford), which also minimizes the sum of start times. This
+   is used as the fast scheduling path and as an ablation baseline against
+   the full ILP. *)
+
+type edge = { src : int; dst : int; weight : int }  (* x_dst - x_src >= weight *)
+
+type t = {
+  nvars : int;
+  mutable edges : edge list;
+  lower : int array;
+  upper : int option array;
+}
+
+let create nvars =
+  { nvars; edges = []; lower = Array.make nvars 0; upper = Array.make nvars None }
+
+let add_ge t ~src ~dst ~weight = t.edges <- { src; dst; weight } :: t.edges
+let set_lower t v lo = t.lower.(v) <- max t.lower.(v) lo
+
+let set_upper t v hi =
+  t.upper.(v) <- (match t.upper.(v) with None -> Some hi | Some h -> Some (min h hi))
+
+(* Longest path relaxation. Returns the componentwise-minimal feasible
+   assignment, or [None] if the system is infeasible (positive cycle or an
+   upper bound violated). *)
+let solve t =
+  let dist = Array.copy t.lower in
+  let changed = ref true and rounds = ref 0 in
+  let feasible = ref true in
+  while !changed && !feasible do
+    changed := false;
+    incr rounds;
+    if !rounds > t.nvars + 1 then feasible := false
+    else
+      List.iter
+        (fun { src; dst; weight } ->
+          if dist.(src) + weight > dist.(dst) then begin
+            dist.(dst) <- dist.(src) + weight;
+            changed := true
+          end)
+        t.edges
+  done;
+  if not !feasible then None
+  else begin
+    let ok = ref true in
+    Array.iteri
+      (fun v d -> match t.upper.(v) with Some hi when d > hi -> ok := false | _ -> ())
+      dist;
+    if !ok then Some dist else None
+  end

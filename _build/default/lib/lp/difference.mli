@@ -1,0 +1,22 @@
+(** Solver for systems of difference constraints.
+
+   The precedence part of the Longnail scheduling problem (constraints C1,
+   C3, C5 in Figure 7 of the paper) is a system of constraints of the form
+   x_j - x_i >= w plus per-variable bounds. Such systems admit a
+   componentwise-minimal solution computed by longest paths from a virtual
+   source (Bellman-Ford), which also minimizes the sum of start times. This
+   is used as the fast scheduling path and as an ablation baseline against
+   the full ILP. *)
+
+type edge = { src : int; dst : int; weight : int; }
+type t = {
+  nvars : int;
+  mutable edges : edge list;
+  lower : int array;
+  upper : int option array;
+}
+val create : int -> t
+val add_ge : t -> src:int -> dst:int -> weight:int -> unit
+val set_lower : t -> int -> int -> unit
+val set_upper : t -> int -> int -> unit
+val solve : t -> int array option

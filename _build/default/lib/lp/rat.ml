@@ -1,0 +1,64 @@
+(* Exact rational numbers over the arbitrary-precision integers of
+   {!Bitvec.Bn}. Used by the simplex solver, where floating point would
+   accumulate pivoting error and exact pivots guarantee termination with
+   Bland's rule. Invariant: [den > 0] and [gcd(num, den) = 1]. *)
+
+module Bn = Bitvec.Bn
+
+type t = { num : Bn.t; den : Bn.t }
+
+let make num den =
+  if Bn.is_zero den then invalid_arg "Rat.make: zero denominator";
+  let num, den = if Bn.compare den Bn.zero < 0 then (Bn.neg num, Bn.neg den) else (num, den) in
+  let g = Bn.gcd num den in
+  if Bn.is_zero g then { num = Bn.zero; den = Bn.one }
+  else { num = fst (Bn.divmod num g); den = fst (Bn.divmod den g) }
+
+let of_bn n = { num = n; den = Bn.one }
+let of_int i = of_bn (Bn.of_int i)
+let of_ints a b = make (Bn.of_int a) (Bn.of_int b)
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let is_zero x = Bn.is_zero x.num
+let sign x = Bn.compare x.num Bn.zero
+
+let add a b = make (Bn.add (Bn.mul a.num b.den) (Bn.mul b.num a.den)) (Bn.mul a.den b.den)
+let sub a b = make (Bn.sub (Bn.mul a.num b.den) (Bn.mul b.num a.den)) (Bn.mul a.den b.den)
+let mul a b = make (Bn.mul a.num b.num) (Bn.mul a.den b.den)
+
+let div a b =
+  if is_zero b then raise Division_by_zero;
+  make (Bn.mul a.num b.den) (Bn.mul a.den b.num)
+
+let neg a = { a with num = Bn.neg a.num }
+let inv a = div one a
+
+let compare a b = Bn.compare (Bn.mul a.num b.den) (Bn.mul b.num a.den)
+let equal a b = compare a b = 0
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let min a b = if le a b then a else b
+let max a b = if le a b then b else a
+
+let is_integer x = Bn.equal x.den Bn.one
+
+(* floor(x) as an integer. *)
+let floor x =
+  let q, r = Bn.divmod x.num x.den in
+  if Bn.is_zero r || Bn.compare x.num Bn.zero >= 0 then q else Bn.sub q Bn.one
+
+let ceil x = Bn.neg (floor (neg x))
+
+let to_float x = Bn.to_float x.num /. Bn.to_float x.den
+
+let to_int_exn x =
+  if not (is_integer x) then failwith "Rat.to_int_exn: not an integer";
+  Bn.to_int_exn x.num
+
+let to_string x =
+  if is_integer x then Bn.to_string x.num
+  else Printf.sprintf "%s/%s" (Bn.to_string x.num) (Bn.to_string x.den)
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

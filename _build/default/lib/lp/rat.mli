@@ -1,0 +1,35 @@
+(** Exact rational numbers over the arbitrary-precision integers of
+   {!Bitvec.Bn}. Used by the simplex solver, where floating point would
+   accumulate pivoting error and exact pivots guarantee termination with
+   Bland's rule. Invariant: [den > 0] and [gcd(num, den) = 1]. *)
+
+module Bn = Bitvec.Bn
+type t = { num : Bn.t; den : Bn.t; }
+val make : Bn.t -> Bn.t -> t
+val of_bn : Bn.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+val zero : t
+val one : t
+val minus_one : t
+val is_zero : t -> bool
+val sign : t -> int
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val inv : t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val is_integer : t -> bool
+val floor : t -> Bn.t
+val ceil : t -> Bn.t
+val to_float : t -> float
+val to_int_exn : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Exact two-phase primal simplex over rationals.
+
+   Dense tableau implementation with Bland's anti-cycling rule, which
+   together with exact {!Rat} arithmetic guarantees termination. Problems
+   produced by the Longnail scheduler have tens of variables, so the O(m*n)
+   pricing per iteration is irrelevant.
+
+   The solver works on the standard form: minimize c.x subject to the given
+   rows, with all structural variables constrained to x >= 0. General bounds
+   and integrality live one layer up, in {!Lp}. *)
+
+type rel = Le | Ge | Eq
+type outcome =
+    Optimal of Rat.t array * Rat.t
+  | Infeasible
+  | Unbounded
+type tableau = {
+  rows : Rat.t array array;
+  rhs : Rat.t array;
+  basis : int array;
+  ncols : int;
+  nstruct : int;
+  art_start : int;
+}
+val reduced_costs : tableau -> Rat.t array -> Rat.t array
+val objective_value : tableau -> Rat.t array -> Rat.t
+val pivot : tableau -> row:int -> col:int -> unit
+val iterate : tableau -> Rat.t array -> banned:(int -> bool) -> bool
+val solve :
+  obj:Rat.t array ->
+  rows:(Rat.t array * rel * Rat.t) list -> outcome

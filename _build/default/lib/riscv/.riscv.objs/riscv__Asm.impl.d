@@ -1,0 +1,1 @@
+lib/riscv/asm.ml: Format Hashtbl List String

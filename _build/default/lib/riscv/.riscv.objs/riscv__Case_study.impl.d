@@ -1,0 +1,1 @@
+lib/riscv/case_study.ml: Asm Coredsl Longnail Machine Printf

@@ -1,0 +1,1 @@
+lib/riscv/case_study.mli: Longnail Machine

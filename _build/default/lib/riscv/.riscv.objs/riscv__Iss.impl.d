@@ -1,0 +1,1 @@
+lib/riscv/iss.ml: Array Hashtbl Option

@@ -1,0 +1,1 @@
+lib/riscv/machine.ml: Array Asm Bitvec Coredsl List Longnail Printf Scaiev

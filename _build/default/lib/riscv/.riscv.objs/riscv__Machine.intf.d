@@ -1,0 +1,1 @@
+lib/riscv/machine.mli: Asm Bitvec Coredsl Longnail Scaiev

@@ -1,0 +1,1 @@
+lib/riscv/pipeline.ml: Array Bitvec Coredsl Iss List Longnail Option Rtl Scaiev String

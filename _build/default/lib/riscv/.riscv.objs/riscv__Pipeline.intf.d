@@ -1,0 +1,1 @@
+lib/riscv/pipeline.mli: Bitvec Coredsl Longnail Rtl

@@ -1,0 +1,1 @@
+lib/riscv/rtl_loop.ml: Array Bitvec Coredsl List Longnail Option Printf

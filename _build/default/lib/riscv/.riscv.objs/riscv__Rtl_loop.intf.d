@@ -1,0 +1,1 @@
+lib/riscv/rtl_loop.mli: Bitvec Coredsl Longnail

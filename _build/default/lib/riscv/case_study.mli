@@ -1,0 +1,13 @@
+(** The Section 5.5 case study: summing an n-element integer array held in
+   memory, on the VexRiscv model, with and without the autoinc + zol
+   ISAXes. The paper reports 18n + 50 cycles for the baseline and
+   11n + 50 with the ISAXes (>60% speedup at 16% area). *)
+
+val baseline_program : int -> string
+val isax_program : int -> string
+type run_result = { cycles : int; checksum : int; instret : int; }
+val fill_array : Machine.t -> int -> unit
+val expected_sum : int -> int
+val run_baseline : n:int -> run_result
+val run_isax : n:int -> Longnail.Flow.compiled -> run_result
+val fit : int * int -> int * int -> int * int

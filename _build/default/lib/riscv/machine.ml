@@ -1,0 +1,208 @@
+(* Cycle-level machine models of the four host cores.
+
+   Architectural state and instruction semantics come from the CoreDSL
+   reference interpreter (so the very same typed behaviors drive both the
+   HLS flow and the simulation); on top sits a per-core timing model:
+   single-issue in-order execution with memory wait states, branch
+   redirect penalties, FSM sequencing for PicoRV32, and the ISAX execution
+   modes of Section 3.2 (tightly-coupled stalls, decoupled background
+   execution with scoreboard stalls, zero-overhead always-block PC
+   redirects). This is the substrate for the Section 5.5 case study. *)
+
+module Interp = Coredsl.Interp
+module Tast = Coredsl.Tast
+
+exception Machine_error of string
+
+type timing = {
+  t_core : string;
+  fsm_base : int;  (* base cycles per instruction (1 for pipelined cores) *)
+  mem_wait : int;  (* extra cycles for a memory access *)
+  branch_penalty : int;  (* extra cycles when the PC is redirected *)
+  decoupled_issue_stall : int;  (* Section 3.2: one bubble at issue *)
+}
+
+(* Timing presets for the evaluation cores. The VexRiscv numbers reproduce
+   the Section 5.5 cycle counts (18n+50 baseline, 11n+50 with ISAXes). *)
+let vexriscv_timing =
+  { t_core = "VexRiscv"; fsm_base = 1; mem_wait = 9; branch_penalty = 4; decoupled_issue_stall = 1 }
+
+let orca_timing =
+  { t_core = "ORCA"; fsm_base = 1; mem_wait = 9; branch_penalty = 4; decoupled_issue_stall = 1 }
+
+let piccolo_timing =
+  { t_core = "Piccolo"; fsm_base = 1; mem_wait = 9; branch_penalty = 2; decoupled_issue_stall = 1 }
+
+let picorv32_timing =
+  { t_core = "PicoRV32"; fsm_base = 3; mem_wait = 4; branch_penalty = 2; decoupled_issue_stall = 1 }
+
+let timing_for (core : Scaiev.Datasheet.t) =
+  match core.core_name with
+  | "VexRiscv" -> vexriscv_timing
+  | "ORCA" -> orca_timing
+  | "Piccolo" -> piccolo_timing
+  | "PicoRV32" -> picorv32_timing
+  | n -> raise (Machine_error ("no timing preset for core " ^ n))
+
+(* per-ISAX-instruction timing info, derived from a Longnail compile *)
+type isax_timing = {
+  it_mode : Scaiev.Config.mode;
+  it_extra_stall : int;  (* tightly-coupled: cycles the pipeline stalls *)
+  it_result_latency : int;  (* decoupled: cycles until the result commits *)
+  it_uses_mem : bool;
+  it_writes_rd : bool;
+}
+
+let isax_timing_of (c : Longnail.Flow.compiled) : (string * isax_timing) list =
+  let wb = c.core.writeback_stage in
+  List.filter_map
+    (fun (f : Longnail.Flow.compiled_functionality) ->
+      if f.cf_kind <> `Instruction then None
+      else begin
+        let bindings = f.cf_hw.Longnail.Hwgen.bindings in
+        let uses_mem =
+          List.exists (fun b -> b.Longnail.Hwgen.ib_iface = "RdMem" || b.Longnail.Hwgen.ib_iface = "WrMem") bindings
+        in
+        let writes_rd = List.exists (fun b -> b.Longnail.Hwgen.ib_iface = "WrRD") bindings in
+        let max_stage = f.cf_hw.Longnail.Hwgen.max_stage in
+        Some
+          ( f.cf_name,
+            {
+              it_mode = f.cf_mode;
+              it_extra_stall = max 0 (max_stage - wb);
+              it_result_latency = max 1 (max_stage - c.core.operand_stage);
+              it_uses_mem = uses_mem;
+              it_writes_rd = writes_rd;
+            } )
+      end)
+    c.funcs
+
+type t = {
+  tu : Tast.tunit;
+  st : Interp.state;
+  timing : timing;
+  isax : (string * isax_timing) list;
+  mutable cycles : int;
+  mutable instret : int;
+  mutable halted : bool;
+  (* decoupled scoreboard: GPR index -> cycle at which the value commits *)
+  pending : int array;
+}
+
+let create ?(isax = []) ~(timing : timing) (tu : Tast.tunit) =
+  {
+    tu;
+    st = Interp.create tu;
+    timing;
+    isax;
+    cycles = 0;
+    instret = 0;
+    halted = false;
+    pending = Array.make 32 0;
+  }
+
+(* build a machine for a core using a Longnail compile for ISAX timing *)
+let of_compiled (c : Longnail.Flow.compiled) =
+  create ~isax:(isax_timing_of c) ~timing:(timing_for c.core) c.unit_
+
+let read_pc m = Bitvec.to_int (Interp.read_reg m.st "PC")
+let write_pc m v = (Interp.reg_array m.st "PC").(0) <- Bitvec.of_int (Bitvec.unsigned_ty 32) v
+let read_gpr m i = Bitvec.to_int (Interp.read_regfile m.st "X" i)
+let write_gpr m i v = (Interp.reg_array m.st "X").(i) <- Bitvec.of_int (Bitvec.unsigned_ty 32) v
+
+(* load a program (list of 32-bit words) at [base] *)
+let load_program m ?(base = 0) words =
+  List.iteri
+    (fun i w -> Interp.write_mem m.st "MEM" (base + (4 * i)) 4 (Bitvec.of_int (Bitvec.unsigned_ty 32) w))
+    words;
+  write_pc m base;
+  (* loading the program is setup, not execution: clear the trace *)
+  m.st.Interp.trace <- []
+
+let store_word m addr v = Interp.write_mem m.st "MEM" addr 4 (Bitvec.of_int (Bitvec.unsigned_ty 32) v)
+let load_word m addr = Bitvec.to_int (Interp.read_mem m.st "MEM" addr 4)
+
+let mem_instr_names = [ "LB"; "LH"; "LW"; "LBU"; "LHU"; "SB"; "SH"; "SW" ]
+
+let field_value ti word name =
+  match Tast.find_field ti name with
+  | Some fi -> Some (Bitvec.to_int (Interp.decode_field word fi))
+  | None -> None
+
+(* Execute one instruction; returns false when halted. *)
+let step m =
+  if m.halted then false
+  else begin
+    (* always-blocks evaluate continuously; a PC redirect by an
+       always-block (e.g. ZOL) replaces the fetch without penalty *)
+    let pc0 = read_pc m in
+    List.iter (fun ta -> Interp.exec_always m.st ta) m.tu.talways;
+    let pc = read_pc m in
+    ignore pc0;
+    let word = Interp.read_mem m.st "MEM" pc 4 in
+    match Interp.decode m.st word with
+    | None ->
+        m.halted <- true;
+        false
+    | Some ti ->
+        if ti.ti_name = "EBREAK" then begin
+          m.halted <- true;
+          m.cycles <- m.cycles + 1;
+          false
+        end
+        else begin
+          let isax_info = List.assoc_opt ti.ti_name m.isax in
+          (* scoreboard: stall until pending writers of our sources commit *)
+          let stall_until = ref m.cycles in
+          List.iter
+            (fun f ->
+              match field_value ti word f with
+              | Some r when r > 0 -> stall_until := max !stall_until m.pending.(r)
+              | _ -> ())
+            [ "rs1"; "rs2" ];
+          if !stall_until > m.cycles then m.cycles <- !stall_until;
+          (* execute architecturally *)
+          Interp.exec_instr m.st ti ~instr_word:word;
+          let pc_after = read_pc m in
+          let redirected = pc_after <> pc in
+          if not redirected then write_pc m ((pc + 4) land 0xFFFFFFFF);
+          (* timing *)
+          let cost = ref m.timing.fsm_base in
+          let uses_mem =
+            List.mem ti.ti_name mem_instr_names
+            || match isax_info with Some i -> i.it_uses_mem | None -> false
+          in
+          if uses_mem then cost := !cost + m.timing.mem_wait;
+          if redirected then cost := !cost + m.timing.branch_penalty;
+          (match isax_info with
+          | Some { it_mode = Scaiev.Config.Tightly_coupled; it_extra_stall; _ } ->
+              cost := !cost + it_extra_stall
+          | Some { it_mode = Scaiev.Config.Decoupled; it_result_latency; it_writes_rd; _ } ->
+              cost := !cost + m.timing.decoupled_issue_stall;
+              if it_writes_rd then begin
+                match field_value ti word "rd" with
+                | Some rd when rd > 0 ->
+                    m.pending.(rd) <- m.cycles + !cost + it_result_latency
+                | _ -> ()
+              end
+          | _ -> ());
+          m.cycles <- m.cycles + !cost;
+          m.instret <- m.instret + 1;
+          true
+        end
+  end
+
+(* run until halt or the fuel is exhausted; returns consumed cycle count *)
+let run ?(fuel = 1_000_000) m =
+  let rec go fuel = if fuel <= 0 then raise (Machine_error "out of fuel") else if step m then go (fuel - 1) else () in
+  go fuel;
+  m.cycles
+
+(* assemble and run a program with the machine's ISAX encoder available *)
+let isax_encoder (tu : Tast.tunit) : Asm.custom_encoder =
+ fun name fields ->
+  match Tast.find_tinstr tu name with
+  | None -> raise (Machine_error (Printf.sprintf "unknown ISAX instruction '%s'" name))
+  | Some ti ->
+      let bvs = List.map (fun (k, v) -> (k, Bitvec.of_int (Bitvec.unsigned_ty 32) v)) fields in
+      Bitvec.to_int (Interp.encode ti bvs)

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Bitvec Format Hashtbl Ir List Option

@@ -1,0 +1,1 @@
+lib/rtl/netlist.mli: Bitvec Format Ir

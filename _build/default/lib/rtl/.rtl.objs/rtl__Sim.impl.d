@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Bitvec Hashtbl Ir List Netlist

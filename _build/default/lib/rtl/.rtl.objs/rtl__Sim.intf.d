@@ -1,0 +1,1 @@
+lib/rtl/sim.mli: Bitvec Hashtbl Netlist

@@ -1,0 +1,1 @@
+lib/rtl/sv_emit.ml: Array Bitvec Buffer Ir List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/rtl/sv_emit.mli: Bitvec Ir Netlist

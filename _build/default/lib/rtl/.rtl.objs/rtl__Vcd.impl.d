@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Bitvec Buffer Char Hashtbl List Netlist Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/rtl/vcd.mli: Bitvec Hashtbl Netlist Sim

@@ -1,0 +1,46 @@
+(** Register-transfer-level netlist: the target of Longnail's hardware
+   generation, standing in for CIRCT's hw/seq/sv dialects (Section 4.1d).
+
+   A module is a set of named signals: input ports, combinational nodes
+   (with {!Ir.Comb_eval} semantics), ROM lookups (internalized constant
+   registers), and clocked registers (the stallable pipeline registers
+   Longnail inserts between stages). Output ports alias internal signals. *)
+
+type reg_node = {
+  out : string;
+  width : int;
+  next : string;
+  enable : string option;
+  init : Bitvec.t option;
+}
+type node =
+    Comb of { out : string; width : int; op : string;
+      attrs : (string * Ir.Mir.attr) list; inputs : string list;
+    }
+  | Rom of { out : string; width : int; table : Bitvec.t array;
+      index : string;
+    }
+  | Reg of reg_node
+type port = { port_name : string; port_width : int; port_signal : string; }
+type t = {
+  mod_name : string;
+  inputs : port list;
+  outputs : port list;
+  nodes : node list;
+}
+val node_out : node -> string
+val node_width : node -> int
+exception Netlist_error of string
+val nl_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val comb_deps : node -> string list
+val topo_nodes : t -> node list
+val registers : t -> reg_node list
+val validate : t -> unit
+type stats = {
+  n_comb_nodes : int;
+  n_registers : int;
+  register_bits : int;
+  rom_bits : int;
+  comb_ops_by_kind : (string * int) list;
+}
+val stats : t -> stats

@@ -1,0 +1,109 @@
+(* Value-change-dump (VCD) tracing for the RTL simulator.
+
+   Records every named signal of a simulated module cycle by cycle and
+   renders a standard VCD file that waveform viewers (GTKWave, Surfer)
+   understand. Used by the CLI's --vcd option and by debugging sessions
+   around the co-simulation harness. *)
+
+type signal = { sg_name : string; sg_width : int; sg_id : string }
+
+type t = {
+  mutable signals : signal list;  (* reversed *)
+  mutable changes : (int * string * Bitvec.t) list;  (* time, id, value; reversed *)
+  mutable last : (string, Bitvec.t) Hashtbl.t;
+  mutable time : int;
+  module_name : string;
+}
+
+(* VCD identifier characters: printable ASCII 33..126 *)
+let ident_of_index i =
+  let base = 94 and lo = 33 in
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (lo + (i mod base))) ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let create ~module_name =
+  { signals = []; changes = []; last = Hashtbl.create 64; time = 0; module_name }
+
+(* Watch every port and internal node of [m]. *)
+let watch_module t (m : Netlist.t) =
+  let add name width =
+    let id = ident_of_index (List.length t.signals) in
+    t.signals <- { sg_name = name; sg_width = width; sg_id = id } :: t.signals
+  in
+  List.iter (fun (p : Netlist.port) -> add p.port_signal p.port_width) m.inputs;
+  List.iter
+    (fun n -> add (Netlist.node_out n) (Netlist.node_width n))
+    m.nodes
+
+(* Record the current value of every watched signal of [sim]. Call once per
+   cycle after [Sim.eval]. *)
+let sample t (sim : Sim.t) =
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt sim.Sim.values s.sg_name with
+      | None -> ()
+      | Some v ->
+          let changed =
+            match Hashtbl.find_opt t.last s.sg_name with
+            | Some prev -> not (Bitvec.equal_value prev v)
+            | None -> true
+          in
+          if changed then begin
+            Hashtbl.replace t.last s.sg_name v;
+            t.changes <- (t.time, s.sg_id, v) :: t.changes
+          end)
+    (List.rev t.signals);
+  t.time <- t.time + 1
+
+let bin_of v =
+  let s = Bitvec.to_bin_string v in
+  String.sub s 2 (String.length s - 2)
+
+(* Render the accumulated trace as VCD text. *)
+let render t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "$date reproduction run $end\n";
+  Buffer.add_string buf "$version longnail rtl simulator $end\n";
+  Buffer.add_string buf "$timescale 1ns $end\n";
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" t.module_name);
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" s.sg_width s.sg_id s.sg_name))
+    (List.rev t.signals);
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let by_time = Hashtbl.create 64 in
+  List.iter
+    (fun (time, id, v) ->
+      Hashtbl.replace by_time time ((id, v) :: Option.value ~default:[] (Hashtbl.find_opt by_time time)))
+    t.changes;
+  for time = 0 to t.time - 1 do
+    match Hashtbl.find_opt by_time time with
+    | None -> ()
+    | Some changes ->
+        Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+        List.iter
+          (fun (id, v) ->
+            if Bitvec.width v = 1 then
+              Buffer.add_string buf (Printf.sprintf "%s%s\n" (bin_of v) id)
+            else Buffer.add_string buf (Printf.sprintf "b%s %s\n" (bin_of v) id))
+          changes
+  done;
+  Buffer.contents buf
+
+(* Convenience: simulate [cycles] cycles of [m] with inputs supplied per
+   cycle by [drive], tracing everything. *)
+let trace (m : Netlist.t) ~cycles ~(drive : int -> (string * Bitvec.t) list) =
+  let sim = Sim.create m in
+  let t = create ~module_name:m.mod_name in
+  watch_module t m;
+  for cycle = 0 to cycles - 1 do
+    List.iter (fun (n, v) -> Sim.set_input sim n v) (drive cycle);
+    Sim.eval sim;
+    sample t sim;
+    Sim.clock sim
+  done;
+  render t

@@ -1,0 +1,24 @@
+(** Value-change-dump (VCD) tracing for the RTL simulator.
+
+   Records every named signal of a simulated module cycle by cycle and
+   renders a standard VCD file that waveform viewers (GTKWave, Surfer)
+   understand. Used by the CLI's --vcd option and by debugging sessions
+   around the co-simulation harness. *)
+
+type signal = { sg_name : string; sg_width : int; sg_id : string; }
+type t = {
+  mutable signals : signal list;
+  mutable changes : (int * string * Bitvec.t) list;
+  mutable last : (string, Bitvec.t) Hashtbl.t;
+  mutable time : int;
+  module_name : string;
+}
+val ident_of_index : int -> string
+val create : module_name:string -> t
+val watch_module : t -> Netlist.t -> unit
+val sample : t -> Sim.t -> unit
+val bin_of : Bitvec.t -> string
+val render : t -> string
+val trace :
+  Netlist.t ->
+  cycles:int -> drive:(int -> (string * Bitvec.t) list) -> string

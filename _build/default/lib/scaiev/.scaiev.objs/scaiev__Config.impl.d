@@ -1,0 +1,1 @@
+lib/scaiev/config.ml: Bitvec Buffer List Printf String

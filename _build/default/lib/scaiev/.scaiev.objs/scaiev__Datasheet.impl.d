@@ -1,0 +1,1 @@
+lib/scaiev/datasheet.ml: Buffer List Printf String

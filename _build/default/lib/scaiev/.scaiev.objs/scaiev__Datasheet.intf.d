@@ -1,0 +1,1 @@
+lib/scaiev/datasheet.mli:

@@ -1,0 +1,1 @@
+lib/scaiev/generator.ml: Config Datasheet Filename Format Hashtbl Iface List Option String

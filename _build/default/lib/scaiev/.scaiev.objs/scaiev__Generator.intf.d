@@ -1,0 +1,1 @@
+lib/scaiev/generator.mli: Config Datasheet Format

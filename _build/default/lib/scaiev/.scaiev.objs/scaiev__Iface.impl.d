@@ -1,0 +1,1 @@
+lib/scaiev/iface.ml: Format List String

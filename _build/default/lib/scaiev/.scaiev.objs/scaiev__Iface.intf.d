@@ -1,0 +1,1 @@
+lib/scaiev/iface.mli: Format

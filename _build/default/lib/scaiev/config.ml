@@ -1,0 +1,193 @@
+(* The SCAIE-V configuration file exchanged between Longnail and SCAIE-V
+   (Figures 8 and 9 of the paper).
+
+   Longnail emits this after scheduling; SCAIE-V consumes it to generate
+   the integration logic. We keep the paper's YAML-based format, and
+   support parsing it back so the two tools remain decoupled. *)
+
+type mode = In_pipeline | Tightly_coupled | Decoupled | Always_mode
+
+let mode_to_string = function
+  | In_pipeline -> "in-pipeline"
+  | Tightly_coupled -> "tightly-coupled"
+  | Decoupled -> "decoupled"
+  | Always_mode -> "always"
+
+let mode_of_string = function
+  | "in-pipeline" -> In_pipeline
+  | "tightly-coupled" -> Tightly_coupled
+  | "decoupled" -> Decoupled
+  | "always" -> Always_mode
+  | s -> invalid_arg ("unknown execution mode " ^ s)
+
+type reg_req = { cr_name : string; cr_width : int; cr_elems : int }
+
+type sched_entry = {
+  se_iface : string;  (* e.g. "RdPC", "WrCOUNT.data" *)
+  se_stage : int;
+  se_has_valid : bool;
+  se_mode : mode;  (* variant selected for this interface use *)
+}
+
+type functionality = {
+  fn_name : string;
+  fn_kind : [ `Instruction | `Always ];
+  fn_mask : string;  (* e.g. "-----------------101000000001011" *)
+  fn_entries : sched_entry list;
+}
+
+type t = { regs : reg_req list; funcs : functionality list }
+
+(* ---- emission (Figure 8 format) ---- *)
+
+let to_yaml (c : t) =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "- {register: %s, width: %d, elements: %d}\n" r.cr_name r.cr_width
+           r.cr_elems))
+    c.regs;
+  List.iter
+    (fun f ->
+      (match f.fn_kind with
+      | `Instruction ->
+          Buffer.add_string buf (Printf.sprintf "- instruction: %s\n" f.fn_name);
+          Buffer.add_string buf (Printf.sprintf "  mask: \"%s\"\n" f.fn_mask)
+      | `Always -> Buffer.add_string buf (Printf.sprintf "- always: %s\n" f.fn_name));
+      Buffer.add_string buf "  schedule:\n";
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "    - {interface: %s, stage: %d%s%s}\n" e.se_iface e.se_stage
+               (if e.se_has_valid then ", has valid: 1" else "")
+               (match e.se_mode with
+               | In_pipeline -> ""
+               | m -> Printf.sprintf ", mode: %s" (mode_to_string m))))
+        f.fn_entries)
+    c.funcs;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let strip s =
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ws s.[!i] do incr i done;
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  if !j < !i then "" else String.sub s !i (!j - !i + 1)
+
+(* parse "{k1: v1, k2: v2}" into an assoc list *)
+let parse_braces s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '{' || s.[String.length s - 1] <> '}' then
+    raise (Parse_error ("expected {...}: " ^ s));
+  let inner = String.sub s 1 (String.length s - 2) in
+  String.split_on_char ',' inner
+  |> List.filter_map (fun kv ->
+         match String.index_opt kv ':' with
+         | None -> None
+         | Some i ->
+             let k = strip (String.sub kv 0 i) in
+             let v = strip (String.sub kv (i + 1) (String.length kv - i - 1)) in
+             Some (k, v))
+
+let unquote s =
+  let s = strip s in
+  if String.length s >= 2 && s.[0] = '"' && s.[String.length s - 1] = '"' then
+    String.sub s 1 (String.length s - 2)
+  else s
+
+let of_yaml (text : string) : t =
+  let lines = String.split_on_char '\n' text in
+  let regs = ref [] and funcs = ref [] in
+  let cur : functionality option ref = ref None in
+  let flush_cur () =
+    match !cur with
+    | Some f -> funcs := { f with fn_entries = List.rev f.fn_entries } :: !funcs
+    | None -> ()
+  in
+  List.iter
+    (fun raw ->
+      let line = strip raw in
+      if line = "" || line.[0] = '#' then ()
+      else if line = "schedule:" then ()
+      else if String.length line >= 2 && String.sub line 0 2 = "- " then begin
+        let rest = strip (String.sub line 2 (String.length line - 2)) in
+        if String.length rest > 0 && rest.[0] = '{' then begin
+          let kvs = parse_braces rest in
+          match (List.assoc_opt "register" kvs, List.assoc_opt "interface" kvs) with
+          | Some rname, _ ->
+              regs :=
+                {
+                  cr_name = rname;
+                  cr_width = int_of_string (List.assoc "width" kvs);
+                  cr_elems = int_of_string (List.assoc "elements" kvs);
+                }
+                :: !regs
+          | None, Some iface -> (
+              match !cur with
+              | None -> raise (Parse_error "schedule entry outside functionality")
+              | Some f ->
+                  let e =
+                    {
+                      se_iface = iface;
+                      se_stage = int_of_string (List.assoc "stage" kvs);
+                      se_has_valid =
+                        (match List.assoc_opt "has valid" kvs with
+                        | Some "1" | Some "true" -> true
+                        | _ -> false);
+                      se_mode =
+                        (match List.assoc_opt "mode" kvs with
+                        | Some m -> mode_of_string m
+                        | None -> if f.fn_kind = `Always then Always_mode else In_pipeline);
+                    }
+                  in
+                  cur := Some { f with fn_entries = e :: f.fn_entries })
+          | None, None -> raise (Parse_error ("unrecognized entry: " ^ rest))
+        end
+        else if String.length rest >= 12 && String.sub rest 0 12 = "instruction:" then begin
+          flush_cur ();
+          cur :=
+            Some
+              {
+                fn_name = strip (String.sub rest 12 (String.length rest - 12));
+                fn_kind = `Instruction;
+                fn_mask = "";
+                fn_entries = [];
+              }
+        end
+        else if String.length rest >= 7 && String.sub rest 0 7 = "always:" then begin
+          flush_cur ();
+          cur :=
+            Some
+              {
+                fn_name = strip (String.sub rest 7 (String.length rest - 7));
+                fn_kind = `Always;
+                fn_mask = "";
+                fn_entries = [];
+              }
+        end
+        else raise (Parse_error ("unrecognized list item: " ^ rest))
+      end
+      else if String.length line >= 5 && String.sub line 0 5 = "mask:" then begin
+        match !cur with
+        | Some f -> cur := Some { f with fn_mask = unquote (String.sub line 5 (String.length line - 5)) }
+        | None -> raise (Parse_error "mask outside instruction")
+      end
+      else raise (Parse_error ("unrecognized line: " ^ line)))
+    lines;
+  flush_cur ();
+  { regs = List.rev !regs; funcs = List.rev !funcs }
+
+(* Render an encoding mask/match pair as the Figure 8 bit-pattern string:
+   '-' for don't-care bits, '0'/'1' for fixed bits; MSB first. *)
+let mask_string ~width ~(mask : Bitvec.t) ~(match_bits : Bitvec.t) =
+  String.init width (fun i ->
+      let bit = width - 1 - i in
+      if Bitvec.is_zero (Bitvec.bit mask bit) then '-'
+      else if Bitvec.is_zero (Bitvec.bit match_bits bit) then '0'
+      else '1')

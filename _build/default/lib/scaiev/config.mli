@@ -1,0 +1,31 @@
+(** The SCAIE-V configuration file exchanged between Longnail and SCAIE-V
+   (Figures 8 and 9 of the paper).
+
+   Longnail emits this after scheduling; SCAIE-V consumes it to generate
+   the integration logic. We keep the paper's YAML-based format, and
+   support parsing it back so the two tools remain decoupled. *)
+
+type mode = In_pipeline | Tightly_coupled | Decoupled | Always_mode
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode
+type reg_req = { cr_name : string; cr_width : int; cr_elems : int; }
+type sched_entry = {
+  se_iface : string;
+  se_stage : int;
+  se_has_valid : bool;
+  se_mode : mode;
+}
+type functionality = {
+  fn_name : string;
+  fn_kind : [ `Always | `Instruction ];
+  fn_mask : string;
+  fn_entries : sched_entry list;
+}
+type t = { regs : reg_req list; funcs : functionality list; }
+val to_yaml : t -> string
+exception Parse_error of string
+val strip : string -> string
+val parse_braces : string -> (string * string) list
+val unquote : string -> string
+val of_yaml : string -> t
+val mask_string : width:int -> mask:Bitvec.t -> match_bits:Bitvec.t -> string

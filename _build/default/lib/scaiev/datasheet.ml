@@ -1,0 +1,239 @@
+(* Virtual datasheets: SCAIE-V's per-core abstraction of the host
+   microarchitecture (Section 3.1 and Figure 9).
+
+   For each sub-interface the datasheet gives the earliest and latest time
+   step (relative to time step 0 = instruction fetch) in which it may be
+   used, plus its latency. The [native_latest] records the stage up to
+   which the in-pipeline variant exists; Longnail relaxes the scheduler's
+   upper bound to infinity for WrRD/RdMem/WrMem, and any operation
+   scheduled past [native_latest] selects the tightly-coupled or decoupled
+   variant instead (Section 4.3).
+
+   The four cores match the evaluation in Section 5.2:
+   ORCA and VexRiscv are 5-stage pipelines, Piccolo is a 3-stage pipeline,
+   and PicoRV32 is non-pipelined (FSM-sequenced). Baseline area/frequency
+   are the Table 4 baselines for the 22nm ASIC flow model. *)
+
+type window = {
+  earliest : int;
+  native_latest : int option;  (* None: no in-pipeline limit (FSM cores) *)
+  latency : int;
+}
+
+type t = {
+  core_name : string;
+  pipeline_stages : int;  (* 0 for FSM-based cores *)
+  is_fsm : bool;
+  operand_stage : int;  (* stage in which RdRS1/RdRS2 deliver *)
+  memory_stage : int;
+  writeback_stage : int;
+  (* ORCA forwards from the last stage into the operand stage; ISAX logic
+     scheduled in the last stage then sits on the forwarding path. *)
+  forwarding_from_writeback : bool;
+  ifaces : (string * window) list;
+  base_area_um2 : float;  (* Table 4 baseline *)
+  base_freq_mhz : float;  (* Table 4 baseline *)
+}
+
+let window ?(latency = 0) ?native_latest earliest = { earliest; native_latest; latency }
+
+let find t name = List.assoc_opt name t.ifaces
+
+let cycle_time_ns t = 1000.0 /. t.base_freq_mhz
+
+(* ---- the four host cores ---- *)
+
+let vexriscv =
+  {
+    core_name = "VexRiscv";
+    pipeline_stages = 5;
+    is_fsm = false;
+    operand_stage = 2;
+    memory_stage = 3;
+    writeback_stage = 4;
+    forwarding_from_writeback = false;
+    ifaces =
+      [
+        ("RdInstr", window 1 ~native_latest:4);
+        ("RdRS1", window 2 ~native_latest:4);
+        ("RdRS2", window 2 ~native_latest:4);
+        ("RdPC", window 1 ~native_latest:4);
+        ("RdMem", window 3 ~native_latest:4 ~latency:1);
+        ("WrRD", window 2 ~native_latest:4);
+        ("WrPC", window 1 ~native_latest:4);
+        ("WrMem", window 3 ~native_latest:4 ~latency:1);
+        ("RdCustReg", window 1 ~native_latest:4);
+        ("WrCustReg", window 1 ~native_latest:4);
+      ];
+    base_area_um2 = 9052.0;
+    base_freq_mhz = 701.0;
+  }
+
+let orca =
+  {
+    core_name = "ORCA";
+    pipeline_stages = 5;
+    is_fsm = false;
+    operand_stage = 3;
+    memory_stage = 3;
+    writeback_stage = 4;
+    forwarding_from_writeback = true;
+    ifaces =
+      [
+        ("RdInstr", window 1 ~native_latest:4);
+        (* operands arrive late and writeback is expected in the very next
+           stage (Section 5.4), leaving a single-stage window *)
+        ("RdRS1", window 3 ~native_latest:4);
+        ("RdRS2", window 3 ~native_latest:4);
+        ("RdPC", window 1 ~native_latest:4);
+        ("RdMem", window 3 ~native_latest:4 ~latency:1);
+        ("WrRD", window 4 ~native_latest:4);
+        ("WrPC", window 2 ~native_latest:4);
+        ("WrMem", window 3 ~native_latest:4 ~latency:1);
+        ("RdCustReg", window 2 ~native_latest:4);
+        ("WrCustReg", window 2 ~native_latest:4);
+      ];
+    base_area_um2 = 6612.0;
+    base_freq_mhz = 996.0;
+  }
+
+let piccolo =
+  {
+    core_name = "Piccolo";
+    pipeline_stages = 3;
+    is_fsm = false;
+    operand_stage = 1;
+    memory_stage = 1;
+    writeback_stage = 2;
+    forwarding_from_writeback = false;
+    ifaces =
+      [
+        ("RdInstr", window 1 ~native_latest:2);
+        ("RdRS1", window 1 ~native_latest:2);
+        ("RdRS2", window 1 ~native_latest:2);
+        ("RdPC", window 1 ~native_latest:2);
+        ("RdMem", window 1 ~native_latest:2 ~latency:1);
+        ("WrRD", window 1 ~native_latest:2);
+        ("WrPC", window 1 ~native_latest:2);
+        ("WrMem", window 1 ~native_latest:2 ~latency:1);
+        ("RdCustReg", window 1 ~native_latest:2);
+        ("WrCustReg", window 1 ~native_latest:2);
+      ];
+    base_area_um2 = 26098.0;
+    base_freq_mhz = 420.0;
+  }
+
+let picorv32 =
+  {
+    core_name = "PicoRV32";
+    pipeline_stages = 0;
+    is_fsm = true;
+    operand_stage = 1;
+    memory_stage = 2;
+    writeback_stage = 3;
+    forwarding_from_writeback = false;
+    (* FSM sequencing: interfaces have no native upper bound — the FSM
+       simply spends more states on longer ISAXes *)
+    ifaces =
+      [
+        ("RdInstr", window 0);
+        ("RdRS1", window 1);
+        ("RdRS2", window 1);
+        ("RdPC", window 0);
+        ("RdMem", window 2 ~latency:1);
+        ("WrRD", window 1);
+        ("WrPC", window 1);
+        ("WrMem", window 2 ~latency:1);
+        ("RdCustReg", window 1);
+        ("WrCustReg", window 1);
+      ];
+    base_area_um2 = 4745.0;
+    base_freq_mhz = 1278.0;
+  }
+
+let all_cores = [ orca; piccolo; picorv32; vexriscv ]
+
+(* ---- application-class prototypes (Section 7 outlook) ----
+
+   The paper reports initial SCAIE-V/Longnail prototypes on the OpenHW
+   CVA5 (ex-Taiga) and CVA6 (ex-Ariane) cores: still in-order single-issue,
+   but with deeper pipelines and far larger base area, so the *relative*
+   cost of an ISAX integration decreases. These datasheets model the
+   32-bit configurations; they are kept out of [all_cores] because the
+   Table 4 evaluation covers only the four MCU-class cores. *)
+
+let cva5 =
+  {
+    core_name = "CVA5";
+    pipeline_stages = 7;
+    is_fsm = false;
+    operand_stage = 3;
+    memory_stage = 4;
+    writeback_stage = 6;
+    forwarding_from_writeback = false;
+    ifaces =
+      [
+        ("RdInstr", window 1 ~native_latest:6);
+        ("RdRS1", window 3 ~native_latest:6);
+        ("RdRS2", window 3 ~native_latest:6);
+        ("RdPC", window 1 ~native_latest:6);
+        ("RdMem", window 4 ~native_latest:6 ~latency:1);
+        ("WrRD", window 3 ~native_latest:6);
+        ("WrPC", window 2 ~native_latest:6);
+        ("WrMem", window 4 ~native_latest:6 ~latency:1);
+        ("RdCustReg", window 2 ~native_latest:6);
+        ("WrCustReg", window 2 ~native_latest:6);
+      ];
+    base_area_um2 = 29500.0;
+    base_freq_mhz = 910.0;
+  }
+
+let cva6 =
+  {
+    core_name = "CVA6";
+    pipeline_stages = 6;
+    is_fsm = false;
+    operand_stage = 3;
+    memory_stage = 4;
+    writeback_stage = 5;
+    forwarding_from_writeback = false;
+    ifaces =
+      [
+        ("RdInstr", window 1 ~native_latest:5);
+        ("RdRS1", window 3 ~native_latest:5);
+        ("RdRS2", window 3 ~native_latest:5);
+        ("RdPC", window 1 ~native_latest:5);
+        ("RdMem", window 4 ~native_latest:5 ~latency:1);
+        ("WrRD", window 3 ~native_latest:5);
+        ("WrPC", window 2 ~native_latest:5);
+        ("WrMem", window 4 ~native_latest:5 ~latency:1);
+        ("RdCustReg", window 2 ~native_latest:5);
+        ("WrCustReg", window 2 ~native_latest:5);
+      ];
+    base_area_um2 = 175000.0;
+    base_freq_mhz = 1400.0;
+  }
+
+let outlook_cores = [ cva5; cva6 ]
+
+let find_core name =
+  List.find_opt
+    (fun c -> String.lowercase_ascii c.core_name = String.lowercase_ascii name)
+    (all_cores @ outlook_cores)
+
+(* YAML-ish rendering of a virtual datasheet (Figure 9 left box). *)
+let to_yaml t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "core: %s\n" t.core_name);
+  Buffer.add_string buf
+    (Printf.sprintf "pipeline: {stages: %d, fsm: %b}\n" t.pipeline_stages t.is_fsm);
+  Buffer.add_string buf "interfaces:\n";
+  List.iter
+    (fun (name, w) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  - {interface: %s, earliest: %d, latest: %s, latency: %d}\n" name
+           w.earliest
+           (match w.native_latest with Some l -> string_of_int l | None -> "inf")
+           w.latency))
+    t.ifaces;
+  Buffer.contents buf

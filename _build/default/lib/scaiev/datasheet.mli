@@ -1,0 +1,42 @@
+(** Virtual datasheets: SCAIE-V's per-core abstraction of the host
+   microarchitecture (Section 3.1 and Figure 9).
+
+   For each sub-interface the datasheet gives the earliest and latest time
+   step (relative to time step 0 = instruction fetch) in which it may be
+   used, plus its latency. The [native_latest] records the stage up to
+   which the in-pipeline variant exists; Longnail relaxes the scheduler's
+   upper bound to infinity for WrRD/RdMem/WrMem, and any operation
+   scheduled past [native_latest] selects the tightly-coupled or decoupled
+   variant instead (Section 4.3).
+
+   The four cores match the evaluation in Section 5.2:
+   ORCA and VexRiscv are 5-stage pipelines, Piccolo is a 3-stage pipeline,
+   and PicoRV32 is non-pipelined (FSM-sequenced). Baseline area/frequency
+   are the Table 4 baselines for the 22nm ASIC flow model. *)
+
+type window = { earliest : int; native_latest : int option; latency : int; }
+type t = {
+  core_name : string;
+  pipeline_stages : int;
+  is_fsm : bool;
+  operand_stage : int;
+  memory_stage : int;
+  writeback_stage : int;
+  forwarding_from_writeback : bool;
+  ifaces : (string * window) list;
+  base_area_um2 : float;
+  base_freq_mhz : float;
+}
+val window : ?latency:int -> ?native_latest:int -> int -> window
+val find : t -> string -> window option
+val cycle_time_ns : t -> float
+val vexriscv : t
+val orca : t
+val piccolo : t
+val picorv32 : t
+val all_cores : t list
+val cva5 : t
+val cva6 : t
+val outlook_cores : t list
+val find_core : string -> t option
+val to_yaml : t -> string

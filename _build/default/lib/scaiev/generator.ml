@@ -1,0 +1,255 @@
+(* The SCAIE-V interface generator.
+
+   Consumes a virtual datasheet (core description) and a Longnail-emitted
+   configuration, validates it against the rules of Section 3, and
+   synthesizes the *integration plan*: which pieces of adapter hardware
+   must be generated inside the host core. The plan is consumed by
+   - the ASIC flow model (lib/asic), which converts the features into gate
+     area and timing-path load, and
+   - the cycle-level core models (lib/riscv), which interpret the same
+     plan to emulate the integrated ISAX cycle-accurately. *)
+
+exception Generate_error of string
+
+let gen_error fmt = Format.kasprintf (fun m -> raise (Generate_error m)) fmt
+
+type adapter = {
+  core : Datasheet.t;
+  config : Config.t;
+  (* decode logic: one mask comparator per custom instruction *)
+  decode_comparator_bits : int;
+  (* SCAIE-V-managed custom registers *)
+  custom_reg_bits : int;
+  custom_reg_read_ports : int;
+  custom_reg_write_ports : int;
+  (* multiplexing of state-update payloads from multiple functionalities *)
+  arbitration_mux_bits : int;
+  (* decoupled mode: scoreboard for register data hazards *)
+  scoreboard_bits : int;
+  hazard_comparators : int;
+  (* tightly-coupled mode: stall generation *)
+  stall_counter_bits : int;
+  (* pipeline interface taps: stage-crossing wires the adapter must route *)
+  stage_taps : int;
+  uses_pc_write : bool;
+  uses_mem_port : bool;
+  has_always_block : bool;
+  (* modes present, for reporting *)
+  modes : Config.mode list;
+}
+
+let base_iface_of entry =
+  (* "WrCOUNT.addr" -> WrCustReg family; plain names map to themselves *)
+  let s = entry.Config.se_iface in
+  if String.length s > 2 && String.sub s 0 2 = "Wr" then
+    match String.index_opt s '.' with
+    | Some _ -> "WrCustReg"
+    | None -> (
+        match s with "WrRD" | "WrPC" | "WrMem" -> s | _ -> "WrCustReg")
+  else if String.length s > 2 && String.sub s 0 2 = "Rd" then
+    match s with
+    | "RdInstr" | "RdRS1" | "RdRS2" | "RdPC" | "RdMem" -> s
+    | _ -> "RdCustReg"
+  else gen_error "malformed interface name '%s'" s
+
+let is_write iface = String.length iface > 2 && String.sub iface 0 2 = "Wr"
+
+(* ---- validation (Sections 3.1 and 3.2) ---- *)
+
+let validate (core : Datasheet.t) (cfg : Config.t) =
+  List.iter
+    (fun (f : Config.functionality) ->
+      (* each sub-interface may be used at most once per functionality;
+         WrCustReg.addr/.data pairs count as one use *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Config.sched_entry) ->
+          let key =
+            match String.index_opt e.se_iface '.' with
+            | Some i -> String.sub e.se_iface 0 i
+            | None -> e.se_iface
+          in
+          let prior = Hashtbl.find_opt seen key in
+          (match prior with
+          | Some () when String.contains e.se_iface '.' -> () (* .addr/.data pair *)
+          | Some () -> gen_error "%s: sub-interface %s used more than once" f.fn_name key
+          | None -> ());
+          Hashtbl.replace seen key ())
+        f.fn_entries;
+      match f.fn_kind with
+      | `Always ->
+          List.iter
+            (fun (e : Config.sched_entry) ->
+              if e.se_stage <> 0 then
+                gen_error "%s: always-block entries must be in stage 0, got %d" f.fn_name
+                  e.se_stage;
+              (* only the data/payload port needs the valid bit; the .addr
+                 half of a WrCustReg pair carries none (Figure 8) *)
+              if
+                is_write (base_iface_of e)
+                && (not (Filename.check_suffix e.se_iface ".addr"))
+                && not e.se_has_valid
+              then gen_error "%s: state updates from always-blocks require a valid bit" f.fn_name)
+            f.fn_entries
+      | `Instruction ->
+          List.iter
+            (fun (e : Config.sched_entry) ->
+              let base = base_iface_of e in
+              (match e.se_mode with
+              | Config.Tightly_coupled | Config.Decoupled ->
+                  if not (List.mem base Iface.relaxable) then
+                    gen_error "%s: %s cannot use the %s mode" f.fn_name e.se_iface
+                      (Config.mode_to_string e.se_mode)
+              | Config.Always_mode -> gen_error "%s: always mode on an instruction" f.fn_name
+              | Config.In_pipeline -> ());
+              match Datasheet.find core base with
+              | None -> gen_error "core %s offers no %s interface" core.core_name base
+              | Some w -> (
+                  if e.se_stage < w.earliest then
+                    gen_error "%s: %s scheduled in stage %d before earliest %d" f.fn_name
+                      e.se_iface e.se_stage w.earliest;
+                  match (w.native_latest, e.se_mode) with
+                  | Some l, Config.In_pipeline when e.se_stage > l ->
+                      gen_error "%s: %s scheduled in stage %d past native latest %d without a \
+                                 relaxed mode"
+                        f.fn_name e.se_iface e.se_stage l
+                  | _ -> ()))
+            f.fn_entries)
+    cfg.funcs
+
+(* ---- integration-plan synthesis ---- *)
+
+let generate ?(hazard_handling = true) (core : Datasheet.t) (cfg : Config.t) : adapter =
+  validate core cfg;
+  let instrs = List.filter (fun f -> f.Config.fn_kind = `Instruction) cfg.funcs in
+  let always = List.filter (fun f -> f.Config.fn_kind = `Always) cfg.funcs in
+  (* decode: count fixed bits in each mask *)
+  let decode_comparator_bits =
+    List.fold_left
+      (fun acc (f : Config.functionality) ->
+        acc + String.length (String.concat "" (List.filter_map (fun c ->
+            if c = '0' || c = '1' then Some "x" else None)
+            (List.init (String.length f.fn_mask) (String.get f.fn_mask)))))
+      0 instrs
+  in
+  (* custom registers *)
+  let custom_reg_bits =
+    List.fold_left (fun acc (r : Config.reg_req) -> acc + (r.cr_width * r.cr_elems)) 0 cfg.regs
+  in
+  let reads_of_reg r =
+    List.length
+      (List.filter
+         (fun (f : Config.functionality) ->
+           List.exists (fun e -> e.Config.se_iface = "Rd" ^ r.Config.cr_name) f.fn_entries)
+         cfg.funcs)
+  in
+  let writes_of_reg r =
+    List.length
+      (List.filter
+         (fun (f : Config.functionality) ->
+           List.exists
+             (fun e -> e.Config.se_iface = "Wr" ^ r.Config.cr_name ^ ".data")
+             f.fn_entries)
+         cfg.funcs)
+  in
+  let custom_reg_read_ports = List.fold_left (fun a r -> a + min 1 (reads_of_reg r)) 0 cfg.regs in
+  let custom_reg_write_ports = List.fold_left (fun a r -> a + min 1 (writes_of_reg r)) 0 cfg.regs in
+  (* arbitration: for every writable interface written by k > 1
+     functionalities, SCAIE-V multiplexes payloads (Section 3.3) *)
+  let payload_width = function
+    | "WrRD" -> 32
+    | "WrPC" -> 32
+    | "WrMem" -> 64 (* address + data *)
+    | _ -> 32
+  in
+  let write_counts = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Config.functionality) ->
+      List.iter
+        (fun e ->
+          let base = base_iface_of e in
+          if is_write base then begin
+            let key =
+              if base = "WrCustReg" then e.Config.se_iface else base
+            in
+            (* only count .data once per custreg write *)
+            if base <> "WrCustReg" || Filename.check_suffix key ".data" then
+              Hashtbl.replace write_counts key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt write_counts key))
+          end)
+        f.fn_entries)
+    cfg.funcs;
+  let arbitration_mux_bits =
+    Hashtbl.fold
+      (fun key k acc ->
+        if k > 1 then begin
+          let base = if String.contains key '.' then "WrCustReg" else key in
+          acc + ((k - 1) * payload_width base)
+        end
+        else acc)
+      write_counts 0
+  in
+  (* decoupled: scoreboard over the 32 GPRs + in-flight rd + hazard
+     comparators on both operand read ports *)
+  let has_decoupled =
+    List.exists
+      (fun (f : Config.functionality) ->
+        List.exists (fun e -> e.Config.se_mode = Config.Decoupled) f.fn_entries)
+      cfg.funcs
+  in
+  let scoreboard_bits = if has_decoupled && hazard_handling then 32 + 5 + 1 else 0 in
+  let hazard_comparators = if has_decoupled && hazard_handling then 3 else 0 in
+  (* tightly-coupled: a stall counter sized for the longest overrun *)
+  let max_tc_stage =
+    List.fold_left
+      (fun acc (f : Config.functionality) ->
+        List.fold_left
+          (fun acc e ->
+            if e.Config.se_mode = Config.Tightly_coupled then max acc e.Config.se_stage else acc)
+          acc f.fn_entries)
+      0 cfg.funcs
+  in
+  let stall_counter_bits =
+    if max_tc_stage > core.writeback_stage then
+      let extra = max_tc_stage - core.writeback_stage in
+      max 1 (int_of_float (ceil (log (float_of_int (extra + 1)) /. log 2.0)))
+    else 0
+  in
+  (* stage taps: distinct (interface, stage) pairs the adapter must wire *)
+  let taps = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Config.functionality) ->
+      List.iter
+        (fun e -> Hashtbl.replace taps (base_iface_of e, min e.Config.se_stage core.writeback_stage) ())
+        f.fn_entries)
+    cfg.funcs;
+  let uses iface =
+    List.exists
+      (fun (f : Config.functionality) ->
+        List.exists (fun e -> base_iface_of e = iface) f.fn_entries)
+      cfg.funcs
+  in
+  let modes =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (f : Config.functionality) ->
+           List.map (fun e -> e.Config.se_mode) f.fn_entries)
+         cfg.funcs)
+  in
+  {
+    core;
+    config = cfg;
+    decode_comparator_bits;
+    custom_reg_bits;
+    custom_reg_read_ports;
+    custom_reg_write_ports;
+    arbitration_mux_bits;
+    scoreboard_bits;
+    hazard_comparators;
+    stall_counter_bits;
+    stage_taps = Hashtbl.length taps;
+    uses_pc_write = uses "WrPC";
+    uses_mem_port = uses "RdMem" || uses "WrMem";
+    has_always_block = always <> [];
+    modes;
+  }

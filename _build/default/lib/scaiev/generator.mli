@@ -1,0 +1,35 @@
+(** The SCAIE-V interface generator.
+
+   Consumes a virtual datasheet (core description) and a Longnail-emitted
+   configuration, validates it against the rules of Section 3, and
+   synthesizes the *integration plan*: which pieces of adapter hardware
+   must be generated inside the host core. The plan is consumed by
+   - the ASIC flow model (lib/asic), which converts the features into gate
+     area and timing-path load, and
+   - the cycle-level core models (lib/riscv), which interpret the same
+     plan to emulate the integrated ISAX cycle-accurately. *)
+
+exception Generate_error of string
+val gen_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+type adapter = {
+  core : Datasheet.t;
+  config : Config.t;
+  decode_comparator_bits : int;
+  custom_reg_bits : int;
+  custom_reg_read_ports : int;
+  custom_reg_write_ports : int;
+  arbitration_mux_bits : int;
+  scoreboard_bits : int;
+  hazard_comparators : int;
+  stall_counter_bits : int;
+  stage_taps : int;
+  uses_pc_write : bool;
+  uses_mem_port : bool;
+  has_always_block : bool;
+  modes : Config.mode list;
+}
+val base_iface_of : Config.sched_entry -> string
+val is_write : string -> bool
+val validate : Datasheet.t -> Config.t -> unit
+val generate :
+  ?hazard_handling:bool -> Datasheet.t -> Config.t -> adapter

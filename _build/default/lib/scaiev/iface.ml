@@ -1,0 +1,107 @@
+(* The SCAIE-V sub-interface operations (Table 1 of the paper), for a
+   32-bit host core.
+
+   Custom-register interfaces are created on demand per register; [AW]
+   denotes the register's address width and [DW] its data width. *)
+
+type signature = { operands : string list; results : string list; descr : string }
+
+(* Table 1, row by row. *)
+let table1 : (string * signature) list =
+  [
+    ("RdInstr", { operands = []; results = [ "i32" ]; descr = "Read the full instruction word." });
+    ( "RdRS1",
+      {
+        operands = [];
+        results = [ "i32" ];
+        descr = "Read the value of the GPR indicated by the rs1 encoding field.";
+      } );
+    ( "RdRS2",
+      {
+        operands = [];
+        results = [ "i32" ];
+        descr = "Read the value of the GPR indicated by the rs2 encoding field.";
+      } );
+    ( "RdCustReg",
+      {
+        operands = [ "iAW index"; "i1 pred" ];
+        results = [ "iDW" ];
+        descr = "Read the value of a custom register at the given index.";
+      } );
+    ("RdPC", { operands = []; results = [ "i32" ]; descr = "Read the program counter." });
+    ( "RdMem",
+      {
+        operands = [ "i32 address"; "i1 pred" ];
+        results = [ "i32" ];
+        descr = "Load a word from main memory.";
+      } );
+    ( "WrRD",
+      {
+        operands = [ "i32 value"; "i1 pred" ];
+        results = [];
+        descr = "Write a value to the GPR indicated by the rd encoding field.";
+      } );
+    ( "WrCustReg.addr",
+      {
+        operands = [ "iAW index" ];
+        results = [];
+        descr = "Submit an index for a write to a custom register.";
+      } );
+    ( "WrCustReg.data",
+      {
+        operands = [ "iDW value"; "i1 pred" ];
+        results = [];
+        descr = "Write a value to a custom register at the previously submitted index.";
+      } );
+    ( "WrPC",
+      { operands = [ "i32 newPC"; "i1 pred" ]; results = []; descr = "Write the program counter." } );
+    ( "WrMem",
+      {
+        operands = [ "i32 address"; "i32 value"; "i1 pred" ];
+        results = [];
+        descr = "Store a word to the core's main memory.";
+      } );
+    ( "RdIValid_s",
+      {
+        operands = [];
+        results = [ "i1" ];
+        descr = "Query whether an instruction is currently executing in stage s.";
+      } );
+    ( "RdStall_s",
+      { operands = []; results = [ "i1" ]; descr = "Query whether stage s is stalled." } );
+    ( "RdFlush_s",
+      { operands = []; results = [ "i1" ]; descr = "Query whether stage s is being flushed." } );
+    ( "WrStall_s", { operands = [ "i1 pred" ]; results = []; descr = "Stall stage s." } );
+    ( "WrFlush_s",
+      { operands = [ "i1 pred" ]; results = []; descr = "Flush stages zero to s." } );
+  ]
+
+(* The lil op names corresponding to schedulable sub-interfaces. *)
+let of_lil_op = function
+  | "lil.instr_word" -> Some "RdInstr"
+  | "lil.read_rs1" -> Some "RdRS1"
+  | "lil.read_rs2" -> Some "RdRS2"
+  | "lil.read_pc" -> Some "RdPC"
+  | "lil.read_mem" -> Some "RdMem"
+  | "lil.write_rd" -> Some "WrRD"
+  | "lil.write_pc" -> Some "WrPC"
+  | "lil.write_mem" -> Some "WrMem"
+  | "lil.read_custreg" -> Some "RdCustReg"
+  | "lil.write_custreg" -> Some "WrCustReg"
+  | _ -> None
+
+(* interfaces whose 'latest' is relaxed to infinity by Longnail so that the
+   tightly-coupled / decoupled variants become available (Section 4.2) *)
+let relaxable = [ "WrRD"; "RdMem"; "WrMem" ]
+
+let pp_table1 fmt () =
+  Format.fprintf fmt "%-16s | %-32s | %-8s | %s\n" "Sub-interface" "Operands" "Results"
+    "Description";
+  Format.fprintf fmt "%s\n" (String.make 100 '-');
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf fmt "%-16s | %-32s | %-8s | %s\n" name
+        (String.concat ", " s.operands)
+        (String.concat ", " s.results)
+        s.descr)
+    table1

@@ -1,0 +1,15 @@
+(** The SCAIE-V sub-interface operations (Table 1 of the paper), for a
+   32-bit host core.
+
+   Custom-register interfaces are created on demand per register; [AW]
+   denotes the register's address width and [DW] its data width. *)
+
+type signature = {
+  operands : string list;
+  results : string list;
+  descr : string;
+}
+val table1 : (string * signature) list
+val of_lil_op : string -> string option
+val relaxable : string list
+val pp_table1 : Format.formatter -> unit -> unit

@@ -1,0 +1,1 @@
+lib/sched/asap_scheduler.ml: Array List Lp Problem

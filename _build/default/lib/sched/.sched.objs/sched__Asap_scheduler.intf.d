@@ -1,0 +1,1 @@
+lib/sched/asap_scheduler.mli: Problem

@@ -1,0 +1,1 @@
+lib/sched/ilp_scheduler.ml: Array List Lp Printf Problem

@@ -1,0 +1,1 @@
+lib/sched/ilp_scheduler.mli: Lp Problem

@@ -1,0 +1,1 @@
+lib/sched/problem.ml: Array Format List Printf Queue

@@ -1,0 +1,8 @@
+(** ASAP scheduler based on difference constraints (Bellman-Ford longest
+   path). Computes the componentwise-minimal feasible start times, which
+   minimizes the sum of start times but — unlike the ILP of Figure 7 —
+   ignores value lifetimes. Serves as the fast scheduling path and as the
+   baseline for the scheduler ablation bench. *)
+
+type outcome = Scheduled | Infeasible
+val schedule : Problem.t -> outcome

@@ -1,0 +1,23 @@
+(** ILP scheduler for the LongnailProblem — the formulation of Figure 7.
+
+   Decision variables: a start time t_i per operation and a lifetime l_ij
+   per dependence. The multi-criteria objective minimizes the sum of start
+   times (latency) plus the sum of lifetimes (pipeline registers in the
+   ISAX module). Constraints:
+   (C1) t_i + latency_i <= t_j            for every dependence i->j
+   (C2) l_ij >= t_j - t_i
+   (C3) earliest_i <= t_i <= latest_i
+   (C4) integrality / non-negativity
+   (C5) t_i + latency_i + 1 <= t_j        for every chain-breaking edge
+
+   The paper solves this with Cbc via OR-Tools; we use the exact
+   branch-and-bound solver from lib/lp. *)
+
+type outcome = Scheduled | Infeasible
+val horizon : Problem.t -> int
+val build_ilp : Problem.t -> Lp.problem * int array
+val schedule_exact : Problem.t -> outcome
+val schedule_netflow : Problem.t -> outcome
+type backend = Exact | Netflow
+val schedule : ?backend:backend -> Problem.t -> outcome
+val ilp_text : Problem.t -> string

@@ -1,0 +1,1 @@
+test/test_asic.ml: Alcotest Array Asic Bitvec Isax List Longnail Printf Rtl Scaiev String

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec List QCheck QCheck_alcotest Random String

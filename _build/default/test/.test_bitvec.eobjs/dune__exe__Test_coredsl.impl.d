@@ -1,0 +1,1 @@
+test/test_coredsl.ml: Alcotest Array Ast Bitvec Coredsl Elaborate Interp Isax Lexer List Longnail Option Parser Printf QCheck QCheck_alcotest Scaiev String Tast

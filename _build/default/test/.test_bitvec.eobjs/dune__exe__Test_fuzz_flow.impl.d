@@ -1,0 +1,1 @@
+test/test_fuzz_flow.ml: Alcotest Bitvec Buffer Coredsl List Longnail Option Printf QCheck QCheck_alcotest Random Scaiev String

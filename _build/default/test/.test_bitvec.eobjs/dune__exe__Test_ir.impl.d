@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Bitvec Comb_eval Coredsl Dot Hashtbl Hlir Ir Isax Lil List Longnail Mir Option Passes Printf QCheck QCheck_alcotest Scaiev String

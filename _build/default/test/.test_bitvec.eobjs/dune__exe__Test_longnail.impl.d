@@ -1,0 +1,1 @@
+test/test_longnail.ml: Alcotest Asic Bitvec Coredsl Isax List Longnail Option Printf Rtl Scaiev Sched String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Bitvec Coredsl Fun Isax Lazy List Longnail Option Printf QCheck QCheck_alcotest Random Riscv Scaiev String

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Array Bitvec Coredsl Fun Isax List Longnail Option Printf QCheck QCheck_alcotest Random Riscv Scaiev String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Bitvec Coredsl Ir List Longnail Netlist Option Printf QCheck QCheck_alcotest Rtl Scaiev Sim String Sv_emit

@@ -1,0 +1,1 @@
+test/test_scaiev.ml: Alcotest Coredsl Isax List Longnail Option Scaiev String

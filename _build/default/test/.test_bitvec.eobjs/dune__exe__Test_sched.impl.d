@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Sched String

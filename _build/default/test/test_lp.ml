@@ -1,0 +1,263 @@
+(* Tests for the exact LP/MILP solver substrate. *)
+
+module Rat = Lp.Rat
+module Simplex = Lp.Simplex
+module Difference = Lp.Difference
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let rat = Rat.of_int
+
+(* ---- Rat ---- *)
+
+let test_rat_basics () =
+  let half = Rat.of_ints 1 2 and third = Rat.of_ints 1 3 in
+  check_str "1/2+1/3" "5/6" (Rat.to_string (Rat.add half third));
+  check_str "1/2*1/3" "1/6" (Rat.to_string (Rat.mul half third));
+  check_str "(1/2)/(1/3)" "3/2" (Rat.to_string (Rat.div half third));
+  check_bool "1/2 < 2/3" true (Rat.lt half (Rat.of_ints 2 3));
+  check_str "normalize" "1/2" (Rat.to_string (Rat.of_ints 17 34));
+  check_str "neg den" "-1/2" (Rat.to_string (Rat.of_ints 1 (-2)))
+
+let test_rat_floor_ceil () =
+  let f x = Bitvec.Bn.to_int_exn (Rat.floor x) and c x = Bitvec.Bn.to_int_exn (Rat.ceil x) in
+  check_int "floor 7/2" 3 (f (Rat.of_ints 7 2));
+  check_int "ceil 7/2" 4 (c (Rat.of_ints 7 2));
+  check_int "floor -7/2" (-4) (f (Rat.of_ints (-7) 2));
+  check_int "ceil -7/2" (-3) (c (Rat.of_ints (-7) 2));
+  check_int "floor 4" 4 (f (rat 4));
+  check_int "ceil 4" 4 (c (rat 4))
+
+(* ---- Simplex ---- *)
+
+let opt_values = function
+  | Simplex.Optimal (x, obj) -> (Array.map Rat.to_float x, Rat.to_float obj)
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_simplex_basic () =
+  (* minimize -x - y  s.t. x + y <= 4, x <= 3, y <= 2  -> x=3,y=1? or 2,2; obj -4 *)
+  let obj = [| rat (-1); rat (-1) |] in
+  let rows =
+    [
+      ([| rat 1; rat 1 |], Simplex.Le, rat 4);
+      ([| rat 1; rat 0 |], Simplex.Le, rat 3);
+      ([| rat 0; rat 1 |], Simplex.Le, rat 2);
+    ]
+  in
+  let _, obj_v = opt_values (Simplex.solve ~obj ~rows) in
+  Alcotest.(check (float 1e-9)) "objective" (-4.0) obj_v
+
+let test_simplex_eq_and_ge () =
+  (* minimize x + y  s.t. x + y >= 3, x = 1  -> x=1, y=2, obj 3 *)
+  let obj = [| rat 1; rat 1 |] in
+  let rows =
+    [ ([| rat 1; rat 1 |], Simplex.Ge, rat 3); ([| rat 1; rat 0 |], Simplex.Eq, rat 1) ]
+  in
+  let x, obj_v = opt_values (Simplex.solve ~obj ~rows) in
+  Alcotest.(check (float 1e-9)) "x" 1.0 x.(0);
+  Alcotest.(check (float 1e-9)) "y" 2.0 x.(1);
+  Alcotest.(check (float 1e-9)) "obj" 3.0 obj_v
+
+let test_simplex_infeasible () =
+  let obj = [| rat 1 |] in
+  let rows =
+    [ ([| rat 1 |], Simplex.Ge, rat 5); ([| rat 1 |], Simplex.Le, rat 2) ]
+  in
+  (match Simplex.solve ~obj ~rows with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_simplex_unbounded () =
+  let obj = [| rat (-1) |] in
+  let rows = [ ([| rat 1 |], Simplex.Ge, rat 0) ] in
+  (match Simplex.solve ~obj ~rows with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded")
+
+let test_simplex_degenerate () =
+  (* degenerate vertex: Bland's rule must still terminate *)
+  let obj = [| rat (-3); rat (-2) |] in
+  let rows =
+    [
+      ([| rat 1; rat 1 |], Simplex.Le, rat 0);
+      ([| rat 1; rat 2 |], Simplex.Le, rat 0);
+      ([| rat 2; rat 1 |], Simplex.Le, rat 0);
+    ]
+  in
+  let _, obj_v = opt_values (Simplex.solve ~obj ~rows) in
+  Alcotest.(check (float 1e-9)) "degenerate optimum" 0.0 obj_v
+
+(* ---- MILP ---- *)
+
+let test_milp_rounding () =
+  (* maximize x (= minimize -x) s.t. 2x <= 5, x integer -> x = 2 *)
+  let p = Lp.create () in
+  let x = Lp.add_int_var p ~name:"x" in
+  Lp.add_int_constraint p [ (2, x) ] Lp.Le 5;
+  Lp.set_int_objective p [ (-1, x) ];
+  (match Lp.solve p with
+  | `Optimal sol -> check_int "x" 2 (Lp.value_int sol x)
+  | _ -> Alcotest.fail "expected optimal")
+
+let test_milp_knapsack () =
+  (* classic small knapsack: values 10,13,7; weights 3,4,2; cap 6.
+     best = items 2+3: weight 6, value 20 *)
+  let p = Lp.create () in
+  let xs =
+    List.map (fun i -> Lp.add_int_var p ~upper:1 ~name:(Printf.sprintf "x%d" i)) [ 1; 2; 3 ]
+  in
+  (match xs with
+  | [ x1; x2; x3 ] ->
+      Lp.add_int_constraint p [ (3, x1); (4, x2); (2, x3) ] Lp.Le 6;
+      Lp.set_int_objective p [ (-10, x1); (-13, x2); (-7, x3) ];
+      (match Lp.solve p with
+      | `Optimal sol ->
+          check_int "obj" (-20) (Rat.to_int_exn sol.Lp.objective);
+          check_int "x1" 0 (Lp.value_int sol x1);
+          check_int "x2" 1 (Lp.value_int sol x2);
+          check_int "x3" 1 (Lp.value_int sol x3)
+      | _ -> Alcotest.fail "expected optimal")
+  | _ -> assert false)
+
+let test_milp_scheduling_shape () =
+  (* A miniature LongnailProblem-shaped ILP: chain a -> b -> c with latencies
+     1,1; b constrained to start >= 3 (earliest); minimize sum of start
+     times. Expect a=0 (free), b=3, c=4. *)
+  let p = Lp.create () in
+  let ta = Lp.add_int_var p ~name:"ta" in
+  let tb = Lp.add_int_var p ~name:"tb" in
+  let tc = Lp.add_int_var p ~name:"tc" in
+  Lp.add_int_constraint p [ (1, tb); (-1, ta) ] Lp.Ge 1;
+  Lp.add_int_constraint p [ (1, tc); (-1, tb) ] Lp.Ge 1;
+  Lp.add_int_constraint p [ (1, tb) ] Lp.Ge 3;
+  Lp.set_int_objective p [ (1, ta); (1, tb); (1, tc) ];
+  (match Lp.solve p with
+  | `Optimal sol ->
+      check_int "ta" 0 (Lp.value_int sol ta);
+      check_int "tb" 3 (Lp.value_int sol tb);
+      check_int "tc" 4 (Lp.value_int sol tc)
+  | _ -> Alcotest.fail "expected optimal")
+
+let test_milp_infeasible_window () =
+  (* earliest > latest on the same op *)
+  let p = Lp.create () in
+  let t = Lp.add_int_var p ~name:"t" in
+  Lp.add_int_constraint p [ (1, t) ] Lp.Ge 5;
+  Lp.add_int_constraint p [ (1, t) ] Lp.Le 4;
+  Lp.set_int_objective p [ (1, t) ];
+  (match Lp.solve p with
+  | `Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_to_text () =
+  let p = Lp.create () in
+  let x = Lp.add_int_var p ~name:"x" ~upper:7 in
+  Lp.add_int_constraint p [ (1, x) ] Lp.Ge 2;
+  Lp.set_int_objective p [ (1, x) ];
+  let txt = Lp.to_text p in
+  check_bool "mentions minimize" true (String.length txt > 0 && String.sub txt 0 8 = "minimize");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "mentions bounds" true (contains "bounds" txt)
+
+(* ---- Difference-constraint solver ---- *)
+
+let test_difference_matches_ilp () =
+  let d = Difference.create 3 in
+  Difference.add_ge d ~src:0 ~dst:1 ~weight:1;
+  Difference.add_ge d ~src:1 ~dst:2 ~weight:1;
+  Difference.set_lower d 1 3;
+  (match Difference.solve d with
+  | Some sol ->
+      check_int "t0" 0 sol.(0);
+      check_int "t1" 3 sol.(1);
+      check_int "t2" 4 sol.(2)
+  | None -> Alcotest.fail "expected feasible")
+
+let test_difference_infeasible_upper () =
+  let d = Difference.create 2 in
+  Difference.add_ge d ~src:0 ~dst:1 ~weight:5;
+  Difference.set_upper d 1 3;
+  check_bool "infeasible" true (Difference.solve d = None)
+
+let test_difference_positive_cycle () =
+  let d = Difference.create 2 in
+  Difference.add_ge d ~src:0 ~dst:1 ~weight:1;
+  Difference.add_ge d ~src:1 ~dst:0 ~weight:1;
+  check_bool "positive cycle infeasible" true (Difference.solve d = None)
+
+(* ---- properties ---- *)
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.of_ints n (if d = 0 then 1 else d))
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat add/mul associativity+distributivity" ~count:300
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.add (Rat.add a b) c) (Rat.add a (Rat.add b c))
+      && Rat.equal (Rat.mul (Rat.mul a b) c) (Rat.mul a (Rat.mul b c))
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_rat_floor_le =
+  QCheck.Test.make ~name:"rat floor <= x < floor+1" ~count:300 arb_rat (fun x ->
+      let f = Rat.of_bn (Rat.floor x) in
+      Rat.le f x && Rat.lt x (Rat.add f Rat.one))
+
+let prop_difference_minimality =
+  (* the difference solver returns the componentwise-minimal solution: every
+     solution point satisfies all constraints *)
+  QCheck.Test.make ~name:"difference solution satisfies all constraints" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.return 10)
+       (QCheck.triple (QCheck.int_range 0 5) (QCheck.int_range 0 5) (QCheck.int_range 0 3)))
+    (fun edges ->
+      let d = Difference.create 6 in
+      List.iter (fun (s, t, w) -> if s <> t then Difference.add_ge d ~src:s ~dst:t ~weight:w) edges;
+      match Difference.solve d with
+      | None -> true (* cycles possible with random edges *)
+      | Some sol ->
+          List.for_all (fun (s, t, w) -> s = t || sol.(t) - sol.(s) >= w) edges
+          && Array.for_all (fun v -> v >= 0) sol)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_rat_field; prop_rat_floor_le; prop_difference_minimality ]
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "rat",
+        [
+          Alcotest.test_case "basics" `Quick test_rat_basics;
+          Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "basic LP" `Quick test_simplex_basic;
+          Alcotest.test_case "eq and ge rows" `Quick test_simplex_eq_and_ge;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "degenerate termination" `Quick test_simplex_degenerate;
+        ] );
+      ( "milp",
+        [
+          Alcotest.test_case "integer rounding" `Quick test_milp_rounding;
+          Alcotest.test_case "knapsack" `Quick test_milp_knapsack;
+          Alcotest.test_case "scheduling shape" `Quick test_milp_scheduling_shape;
+          Alcotest.test_case "infeasible window" `Quick test_milp_infeasible_window;
+          Alcotest.test_case "to_text" `Quick test_lp_to_text;
+        ] );
+      ( "difference",
+        [
+          Alcotest.test_case "matches ILP result" `Quick test_difference_matches_ilp;
+          Alcotest.test_case "upper bound infeasible" `Quick test_difference_infeasible_upper;
+          Alcotest.test_case "positive cycle" `Quick test_difference_positive_cycle;
+        ] );
+      ("properties", qcheck_cases);
+    ]
