@@ -6,9 +6,14 @@
      bench/main.exe table4           one specific target
      bench/main.exe micro            Bechamel micro-benchmarks of the
                                      substrates
+     bench/main.exe perf --json BENCH_PIPELINE.json [--schema FILE]
+                                     profile the compile pipeline for every
+                                     bundled ISAX x host core and write the
+                                     machine-readable baseline (+ the
+                                     metric-name schema) consumed by CI
 
    Targets: table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 perf
-            ablation micro *)
+            ablation outlook dse sharing extra micro *)
 
 let sep title =
   Printf.printf "\n%s\n== %s\n%s\n" (String.make 78 '=') title (String.make 78 '=')
@@ -223,6 +228,82 @@ let perf () =
   let area = (Asic.Flow.run ~isax_name:"autoinc+zol" c).Asic.Flow.area_overhead_pct in
   Printf.printf "\narea overhead of autoinc+zol on VexRiscv: +%.0f%% (paper: +16%%)\n" area;
   Printf.printf "asymptotic speedup: +%.0f%% (paper: >60%%)\n" ((18.0 /. 11.0 -. 1.0) *. 100.0)
+
+(* ---- perf --json: the machine-readable pipeline baseline ---- *)
+
+(* Compile every bundled ISAX on every host core with profiling enabled
+   and write one JSON document with per-stage wall times and IR-size
+   metrics — the baseline every later compile-time PR is judged against.
+   The span trees are validated (no empty or non-finite metrics) before
+   anything is written, so a corrupted run exits nonzero and CI fails. *)
+
+let profile_one (core : Scaiev.Datasheet.t) (e : Isax.Registry.entry) =
+  let obs = Obs.create ~name:"compile" () in
+  let tu =
+    Obs.span obs "parse_typecheck" (fun sobs ->
+        let tu = Isax.Registry.compile e in
+        Obs.metric_int sobs "source_bytes" (String.length e.source);
+        Obs.metric_int sobs "n_instructions" (List.length tu.Coredsl.Tast.tinstrs);
+        Obs.metric_int sobs "n_always" (List.length tu.Coredsl.Tast.talways);
+        tu)
+  in
+  ignore (Longnail.Flow.compile ~obs core tu);
+  Obs.finish obs;
+  let sp = Obs.root obs in
+  Obs.validate sp;
+  sp
+
+let perf_json ~json_path ~schema_path () =
+  let results =
+    List.concat_map
+      (fun (core : Scaiev.Datasheet.t) ->
+        List.map
+          (fun (e : Isax.Registry.entry) ->
+            Printf.eprintf "profiling %s on %s...\n%!" e.name core.core_name;
+            (e.name, core.core_name, profile_one core e))
+          Isax.Registry.all)
+      Scaiev.Datasheet.all_cores
+  in
+  if results = [] then failwith "perf --json produced no targets";
+  (* the schema must be identical for every target: same stages, same
+     metric names. A divergence means a stage was skipped or renamed. *)
+  let schema =
+    match results with
+    | (_, _, sp0) :: rest ->
+        let s0 = Obs.schema sp0 in
+        List.iter
+          (fun (isax, core, sp) ->
+            if Obs.schema sp <> s0 then
+              failwith (Printf.sprintf "metric schema of %s on %s diverges" isax core))
+          rest;
+        s0
+    | [] -> assert false
+  in
+  let b = Buffer.create (64 * 1024) in
+  Buffer.add_string b "{\"schema_version\":1,";
+  Buffer.add_string b "\"tool\":\"bench/main.exe perf --json\",";
+  Buffer.add_string b "\"targets\":[";
+  List.iteri
+    (fun i (isax, core, sp) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b
+        (Printf.sprintf "{\"isax\":\"%s\",\"core\":\"%s\",\"profile\":%s}" isax core
+           (Obs.to_json sp)))
+    results;
+  Buffer.add_string b "]}";
+  let oc = open_out_bin json_path in
+  Buffer.output_buffer oc b;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d targets, %d schema entries)\n" json_path (List.length results)
+    (List.length schema);
+  match schema_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_bin path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) schema;
+      close_out oc;
+      Printf.printf "wrote %s\n" path
 
 (* ---- ablations (DESIGN.md section 5) ---- *)
 
@@ -442,19 +523,43 @@ let all_targets =
     ("sharing", sharing); ("extra", extra); ("micro", micro);
   ]
 
+let usage_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target)\n"
+        m
+        (String.concat " " (List.map fst all_targets));
+      exit 2)
+    fmt
+
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
+  (* flags first, then target names; every name is validated before any
+     target runs, and errors exit nonzero — CI depends on the exit code. *)
+  let rec parse (targets, json, schema) = function
+    | [] -> (List.rev targets, json, schema)
+    | "--json" :: path :: rest -> parse (targets, Some path, schema) rest
+    | "--schema" :: path :: rest -> parse (targets, json, Some path) rest
+    | ("--json" | "--schema") :: [] -> usage_error "missing file argument"
+    | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
+        usage_error "unknown flag '%s'" a
+    | a :: rest -> parse (a :: targets, json, schema) rest
+  in
+  let names, json, schema = parse ([], None, None) (List.tl (Array.to_list Sys.argv)) in
+  List.iter
+    (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
+    names;
+  (match (json, schema) with
+  | (Some _, _ | _, Some _) when not (List.mem "perf" names) ->
+      usage_error "--json/--schema require the 'perf' target"
+  | _ -> ());
+  match names with
   | [] ->
       (* everything except the (slow) micro benches *)
       List.iter (fun (n, f) -> if n <> "micro" then f ()) all_targets
   | names ->
       List.iter
         (fun n ->
-          match List.assoc_opt n all_targets with
-          | Some f -> f ()
-          | None ->
-              Printf.eprintf "unknown target '%s'; available: %s\n" n
-                (String.concat " " (List.map fst all_targets));
-              exit 1)
+          match (n, json) with
+          | "perf", Some json_path -> perf_json ~json_path ~schema_path:schema ()
+          | _ -> (List.assoc n all_targets) ())
         names

@@ -2,7 +2,9 @@
 
      longnail compile -c vexriscv -t X_DOTP input.core_desc -o out/
          compile a CoreDSL description: writes one SystemVerilog module per
-         ISAX functionality plus the SCAIE-V configuration YAML
+         ISAX functionality plus the SCAIE-V configuration YAML;
+         --profile[=json|schema] prints one timed span per Figure-9
+         pipeline stage (docs/OBSERVABILITY.md)
      longnail cores
          list the supported host cores and their virtual datasheets
      longnail bundled [-n dotprod]
@@ -70,17 +72,45 @@ let compile_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Also write a Graphviz CDFG per functionality.")
   in
-  let run input target core outdir scheduler dot =
+  let profile =
+    Arg.(
+      value
+      & opt
+          ~vopt:(Some `Pretty)
+          (some (enum [ ("pretty", `Pretty); ("json", `Json); ("schema", `Schema) ]))
+          None
+      & info [ "profile" ] ~docv:"FORMAT"
+          ~doc:
+            "Profile the pipeline: one span per Figure-9 stage with stage metrics.              FORMAT is 'pretty' (default), 'json' (the span tree on stdout), or              'schema' (the sorted metric-name schema, for the CI contract check).")
+  in
+  let run input target core outdir scheduler dot profile =
     try
+      (* with machine-readable profile output, progress notes move to
+         stderr so stdout stays pure JSON / schema lines *)
+      let note fmt =
+        match profile with
+        | Some (`Json | `Schema) -> Printf.eprintf fmt
+        | _ -> Printf.printf fmt
+      in
+      let obs =
+        match profile with None -> None | Some _ -> Some (Obs.create ~name:"compile" ())
+      in
       let src = read_file input in
-      let tu = Coredsl.compile ~provider:Isax.Registry.provider ~file:input ~target src in
-      let c = Longnail.Flow.compile ~scheduler core tu in
+      let tu =
+        Obs.span_opt obs "parse_typecheck" (fun sobs ->
+            let tu = Coredsl.compile ~provider:Isax.Registry.provider ~file:input ~target src in
+            Obs.metric_int_opt sobs "source_bytes" (String.length src);
+            Obs.metric_int_opt sobs "n_instructions" (List.length tu.Coredsl.Tast.tinstrs);
+            Obs.metric_int_opt sobs "n_always" (List.length tu.Coredsl.Tast.talways);
+            tu)
+      in
+      let c = Longnail.Flow.compile ~scheduler ?obs core tu in
       if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
       List.iter
         (fun (f : Longnail.Flow.compiled_functionality) ->
           let path = Filename.concat outdir (f.cf_name ^ ".sv") in
           write_file path f.cf_sv;
-          Printf.printf "wrote %s (%s, last stage %d)\n" path
+          note "wrote %s (%s, last stage %d)\n" path
             (Scaiev.Config.mode_to_string f.cf_mode)
             f.cf_hw.Longnail.Hwgen.max_stage;
           if dot then begin
@@ -93,20 +123,34 @@ let compile_cmd =
               with _ -> None
             in
             write_file dpath (Ir.Dot.of_graph ~time_of f.cf_lil);
-            Printf.printf "wrote %s\n" dpath
+            note "wrote %s\n" dpath
           end)
         c.funcs;
       let cfg_path = Filename.concat outdir "scaiev_config.yaml" in
       write_file cfg_path c.config_yaml;
-      Printf.printf "wrote %s\n" cfg_path;
+      note "wrote %s\n" cfg_path;
+      Option.iter Obs.finish obs;
+      (match (profile, obs) with
+      | Some `Pretty, Some s ->
+          Obs.validate (Obs.root s);
+          print_newline ();
+          print_string (Obs.to_pretty (Obs.root s))
+      | Some `Json, Some s ->
+          Obs.validate (Obs.root s);
+          print_endline (Obs.to_json (Obs.root s))
+      | Some `Schema, Some s ->
+          Obs.validate (Obs.root s);
+          List.iter print_endline (Obs.schema (Obs.root s))
+      | _ -> ());
       `Ok ()
     with
     | Coredsl.Error m | Longnail.Flow.Flow_error m -> `Error (false, m)
     | Scaiev.Generator.Generate_error m -> `Error (false, "SCAIE-V: " ^ m)
+    | Obs.Invalid_metrics m -> `Error (false, "profile metrics invalid: " ^ m)
   in
   let doc = "Compile a CoreDSL description to SystemVerilog + SCAIE-V configuration." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(ret (const run $ input $ target $ core_arg $ outdir $ scheduler $ dot))
+    Term.(ret (const run $ input $ target $ core_arg $ outdir $ scheduler $ dot $ profile))
 
 (* ---- cores ---- *)
 

@@ -261,16 +261,102 @@ let lower_constant_shifts (g : graph) : graph =
      everything through a final rewrite that only applies the subst *)
   { g with body = List.rev b.ops }
 
-(* standard pipeline: fold to fixpoint, share, strip dead logic *)
-let optimize ?(fold_rounds = 4) (g : graph) : graph =
-  let g = ref g in
-  g := fold_constants !g;
-  g := lower_constant_shifts !g;
-  for _ = 1 to fold_rounds do
-    g := fold_constants !g;
-    g := cse !g
+(* ---- instrumented pass manager ---- *)
+
+(* Each optimization pass is registered here by name so the pass manager
+   can wrap it uniformly: per run it records wall time and before/after
+   op- and edge-counts into the profiling scope, and the fixpoint driver
+   reports its rounds-to-convergence. This is the measurement substrate
+   for all later compile-time work (caching, parallel compile, sharing). *)
+
+type pass = { pass_name : string; pass_fn : graph -> graph }
+
+let all_passes : pass list =
+  [
+    { pass_name = "fold_constants"; pass_fn = fold_constants };
+    { pass_name = "lower_constant_shifts"; pass_fn = lower_constant_shifts };
+    { pass_name = "cse"; pass_fn = cse };
+    { pass_name = "dce"; pass_fn = dce };
+    { pass_name = "dce_interface_reads"; pass_fn = dce_interface_reads };
+  ]
+
+let find_pass name = List.find (fun p -> p.pass_name = name) all_passes
+
+(* IR-size metrics: number of operations (including region bodies) and
+   def-use edges (operand references). *)
+let op_count (g : graph) = List.length (all_ops g)
+let edge_count (g : graph) = List.fold_left (fun a (o : op) -> a + List.length o.operands) 0 (all_ops g)
+
+type pass_stat = {
+  ps_pass : string;
+  ps_ops_before : int;
+  ps_ops_after : int;
+  ps_edges_before : int;
+  ps_edges_after : int;
+}
+
+(* Run one pass, recording a "pass:NAME" child span with before/after
+   sizes. Returns the rewritten graph and the stat record. *)
+let run_pass ?obs (p : pass) (g : graph) : graph * pass_stat =
+  Obs.span_opt obs ("pass:" ^ p.pass_name) (fun obs ->
+      let ops_before = op_count g and edges_before = edge_count g in
+      let g' = p.pass_fn g in
+      let st =
+        {
+          ps_pass = p.pass_name;
+          ps_ops_before = ops_before;
+          ps_ops_after = op_count g';
+          ps_edges_before = edges_before;
+          ps_edges_after = edge_count g';
+        }
+      in
+      Obs.metric_int_opt obs "ops_before" st.ps_ops_before;
+      Obs.metric_int_opt obs "ops_after" st.ps_ops_after;
+      Obs.metric_int_opt obs "edges_before" st.ps_edges_before;
+      Obs.metric_int_opt obs "edges_after" st.ps_edges_after;
+      (g', st))
+
+(* Cheap convergence check for the fixpoint driver: identical op count,
+   edge count and printed form. Graphs here are tens to a few hundred ops,
+   so the string compare is negligible next to the passes themselves. *)
+let graphs_equal a b =
+  op_count a = op_count b && edge_count a = edge_count b
+  && graph_to_string a = graph_to_string b
+
+(* Standard pipeline: fold + lower shifts once, then fold/cse to fixpoint
+   (bounded by [fold_rounds]), then strip dead logic. With [obs] set, every
+   pass execution appears as a "pass:*" child span of the caller's scope,
+   and the number of fold/cse rounds actually taken is recorded as the
+   "fold_rounds" metric. *)
+let optimize_with_stats ?obs ?(fold_rounds = 4) (g : graph) : graph * pass_stat list =
+  let stats = ref [] in
+  let run name g =
+    let g', st = run_pass ?obs (find_pass name) g in
+    stats := st :: !stats;
+    g'
+  in
+  let g = run "fold_constants" g in
+  let g = run "lower_constant_shifts" g in
+  let g = ref g and rounds = ref 0 and converged = ref false in
+  while (not !converged) && !rounds < fold_rounds do
+    incr rounds;
+    let before = !g in
+    g := run "fold_constants" !g;
+    g := run "cse" !g;
+    if graphs_equal before !g then converged := true
   done;
-  g := dce !g;
-  g := dce_interface_reads !g;
-  g := dce !g;
-  !g
+  g := run "dce" !g;
+  g := run "dce_interface_reads" !g;
+  g := run "dce" !g;
+  (match obs with
+  | Some s ->
+      Obs.metric_int s "fold_rounds" !rounds;
+      Obs.metric_int s "ops_before" (List.nth (List.rev !stats) 0).ps_ops_before;
+      Obs.metric_int s "ops_after" (List.hd !stats).ps_ops_after;
+      Obs.metric_int s "edges_before" (List.nth (List.rev !stats) 0).ps_edges_before;
+      Obs.metric_int s "edges_after" (List.hd !stats).ps_edges_after
+  | None -> ());
+  (!g, List.rev !stats)
+
+let optimize ?obs ?fold_rounds (g : graph) : graph =
+  fst (optimize_with_stats ?obs ?fold_rounds g)

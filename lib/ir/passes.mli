@@ -11,4 +11,41 @@ val cse : Mir.graph -> Mir.graph
 val dce : Mir.graph -> Mir.graph
 val dce_interface_reads : Mir.graph -> Mir.graph
 val lower_constant_shifts : Mir.graph -> Mir.graph
-val optimize : ?fold_rounds:int -> Mir.graph -> Mir.graph
+
+(** {2 Instrumented pass manager} *)
+
+type pass = { pass_name : string; pass_fn : Mir.graph -> Mir.graph }
+
+val all_passes : pass list
+(** Every registered optimization pass, in canonical order. *)
+
+val find_pass : string -> pass
+(** Look a pass up by name; raises [Not_found] on unknown names. *)
+
+val op_count : Mir.graph -> int
+(** Number of operations, including region bodies. *)
+
+val edge_count : Mir.graph -> int
+(** Number of def-use edges (operand references). *)
+
+(** Before/after IR sizes of one pass execution. *)
+type pass_stat = {
+  ps_pass : string;
+  ps_ops_before : int;
+  ps_ops_after : int;
+  ps_edges_before : int;
+  ps_edges_after : int;
+}
+
+val run_pass : ?obs:Obs.scope -> pass -> Mir.graph -> Mir.graph * pass_stat
+(** Run one pass; with [obs] set, records a ["pass:NAME"] span with
+    before/after op- and edge-counts. *)
+
+val optimize_with_stats :
+  ?obs:Obs.scope -> ?fold_rounds:int -> Mir.graph -> Mir.graph * pass_stat list
+(** The standard pipeline (fold + shift lowering, fold/cse to fixpoint
+    bounded by [fold_rounds], then DCE), returning the per-pass trace in
+    execution order. With [obs] set, also records ["pass:*"] spans plus a
+    ["fold_rounds"] rounds-to-fixpoint metric on the enclosing span. *)
+
+val optimize : ?obs:Obs.scope -> ?fold_rounds:int -> Mir.graph -> Mir.graph

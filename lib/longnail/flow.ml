@@ -62,31 +62,93 @@ let default_delay_model core cycle_time =
   let ct = match cycle_time with Some ct -> ct | None -> Scaiev.Datasheet.cycle_time_ns core in
   Delay_model.uniform (ct /. 14.0)
 
+(* The per-functionality Figure-9 stages, in pipeline order. Each compiled
+   functionality records exactly one profiling span per stage; tests and
+   the CI schema check rely on this list staying in sync with
+   [compile_functionality]. *)
+let stage_names = [ "hlir"; "lil"; "optimize"; "schedule"; "hwgen"; "sv_emit" ]
+
 let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
-    ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
+    ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time ?obs
     (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
     compiled_functionality =
   let delay_model =
     match delay_model with Some dm -> dm | None -> default_delay_model core cycle_time
   in
-  let hlir, fields, name, kind =
+  let name, kind =
     match fn with
-    | `Instr ti -> (Ir.Hlir.lower_instruction tu ti, ti.fields, ti.ti_name, `Instruction)
-    | `Always ta -> (Ir.Hlir.lower_always tu ta, [], ta.ta_name, `Always)
+    | `Instr ti -> (ti.Coredsl.Tast.ti_name, `Instruction)
+    | `Always ta -> (ta.Coredsl.Tast.ta_name, `Always)
   in
-  Ir.Mir.verify hlir;
-  let lil = Ir.Lil.of_hlir tu.elab ~fields hlir in
-  let lil = Ir.Passes.optimize lil in
-  Ir.Mir.verify lil;
-  Ir.Lil.validate_single_use lil;
-  let built = Sched_build.build core ~delay_model ?cycle_time lil in
-  if not (Sched_build.schedule ~scheduler built) then
-    raise
-      (Flow_error
-         (Printf.sprintf "scheduling of %s for core %s is infeasible" name core.core_name));
-  Sched.Problem.verify built.problem;
-  let hw = Hwgen.generate core tu.elab built lil in
-  let sv = Rtl.Sv_emit.emit hw.netlist in
+  Obs.span_opt obs ("func:" ^ name) @@ fun obs ->
+  Obs.metric_str_opt obs "kind"
+    (match kind with `Instruction -> "instruction" | `Always -> "always");
+  let hlir, fields =
+    Obs.span_opt obs "hlir" (fun sobs ->
+        let hlir, fields =
+          match fn with
+          | `Instr ti -> (Ir.Hlir.lower_instruction tu ti, ti.fields)
+          | `Always ta -> (Ir.Hlir.lower_always tu ta, [])
+        in
+        Ir.Mir.verify hlir;
+        Obs.metric_int_opt sobs "ops" (Ir.Passes.op_count hlir);
+        Obs.metric_int_opt sobs "edges" (Ir.Passes.edge_count hlir);
+        (hlir, fields))
+  in
+  let lil =
+    Obs.span_opt obs "lil" (fun sobs ->
+        let lil = Ir.Lil.of_hlir tu.elab ~fields hlir in
+        Obs.metric_int_opt sobs "ops" (Ir.Passes.op_count lil);
+        Obs.metric_int_opt sobs "edges" (Ir.Passes.edge_count lil);
+        lil)
+  in
+  let lil =
+    Obs.span_opt obs "optimize" (fun sobs ->
+        let lil = Ir.Passes.optimize ?obs:sobs lil in
+        Ir.Mir.verify lil;
+        Ir.Lil.validate_single_use lil;
+        lil)
+  in
+  let built =
+    Obs.span_opt obs "schedule" (fun sobs ->
+        let built = Sched_build.build core ~delay_model ?cycle_time lil in
+        let p = built.Sched_build.problem in
+        Obs.metric_str_opt sobs "scheduler"
+          (match scheduler with Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap");
+        Obs.metric_int_opt sobs "sched_ops" (Array.length p.Sched.Problem.operations);
+        Obs.metric_int_opt sobs "sched_deps" (List.length p.Sched.Problem.dependences);
+        let vars, constraints = Sched.Ilp_scheduler.ilp_size p in
+        Obs.metric_int_opt sobs "ilp_vars" vars;
+        Obs.metric_int_opt sobs "ilp_constraints" constraints;
+        let feasible = Sched_build.schedule ~scheduler built in
+        Obs.metric_int_opt sobs "feasible" (if feasible then 1 else 0);
+        if not feasible then
+          raise
+            (Flow_error
+               (Printf.sprintf "scheduling of %s for core %s is infeasible" name
+                  core.core_name));
+        Sched.Problem.verify built.problem;
+        Obs.metric_int_opt sobs "latency"
+          (Array.fold_left max 0 p.Sched.Problem.start_time);
+        built)
+  in
+  let hw =
+    Obs.span_opt obs "hwgen" (fun sobs ->
+        let hw = Hwgen.generate core tu.elab built lil in
+        let st = Rtl.Netlist.stats hw.Hwgen.netlist in
+        Obs.metric_int_opt sobs "cells" st.Rtl.Netlist.n_comb_nodes;
+        Obs.metric_int_opt sobs "registers" st.Rtl.Netlist.n_registers;
+        Obs.metric_int_opt sobs "register_bits" st.Rtl.Netlist.register_bits;
+        Obs.metric_int_opt sobs "max_stage" hw.Hwgen.max_stage;
+        Obs.metric_int_opt sobs "pipe_reg_bits" hw.Hwgen.pipe_reg_bits;
+        hw)
+  in
+  let sv =
+    Obs.span_opt obs "sv_emit" (fun sobs ->
+        let sv = Rtl.Sv_emit.emit hw.netlist in
+        Obs.metric_int_opt sobs "sv_bytes" (String.length sv);
+        sv)
+  in
   {
     cf_name = name;
     cf_kind = kind;
@@ -103,20 +165,26 @@ let mask_of (ti : Coredsl.Tast.tinstr) =
 
 (* Compile every ISAX functionality of [tu] for [core]. *)
 let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
-    ?(hazard_handling = true) (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
+    ?(hazard_handling = true) ?obs (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) :
+    compiled =
   let delay_model =
     match delay_model with Some dm -> dm | None -> default_delay_model core cycle_time
   in
+  Obs.metric_str_opt obs "core" core.core_name;
   let instrs = List.filter is_isax_instruction tu.tinstrs in
   let funcs =
     List.map
-      (fun ti -> compile_functionality core tu ~scheduler ~delay_model ?cycle_time (`Instr ti))
+      (fun ti ->
+        compile_functionality core tu ~scheduler ~delay_model ?cycle_time ?obs (`Instr ti))
       instrs
     @ List.map
-        (fun ta -> compile_functionality core tu ~scheduler ~delay_model ?cycle_time (`Always ta))
+        (fun ta ->
+          compile_functionality core tu ~scheduler ~delay_model ?cycle_time ?obs (`Always ta))
         tu.talways
   in
+  Obs.metric_int_opt obs "n_funcs" (List.length funcs);
   let config =
+    Obs.span_opt obs "config_gen" @@ fun _ ->
     {
       Scaiev.Config.regs = Config_gen.reg_requests tu.elab (List.map (fun f -> f.cf_hw) funcs);
       funcs =
@@ -133,14 +201,13 @@ let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
           funcs;
     }
   in
-  let adapter = Scaiev.Generator.generate ~hazard_handling core config in
-  {
-    core;
-    unit_ = tu;
-    funcs;
-    config;
-    config_yaml = Scaiev.Config.to_yaml config;
-    adapter;
-  }
+  let adapter, config_yaml =
+    Obs.span_opt obs "adapter_gen" (fun sobs ->
+        let adapter = Scaiev.Generator.generate ~hazard_handling core config in
+        let yaml = Scaiev.Config.to_yaml config in
+        Obs.metric_int_opt sobs "config_yaml_bytes" (String.length yaml);
+        (adapter, yaml))
+  in
+  { core; unit_ = tu; funcs; config; config_yaml; adapter }
 
 let find_func c name = List.find_opt (fun f -> f.cf_name = name) c.funcs

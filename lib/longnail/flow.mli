@@ -55,8 +55,16 @@ val dominant_mode : Hwgen.result -> kind:[> `Always ] -> Scaiev.Config.mode
     (wiring is free), reproducing the reported ~10-stage sqrt. *)
 val default_delay_model : Scaiev.Datasheet.t -> float option -> Delay_model.t
 
+(** The per-functionality Figure-9 stage names, in pipeline order. With a
+    profiling scope, {!compile_functionality} records one child span named
+    ["func:NAME"] containing exactly one span per stage in this list. *)
+val stage_names : string list
+
 (** Compile a single instruction or always-block. [cycle_time] defaults to
     the core's base clock period; [delay_model] to {!default_delay_model}.
+    With [obs] set, records a ["func:NAME"] span with one child per
+    {!stage_names} entry, each carrying stage-specific metrics (IR sizes,
+    ILP variables/constraints, netlist cells, SV bytes, ...).
     Raises {!Flow_error} when scheduling is infeasible. *)
 val compile_functionality :
   Scaiev.Datasheet.t ->
@@ -64,6 +72,7 @@ val compile_functionality :
   ?scheduler:Sched_build.scheduler ->
   ?delay_model:Delay_model.t ->
   ?cycle_time:float ->
+  ?obs:Obs.scope ->
   [ `Always of Coredsl.Tast.talways | `Instr of Coredsl.Tast.tinstr ] ->
   compiled_functionality
 
@@ -78,6 +87,7 @@ val compile :
   ?delay_model:Delay_model.t ->
   ?cycle_time:float ->
   ?hazard_handling:bool ->
+  ?obs:Obs.scope ->
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->
   compiled

@@ -137,3 +137,20 @@ let schedule ?(backend = Netflow) (p : Problem.t) : outcome =
 let ilp_text p =
   let lp, _ = build_ilp p in
   Lp.to_text lp
+
+(* Size of the Figure 7 ILP without materializing it: (variables,
+   constraints). Used by the profiling layer, which must not distort the
+   timings it reports by building a second copy of the LP. *)
+let ilp_size p =
+  let n = Array.length p.Problem.operations in
+  let n_deps = List.length p.Problem.dependences in
+  let n_windows =
+    Array.fold_left
+      (fun acc (op : Problem.operation) ->
+        acc
+        + (if op.lot.earliest > 0 then 1 else 0)
+        + match op.lot.latest with Some _ -> 1 | None -> 0)
+      0 p.Problem.operations
+  in
+  let n_breakers = List.length (Problem.chain_breakers p) in
+  (n + n_deps, (2 * n_deps) + n_windows + n_breakers)

@@ -21,3 +21,7 @@ val schedule_netflow : Problem.t -> outcome
 type backend = Exact | Netflow
 val schedule : ?backend:backend -> Problem.t -> outcome
 val ilp_text : Problem.t -> string
+
+val ilp_size : Problem.t -> int * int
+(** [(variables, constraints)] of the Figure 7 ILP for this instance,
+    computed without building it (profiling must stay cheap). *)

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI gate: the profiling metric-name schema is a checked-in contract.
+#
+# Runs the profile-enabled flow on one bundled ISAX and diffs the emitted
+# metric names against bench/PIPELINE_SCHEMA.txt. A metric or stage rename
+# must come with an update to that file (regenerate with
+#   bench/main.exe perf --json /dev/null --schema bench/PIPELINE_SCHEMA.txt
+# or  longnail compile ... --profile=schema > bench/PIPELINE_SCHEMA.txt).
+#
+# Usage: scripts/check_schema.sh   (from the repository root)
+set -eu
+
+CLI=_build/default/bin/longnail_cli.exe
+SCHEMA=bench/PIPELINE_SCHEMA.txt
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+dune build bin/longnail_cli.exe
+
+"$CLI" bundled -n dotprod > "$TMP/dotprod.core_desc"
+"$CLI" compile -c vexriscv -t X_DOTP -o "$TMP/out" --profile=schema \
+    "$TMP/dotprod.core_desc" > "$TMP/schema.txt" 2> /dev/null
+
+if ! diff -u "$SCHEMA" "$TMP/schema.txt"; then
+    echo "error: emitted profiling schema diverges from $SCHEMA" >&2
+    echo "       (if the rename is deliberate, update the checked-in file)" >&2
+    exit 1
+fi
+echo "profiling schema matches $SCHEMA"

@@ -254,6 +254,96 @@ let test_decoupled_dependent_stalls () =
   check_int "sqrt" 42 (Riscv.Pipeline.read_gpr p 13);
   check_int "chained use" 84 (Riscv.Pipeline.read_gpr p 14)
 
+(* ---- pipeline profiling (the Figure-9 observability contract) ---- *)
+
+let test_profile_stage_coverage () =
+  (* every Figure-9 stage appears exactly once per compiled functionality,
+     for instructions and always-blocks alike *)
+  List.iter
+    (fun isax ->
+      let tu = Isax.Registry.compile_by_name isax in
+      let obs = Obs.create ~name:"compile" () in
+      let c = Longnail.Flow.compile ~obs Scaiev.Datasheet.vexriscv tu in
+      Obs.finish obs;
+      Obs.validate (Obs.root obs);
+      let func_spans =
+        List.filter
+          (fun sp -> Obs.generic_name sp.Obs.sp_name = "func:*")
+          (Obs.all_spans (Obs.root obs))
+      in
+      check_int (isax ^ " one span per functionality") (List.length c.Longnail.Flow.funcs)
+        (List.length func_spans);
+      List.iter
+        (fun fsp ->
+          List.iter
+            (fun stage ->
+              check_int
+                (Printf.sprintf "%s/%s has one %s stage" isax fsp.Obs.sp_name stage)
+                1
+                (List.length (Obs.find_spans fsp stage)))
+            Longnail.Flow.stage_names)
+        func_spans)
+    [ "dotprod"; "zol" ]
+
+let test_profile_optimize_monotonic () =
+  (* optimization passes only ever shrink the CDFG: op counts are
+     monotonically non-increasing across the optimize pipeline, except for
+     lower_constant_shifts, which is a lowering (a constant shift becomes
+     a handful of free wiring ops) rather than a reduction *)
+  List.iter
+    (fun isax ->
+      let tu = Isax.Registry.compile_by_name isax in
+      let obs = Obs.create ~name:"compile" () in
+      ignore (Longnail.Flow.compile ~obs Scaiev.Datasheet.vexriscv tu);
+      let pass_spans =
+        List.filter
+          (fun sp -> Obs.generic_name sp.Obs.sp_name = "pass:*")
+          (Obs.all_spans (Obs.root obs))
+      in
+      check_bool (isax ^ " recorded pass spans") true (pass_spans <> []);
+      List.iter
+        (fun sp ->
+          let before = Option.get (Obs.get_int sp "ops_before") in
+          let after = Option.get (Obs.get_int sp "ops_after") in
+          if sp.Obs.sp_name <> "pass:lower_constant_shifts" then
+            check_bool
+              (Printf.sprintf "%s %s non-increasing (%d -> %d)" isax sp.Obs.sp_name before
+                 after)
+              true (after <= before))
+        pass_spans;
+      (* and the whole optimize stage shrinks (or keeps) the graph *)
+      List.iter
+        (fun osp ->
+          let before = Option.get (Obs.get_int osp "ops_before") in
+          let after = Option.get (Obs.get_int osp "ops_after") in
+          check_bool
+            (Printf.sprintf "%s optimize total %d -> %d" isax before after)
+            true (after <= before))
+        (Obs.find_spans (Obs.root obs) "optimize"))
+    [ "dotprod"; "sparkle"; "autoinc+zol" ]
+
+let test_profile_optimize_stats_api () =
+  (* the stats-returning entry point agrees with graph reality *)
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let dotp = Option.get (Coredsl.Tast.find_tinstr tu "DOTP") in
+  let hg = Ir.Hlir.lower_instruction tu dotp in
+  let lg = Ir.Lil.of_hlir tu.elab ~fields:dotp.fields hg in
+  let g', stats = Ir.Passes.optimize_with_stats lg in
+  check_bool "trace non-empty" true (stats <> []);
+  check_int "first pass sees the input graph" (Ir.Passes.op_count lg)
+    (List.hd stats).Ir.Passes.ps_ops_before;
+  check_int "last pass produced the output graph" (Ir.Passes.op_count g')
+    (List.nth stats (List.length stats - 1)).Ir.Passes.ps_ops_after;
+  (* consecutive stats chain: each pass starts from the previous result *)
+  ignore
+    (List.fold_left
+       (fun prev (st : Ir.Passes.pass_stat) ->
+         (match prev with
+         | Some p -> check_int ("chained " ^ st.ps_pass) p st.ps_ops_before
+         | None -> ());
+         Some st.ps_ops_after)
+       None stats)
+
 (* random base-ISA programs: the pipeline must match the native ISS *)
 let prop_pipeline_matches_iss =
   QCheck.Test.make ~name:"pipeline matches ISS on random ALU programs" ~count:30 QCheck.int
@@ -306,6 +396,12 @@ let () =
           Alcotest.test_case "write arbitration order" `Quick test_pipeline_arbitration;
           Alcotest.test_case "decoupled overtaking" `Quick test_decoupled_overtaking;
           Alcotest.test_case "decoupled dependent stalls" `Quick test_decoupled_dependent_stalls;
+        ] );
+      ( "profiling",
+        [
+          Alcotest.test_case "stage coverage" `Quick test_profile_stage_coverage;
+          Alcotest.test_case "optimize monotonic" `Quick test_profile_optimize_monotonic;
+          Alcotest.test_case "optimize stats api" `Quick test_profile_optimize_stats_api;
         ] );
       ("properties", qcheck_cases);
     ]
