@@ -14,6 +14,18 @@
 
 open Cmdliner
 
+(* How user diagnostics are rendered by the top-level handler: caret-snippet
+   text (default) or the stable JSON schema of docs/DIAGNOSTICS.md. Set as a
+   side effect of term evaluation so the handler in [main] sees the choice. *)
+let error_format = ref `Text
+
+let error_format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "error-format" ] ~docv:"FORMAT"
+        ~doc:"How to render diagnostics: 'text' (caret snippets) or 'json'.")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -83,10 +95,10 @@ let compile_cmd =
           ~doc:
             "Profile the pipeline: one span per Figure-9 stage with stage metrics.              FORMAT is 'pretty' (default), 'json' (the span tree on stdout), or              'schema' (the sorted metric-name schema, for the CI contract check).")
   in
-  let run input target core outdir scheduler dot profile =
-    try
-      (* with machine-readable profile output, progress notes move to
-         stderr so stdout stays pure JSON / schema lines *)
+  let run efmt input target core outdir scheduler dot profile =
+    error_format := efmt;
+    (* with machine-readable profile output, progress notes move to
+       stderr so stdout stays pure JSON / schema lines *)
       let note fmt =
         match profile with
         | Some (`Json | `Schema) -> Printf.eprintf fmt
@@ -98,7 +110,13 @@ let compile_cmd =
       let src = read_file input in
       let tu =
         Obs.span_opt obs "parse_typecheck" (fun sobs ->
-            let tu = Coredsl.compile ~provider:Isax.Registry.provider ~file:input ~target src in
+            let tu =
+              match
+                Coredsl.compile_result ~provider:Isax.Registry.provider ~file:input ~target src
+              with
+              | Ok tu -> tu
+              | Error ds -> raise (Diag.Fatal ds)
+            in
             Obs.metric_int_opt sobs "source_bytes" (String.length src);
             Obs.metric_int_opt sobs "n_instructions" (List.length tu.Coredsl.Tast.tinstrs);
             Obs.metric_int_opt sobs "n_always" (List.length tu.Coredsl.Tast.talways);
@@ -142,15 +160,16 @@ let compile_cmd =
           Obs.validate (Obs.root s);
           List.iter print_endline (Obs.schema (Obs.root s))
       | _ -> ());
-      `Ok ()
-    with
-    | Coredsl.Error m | Longnail.Flow.Flow_error m -> `Error (false, m)
-    | Scaiev.Generator.Generate_error m -> `Error (false, "SCAIE-V: " ^ m)
-    | Obs.Invalid_metrics m -> `Error (false, "profile metrics invalid: " ^ m)
+    (* Obs.Invalid_metrics deliberately escapes to the internal-error
+       handler: non-finite profile metrics are a bug, not a user error *)
+    `Ok ()
   in
   let doc = "Compile a CoreDSL description to SystemVerilog + SCAIE-V configuration." in
   Cmd.v (Cmd.info "compile" ~doc)
-    Term.(ret (const run $ input $ target $ core_arg $ outdir $ scheduler $ dot $ profile))
+    Term.(
+      ret
+        (const run $ error_format_arg $ input $ target $ core_arg $ outdir $ scheduler $ dot
+       $ profile))
 
 (* ---- cores ---- *)
 
@@ -185,7 +204,7 @@ let bundled_cmd =
         | Some e ->
             print_string e.source;
             `Ok ()
-        | None -> `Error (false, "unknown ISAX " ^ n))
+        | None -> Diag.fatalf ~code:"E0202" "unknown ISAX '%s'" n)
   in
   let doc = "List the bundled benchmark ISAXes (Table 3) or print one." in
   Cmd.v (Cmd.info "bundled" ~doc) Term.(ret (const run $ name_arg))
@@ -197,9 +216,10 @@ let asic_cmd =
     Arg.(
       required & opt (some string) None & info [ "n"; "name" ] ~docv:"ISAX" ~doc:"Bundled ISAX.")
   in
-  let run core name =
+  let run efmt core name =
+    error_format := efmt;
     match Isax.Registry.find name with
-    | None -> `Error (false, "unknown ISAX " ^ name)
+    | None -> Diag.fatalf ~code:"E0202" "unknown ISAX '%s'" name
     | Some e ->
         let c = Longnail.Flow.compile core (Isax.Registry.compile e) in
         let r = Asic.Flow.run ~isax_name:name c in
@@ -217,7 +237,7 @@ let asic_cmd =
         `Ok ()
   in
   let doc = "Run the 22nm ASIC flow model on a bundled ISAX for one core." in
-  Cmd.v (Cmd.info "asic" ~doc) Term.(ret (const run $ core_arg $ name_arg))
+  Cmd.v (Cmd.info "asic" ~doc) Term.(ret (const run $ error_format_arg $ core_arg $ name_arg))
 
 (* ---- run: execute an assembly program on an extended core ---- *)
 
@@ -240,14 +260,20 @@ let run_cmd =
           ~doc:
             "Execution engine: 'cost' (cycle-cost model), 'pipeline' (structural pipeline with              the generated RTL wired in), or 'rtl-loop' (ISAXes through the RTL, base ISA              interpreted).")
   in
-  let run core isax engine prog =
-    try
+  let run efmt core isax engine prog =
+    error_format := efmt;
+    let entry =
+      match isax with
+      | Some n -> (
+          match Isax.Registry.find n with
+          | Some e -> Some e
+          | None -> Diag.fatalf ~code:"E0202" "unknown ISAX '%s'" n)
+      | None -> None
+    in
+    (try
       let tu =
-        match isax with
-        | Some n -> (
-            match Isax.Registry.find n with
-            | Some e -> Isax.Registry.compile e
-            | None -> failwith ("unknown ISAX " ^ n))
+        match entry with
+        | Some e -> Isax.Registry.compile e
         | None -> Coredsl.compile_rv32im ()
       in
       let c = Longnail.Flow.compile core tu in
@@ -284,12 +310,14 @@ let run_cmd =
           Printf.printf "instructions: %d\n" instret;
           dump_regs (Riscv.Rtl_loop.read_gpr rl));
       `Ok ()
-    with
-    | Coredsl.Error m | Failure m -> `Error (false, m)
-    | Riscv.Asm.Asm_error m -> `Error (false, "assembler: " ^ m)
+     (* no bare [Failure] handler here: anything unexpected must escape to
+        the top-level internal-error handler (exit 3), not masquerade as a
+        user error *)
+     with Riscv.Asm.Asm_error m -> Diag.fatalf ~code:"E0601" "%s" m)
   in
   let doc = "Run an assembly program on an (optionally ISAX-extended) core model." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(ret (const run $ core_arg $ isax_arg $ engine_arg $ prog_arg))
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(ret (const run $ error_format_arg $ core_arg $ isax_arg $ engine_arg $ prog_arg))
 
 (* ---- report ---- *)
 
@@ -301,9 +329,10 @@ let report_cmd =
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
-  let run core name out =
+  let run efmt core name out =
+    error_format := efmt;
     match Isax.Registry.find name with
-    | None -> `Error (false, "unknown ISAX " ^ name)
+    | None -> Diag.fatalf ~code:"E0202" "unknown ISAX '%s'" name
     | Some e ->
         let c = Longnail.Flow.compile core (Isax.Registry.compile e) in
         let md = Asic.Report.generate ~isax_name:name c in
@@ -315,9 +344,60 @@ let report_cmd =
         `Ok ()
   in
   let doc = "Generate a Markdown report for a bundled ISAX on one core." in
-  Cmd.v (Cmd.info "report" ~doc) Term.(ret (const run $ core_arg $ name_arg $ out_arg))
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(ret (const run $ error_format_arg $ core_arg $ name_arg $ out_arg))
+
+(* ---- diag: diagnostics utilities ---- *)
+
+let diag_cmd =
+  let list_codes =
+    Arg.(
+      value & flag
+      & info [ "list-codes" ]
+          ~doc:"Print every registered error code with its description (CI diffs this              against docs/ERROR_CODES.txt).")
+  in
+  let run list =
+    if list then begin
+      List.iter (fun (code, descr) -> Printf.printf "%s %s\n" code descr) Diag.all_codes;
+      `Ok ()
+    end
+    else `Error (true, "nothing to do (try --list-codes)")
+  in
+  let doc = "Inspect the diagnostics engine (error-code registry)." in
+  Cmd.v (Cmd.info "diag" ~doc) Term.(ret (const run $ list_codes))
+
+(* ---- entry point ----
+
+   Exit codes: 0 success; 1 user diagnostics (rendered per
+   --error-format); 2 command-line usage errors; 3 internal errors. *)
+
+let render_fatal ds =
+  match !error_format with
+  | `Json -> prerr_endline (Diag.to_json ds)
+  | `Text -> Format.eprintf "%a@." Diag.render_all ds
 
 let () =
   let doc = "high-level synthesis of portable RISC-V ISA extensions from CoreDSL" in
   let info = Cmd.info "longnail" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd ]))
+  let group =
+    Cmd.group info
+      [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd; diag_cmd ]
+  in
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok () | `Version | `Help) -> exit 0
+  (* cmdliner reports converter failures as `Parse and unknown options /
+     missing arguments / unknown subcommands as `Term; all are usage
+     errors (cmdliner already printed the message). Genuine user errors
+     raise Diag.Fatal and exit 1 below. *)
+  | Error (`Parse | `Term | `Exn) -> exit 2
+  | exception Diag.Fatal ds ->
+      render_fatal ds;
+      exit 1
+  | exception Coredsl.Error m ->
+      (* legacy string-rendering entry points (bundled ISAX registry) *)
+      prerr_endline m;
+      exit 1
+  | exception e ->
+      Printf.eprintf "longnail: internal error: %s\n" (Printexc.to_string e);
+      prerr_endline "this is a bug; re-run with OCAMLRUNPARAM=b for a backtrace";
+      exit 3

@@ -14,6 +14,9 @@ let no_loc = { file = "<builtin>"; line = 0; col = 0 }
 
 let pp_loc fmt l = Format.fprintf fmt "%s:%d:%d" l.file l.line l.col
 
+(* Bridge into the diagnostics subsystem: a point span at this location. *)
+let span_of_loc l = Diag.point ~file:l.file ~line:l.line ~col:l.col
+
 type binop =
   | Add | Sub | Mul | Div | Rem
   | Shl | Shr
@@ -121,7 +124,7 @@ type instr_set = { set_name : string; extends : string option; set_isa : isa }
 
 type core_def = { core_name : string; provides : string list; core_isa : isa }
 
-type desc = { imports : string list; sets : instr_set list; cores : core_def list }
+type desc = { imports : (string * loc) list; sets : instr_set list; cores : core_def list }
 
 exception Syntax_error of loc * string
 

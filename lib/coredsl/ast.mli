@@ -10,6 +10,9 @@ module Bn = Bitvec.Bn
 type loc = { file : string; line : int; col : int; }
 val no_loc : loc
 val pp_loc : Format.formatter -> loc -> unit
+
+(** Point span at this location, for building diagnostics. *)
+val span_of_loc : loc -> Diag.span
 type binop =
     Add
   | Sub
@@ -120,7 +123,7 @@ type core_def = {
   core_isa : isa;
 }
 type desc = {
-  imports : string list;
+  imports : (string * loc) list;  (** import path and the location of the import statement *)
   sets : instr_set list;
   cores : core_def list;
 }

@@ -27,17 +27,34 @@ exception Error of string
 let combined_provider user path =
   match user path with Some s -> Some s | None -> Base_isa.provider path
 
-let compile ?(provider = fun _ -> None) ?(file = "<input>") ~target src =
-  try
-    let elab = Elaborate.elaborate ~provider:(combined_provider provider) ~file ~target src in
-    Typecheck.check elab
+(* Compile to a [result], accumulating every diagnostic the front end can
+   produce in one run: recoverable syntax errors (the parser drops the
+   broken construct and resynchronizes) plus one diagnostic per failing
+   function/instruction/always-block from the typechecker. Lexical errors
+   and elaboration errors outside instruction bodies abort early. *)
+let compile_result ?(provider = fun _ -> None) ?(file = "<input>") ~target src =
+  Diag.register_source ~file src;
+  let diags = Diag.collector () in
+  match
+    let elab =
+      Elaborate.elaborate ~diags ~provider:(combined_provider provider) ~file ~target src
+    in
+    Typecheck.check_all elab
   with
-  | Ast.Syntax_error (loc, m) ->
-      raise (Error (Format.asprintf "%a: syntax error: %s" Ast.pp_loc loc m))
-  | Elaborate.Elab_error (loc, m) ->
-      raise (Error (Format.asprintf "%a: elaboration error: %s" Ast.pp_loc loc m))
-  | Typecheck.Type_error (loc, m) ->
-      raise (Error (Format.asprintf "%a: type error: %s" Ast.pp_loc loc m))
+  | Ok tu -> if Diag.has_errors diags then Stdlib.Error (Diag.to_list diags) else Ok tu
+  | Stdlib.Error ds -> Stdlib.Error (Diag.to_list diags @ ds)
+  | exception Ast.Syntax_error (loc, m) ->
+      Stdlib.Error
+        (Diag.to_list diags @ [ Diag.make ~span:(Ast.span_of_loc loc) ~code:"E0002" m ])
+  | exception Elaborate.Elab_error d -> Stdlib.Error (Diag.to_list diags @ [ d ])
+  | exception Typecheck.Type_error d -> Stdlib.Error (Diag.to_list diags @ [ d ])
+
+(* Legacy string-rendering interface: raises {!Error} with every
+   diagnostic rendered as text. *)
+let compile ?provider ?file ~target src =
+  match compile_result ?provider ?file ~target src with
+  | Ok tu -> tu
+  | Stdlib.Error ds -> raise (Error (Format.asprintf "%a" Diag.render_all ds))
 
 (* Compile the built-in RV32I base ISA on its own. *)
 let compile_rv32i () = compile ~file:"RV32I.core_desc" ~target:"RV32I" Base_isa.rv32i

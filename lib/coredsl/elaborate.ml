@@ -9,9 +9,16 @@
 module Bn = Bitvec.Bn
 open Ast
 
-exception Elab_error of loc * string
+exception Elab_error of Diag.t
 
-let elab_error loc fmt = Format.kasprintf (fun m -> raise (Elab_error (loc, m))) fmt
+let elab_error ?(code = "E0200") loc fmt =
+  Format.kasprintf
+    (fun m ->
+      (* builtin constructs have no source position: emit a spanless
+         diagnostic rather than an invalid <builtin>:0:0 span *)
+      let span = if loc = no_loc then None else Some (span_of_loc loc) in
+      raise (Elab_error (Diag.make ?span ~code m)))
+    fmt
 
 (* ---- constant expression evaluation ---- *)
 
@@ -30,7 +37,7 @@ let rec const_eval (env : cenv) (e : expr) : Bitvec.t =
   | Ident name -> (
       match List.assoc_opt name env.vars with
       | Some v -> v
-      | None -> elab_error e.eloc "'%s' is not a compile-time constant" name)
+      | None -> elab_error ~code:"E0204" e.eloc "'%s' is not a compile-time constant" name)
   | Binop (op, a, b) -> const_binop e.eloc op (const_eval env a) (const_eval env b)
   | Unop (Neg, a) -> Bitvec.neg (const_eval env a)
   | Unop (Not, a) -> Bitvec.lognot (const_eval env a)
@@ -52,8 +59,9 @@ let rec const_eval (env : cenv) (e : expr) : Bitvec.t =
   | Index (a, i) ->
       let v = const_eval env a and i = Bitvec.to_int (const_eval env i) in
       Bitvec.bit v i
-  | Call (name, _) -> elab_error e.eloc "call to '%s' in constant expression" name
-  | Array_init _ -> elab_error e.eloc "array initializer in scalar constant expression"
+  | Call (name, _) -> elab_error ~code:"E0204" e.eloc "call to '%s' in constant expression" name
+  | Array_init _ ->
+      elab_error ~code:"E0204" e.eloc "array initializer in scalar constant expression"
 
 and const_binop loc op a b =
   let module B = Bitvec in
@@ -132,19 +140,31 @@ type provider = string -> string option
 
 (* Parse [src] and all transitive imports; return every InstructionSet and
    Core seen, later definitions shadowing earlier ones by name. *)
-let load ~(provider : provider) ~file src =
+let load ?diags ~(provider : provider) ~file src =
   let seen_imports = Hashtbl.create 8 in
   let sets = Hashtbl.create 8 and set_order = ref [] in
   let cores = Hashtbl.create 8 and core_order = ref [] in
-  let rec go file src =
-    let desc = Parser.parse ~file src in
+  (* [chain] is the stack of import sites that led to [file], innermost
+     first; it becomes the provenance labels of unresolved-import errors *)
+  let rec go chain file src =
+    Diag.register_source ~file src;
+    let desc = Parser.parse ?diags ~file src in
     List.iter
-      (fun path ->
+      (fun (path, iloc) ->
         if not (Hashtbl.mem seen_imports path) then begin
           Hashtbl.add seen_imports path ();
           match provider path with
-          | Some s -> go path s
-          | None -> elab_error no_loc "cannot resolve import \"%s\"" path
+          | Some s -> go (iloc :: chain) path s
+          | None ->
+              let labels =
+                List.map
+                  (fun l -> { Diag.lb_span = span_of_loc l; lb_text = "imported here" })
+                  chain
+              in
+              raise
+                (Elab_error
+                   (Diag.errorf ~span:(span_of_loc iloc) ~labels ~code:"E0201"
+                      "cannot resolve import \"%s\"" path))
         end)
       desc.imports;
     List.iter
@@ -158,20 +178,20 @@ let load ~(provider : provider) ~file src =
         Hashtbl.replace cores c.core_name c)
       desc.cores
   in
-  go file src;
+  go [] file src;
   (sets, List.rev !set_order, cores, List.rev !core_order)
 
 (* Chain of instruction sets from the root ancestor down to [name]. *)
 let inheritance_chain sets name =
   let rec go name acc =
     match Hashtbl.find_opt sets name with
-    | None -> elab_error no_loc "unknown instruction set '%s'" name
+    | None -> elab_error ~code:"E0202" no_loc "unknown instruction set '%s'" name
     | Some s -> (
         match s.extends with
         | None -> s :: acc
         | Some parent ->
             if List.exists (fun x -> x.set_name = parent) acc then
-              elab_error no_loc "cyclic inheritance involving '%s'" parent;
+              elab_error ~code:"E0203" no_loc "cyclic inheritance involving '%s'" parent;
             go parent (s :: acc))
   in
   go name []
@@ -237,21 +257,21 @@ let elaborate_state isa =
       | St_register | St_const ->
           let ty = resolve_ty (env ()) d.dloc d.dty in
           let elems = match d.array_size with None -> 1 | Some e -> const_eval_int (env ()) e in
-          if elems <= 0 then elab_error d.dloc "register file '%s' has no elements" d.dname;
+          if elems <= 0 then elab_error ~code:"E0205" d.dloc "register file '%s' has no elements" d.dname;
           let rinit =
             match d.init with
             | None -> None
             | Some { e = Array_init es; _ } ->
                 let vals = List.map (fun e -> Bitvec.cast ty (const_eval (env ()) e)) es in
                 if List.length vals > elems then
-                  elab_error d.dloc "initializer for '%s' has too many elements" d.dname;
+                  elab_error ~code:"E0205" d.dloc "initializer for '%s' has too many elements" d.dname;
                 let a = Array.make elems (Bitvec.zero ty) in
                 List.iteri (fun i v -> a.(i) <- v) vals;
                 Some a
             | Some e -> Some [| Bitvec.cast ty (const_eval (env ()) e) |]
           in
           if d.storage = St_const && rinit = None then
-            elab_error d.dloc "const register '%s' requires an initializer" d.dname;
+            elab_error ~code:"E0205" d.dloc "const register '%s' requires an initializer" d.dname;
           let r =
             {
               rname = d.dname;
@@ -268,7 +288,7 @@ let elaborate_state isa =
           let size =
             match d.array_size with
             | Some e -> Bitvec.to_bn (const_eval (env ()) e)
-            | None -> elab_error d.dloc "address space '%s' requires a size" d.dname
+            | None -> elab_error ~code:"E0205" d.dloc "address space '%s' requires a size" d.dname
           in
           let s =
             {
@@ -284,8 +304,8 @@ let elaborate_state isa =
 
 (* Elaborate [target] (a Core or InstructionSet name) from [src] and its
    imports. *)
-let elaborate ?(provider : provider = fun _ -> None) ?(file = "<input>") ~target src =
-  let loaded = load ~provider ~file src in
+let elaborate ?diags ?(provider : provider = fun _ -> None) ?(file = "<input>") ~target src =
+  let loaded = load ?diags ~provider ~file src in
   let isa = flatten loaded target in
   let params, regs, spaces = elaborate_state isa in
   (* instructions/always/functions: later definitions override earlier ones

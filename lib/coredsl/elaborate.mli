@@ -7,9 +7,9 @@
    {!Typecheck}. *)
 
 module Bn = Bitvec.Bn
-exception Elab_error of Ast.loc * string
+exception Elab_error of Diag.t
 val elab_error :
-  Ast.loc -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+  ?code:string -> Ast.loc -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 type cenv = { vars : (string * Bitvec.t) list; }
 val empty_cenv : cenv
 val const_eval : cenv -> Ast.expr -> Bitvec.t
@@ -49,6 +49,7 @@ val main_mem : elaborated -> addr_space option
 val find_function : elaborated -> string -> Ast.func option
 type provider = string -> string option
 val load :
+  ?diags:Diag.collector ->
   provider:provider ->
   file:string ->
   string ->
@@ -66,4 +67,5 @@ val elaborate_state :
   Ast.isa ->
   (string * Bitvec.t) list * reg list * addr_space list
 val elaborate :
+  ?diags:Diag.collector ->
   ?provider:provider -> ?file:string -> target:string -> string -> elaborated

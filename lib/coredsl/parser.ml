@@ -5,12 +5,30 @@ module Bn = Bitvec.Bn
 open Ast
 open Lexer
 
-type p = { toks : lexed array; mutable i : int }
+type p = {
+  toks : lexed array;
+  mutable i : int;
+  (* running '{'/'}' nesting depth of everything consumed so far; used by
+     error recovery to resynchronize at the closing brace of a broken
+     construct *)
+  mutable depth : int;
+  (* when present, recoverable syntax errors are accumulated here instead
+     of aborting the parse *)
+  diags : Diag.collector option;
+}
 
 let peek p = p.toks.(p.i).tok
 let peek2 p = if p.i + 1 < Array.length p.toks then p.toks.(p.i + 1).tok else EOF
 let loc p = p.toks.(p.i).loc
-let advance p = if p.i < Array.length p.toks - 1 then p.i <- p.i + 1
+
+let advance p =
+  if p.i < Array.length p.toks - 1 then begin
+    (match p.toks.(p.i).tok with
+    | PUNCT "{" -> p.depth <- p.depth + 1
+    | PUNCT "}" -> p.depth <- p.depth - 1
+    | _ -> ());
+    p.i <- p.i + 1
+  end
 
 let describe = function
   | ID s -> Printf.sprintf "identifier '%s'" s
@@ -21,6 +39,26 @@ let describe = function
   | EOF -> "end of input"
 
 let err p fmt = syntax_error (loc p) fmt
+
+(* ---- error recovery ---- *)
+
+let recovering p = p.diags <> None
+
+let record_error p l m =
+  match p.diags with
+  | Some c -> Diag.add c (Diag.make ~span:(Ast.span_of_loc l) ~code:"E0002" m)
+  | None -> ()
+
+(* Skip tokens until the brace depth returns to [d], eating the closing
+   '}' of the broken construct. Guarantees at least one token of progress
+   when the error occurred at depth [d] already (unless the next token is
+   the '}' or EOF the caller handles itself). *)
+let resync_to_depth p d =
+  let start = p.i in
+  while p.depth > d && peek p <> EOF do
+    advance p
+  done;
+  if p.i = start && peek p <> EOF && peek p <> PUNCT "}" then advance p
 
 let expect_punct p s =
   match peek p with
@@ -593,7 +631,19 @@ let parse_instruction p =
 
 let parse_instructions p =
   expect_punct p "{";
-  let rec go acc = if accept_punct p "}" then List.rev acc else go (parse_instruction p :: acc) in
+  let d0 = p.depth in
+  let rec go acc =
+    if accept_punct p "}" then List.rev acc
+    else
+      match parse_instruction p with
+      | i -> go (i :: acc)
+      | exception Syntax_error (l, m) when recovering p ->
+          (* record the error, drop the broken instruction and resume at
+             its closing '}' so the remaining instructions still parse *)
+          record_error p l m;
+          resync_to_depth p d0;
+          if peek p = EOF then List.rev acc else go acc
+  in
   go []
 
 let parse_always p =
@@ -667,29 +717,32 @@ let parse_isa p =
   go ();
   { state = !state; instructions = !instructions; always = !always; functions = !functions }
 
+let is_toplevel_start = function
+  | KW ("import" | "InstructionSet" | "Core") -> true
+  | _ -> false
+
 let parse_desc p =
   let imports = ref [] and sets = ref [] and cores = ref [] in
-  let rec go () =
+  let step () =
     match peek p with
     | EOF -> ()
     | KW "import" ->
+        let l = loc p in
         advance p;
         (match peek p with
         | STRING s ->
             advance p;
-            imports := s :: !imports
+            imports := (s, l) :: !imports
         | t -> err p "expected import path string, found %s" (describe t));
         (* the ';' is required by the Figure 2 grammar but omitted in the
            paper's own examples; accept both *)
-        ignore (accept_punct p ";");
-        go ()
+        ignore (accept_punct p ";")
     | KW "InstructionSet" ->
         advance p;
         let name = expect_id p in
         let extends = if accept_kw p "extends" then Some (expect_id p) else None in
         let isa = parse_isa p in
-        sets := { set_name = name; extends; set_isa = isa } :: !sets;
-        go ()
+        sets := { set_name = name; extends; set_isa = isa } :: !sets
     | KW "Core" ->
         advance p;
         let name = expect_id p in
@@ -704,23 +757,39 @@ let parse_desc p =
           else []
         in
         let isa = parse_isa p in
-        cores := { core_name = name; provides; core_isa = isa } :: !cores;
-        go ()
+        cores := { core_name = name; provides; core_isa = isa } :: !cores
     | t -> err p "expected import, InstructionSet or Core, found %s" (describe t)
+  in
+  let rec go () =
+    if peek p <> EOF then begin
+      (try step ()
+       with Syntax_error (l, m) when recovering p ->
+         record_error p l m;
+         (* resynchronize at the next top-level construct *)
+         let start = p.i in
+         while peek p <> EOF && (p.depth > 0 || not (is_toplevel_start (peek p))) do
+           advance p
+         done;
+         if p.i = start && peek p <> EOF then advance p);
+      go ()
+    end
   in
   go ();
   { imports = List.rev !imports; sets = List.rev !sets; cores = List.rev !cores }
 
-(* Parse a complete CoreDSL description from a string. *)
-let parse ?(file = "<input>") src =
+(* Parse a complete CoreDSL description from a string. When [diags] is
+   given, recoverable syntax errors are accumulated there (and the broken
+   construct dropped) instead of aborting the parse; lexical errors remain
+   fatal. *)
+let parse ?diags ?(file = "<input>") src =
   let toks = Array.of_list (Lexer.tokenize ~file src) in
-  let p = { toks; i = 0 } in
+  let p = { toks; i = 0; depth = 0; diags } in
   parse_desc p
 
 (* Parse a single expression (for tests and parameter values). *)
 let parse_expr_string ?(file = "<expr>") src =
   let toks = Array.of_list (Lexer.tokenize ~file src) in
-  let p = { toks; i = 0 } in
+  let p = { toks; i = 0; depth = 0; diags = None } in
   let e = parse_expr p in
   (match peek p with EOF -> () | t -> err p "trailing tokens after expression: %s" (describe t));
   e

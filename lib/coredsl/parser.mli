@@ -2,7 +2,12 @@
    of the paper plus C-inspired statements and expressions (Section 2.4). *)
 
 module Bn = Bitvec.Bn
-type p = { toks : Lexer.lexed array; mutable i : int; }
+type p = {
+  toks : Lexer.lexed array;
+  mutable i : int;
+  mutable depth : int;
+  diags : Diag.collector option;
+}
 val peek : p -> Lexer.token
 val peek2 : p -> Lexer.token
 val loc : p -> Ast.loc
@@ -44,5 +49,8 @@ val parse_always : p -> Ast.always_block list
 val parse_functions : p -> Ast.func list
 val parse_isa : p -> Ast.isa
 val parse_desc : p -> Ast.desc
-val parse : ?file:string -> string -> Ast.desc
+
+(** With [diags], recoverable syntax errors are accumulated (dropping the
+    broken construct) instead of raising; lexical errors remain fatal. *)
+val parse : ?diags:Diag.collector -> ?file:string -> string -> Ast.desc
 val parse_expr_string : ?file:string -> string -> Ast.expr

@@ -9,9 +9,12 @@ module Bn = Bitvec.Bn
 open Ast
 open Tast
 
-exception Type_error of loc * string
+exception Type_error of Diag.t
 
-let type_error loc fmt = Format.kasprintf (fun m -> raise (Type_error (loc, m))) fmt
+let type_error ?(code = "E0109") loc fmt =
+  Format.kasprintf
+    (fun m -> raise (Type_error (Diag.make ~span:(span_of_loc loc) ~code m)))
+    fmt
 
 type ctx = {
   elab : Elaborate.elaborated;
@@ -33,7 +36,7 @@ let lookup_local ctx name =
 let declare_local ctx loc name ty =
   match ctx.scopes with
   | scope :: rest ->
-      if List.mem_assoc name scope then type_error loc "redeclaration of '%s'" name;
+      if List.mem_assoc name scope then type_error ~code:"E0108" loc "redeclaration of '%s'" name;
       ctx.scopes <- ((name, ty) :: scope) :: rest
   | [] -> assert false
 
@@ -69,7 +72,7 @@ let range_width ctx loc hi lo =
   match (try_const ctx hi, try_const ctx lo) with
   | Some h, Some l ->
       let h = Bitvec.to_int h and l = Bitvec.to_int l in
-      if h < l then type_error loc "range [%d:%d] is reversed" h l;
+      if h < l then type_error ~code:"E0104" loc "range [%d:%d] is reversed" h l;
       `Static (h, l)
   | _ -> (
       (* hi must be lo + c *)
@@ -77,11 +80,11 @@ let range_width ctx loc hi lo =
       | Binop (Add, base, ofs) when expr_equal base lo -> (
           match try_const ctx ofs with
           | Some c -> `Dynamic (Bitvec.to_int c)
-          | None -> type_error loc "range bounds must differ by a compile-time constant")
+          | None -> type_error ~code:"E0104" loc "range bounds must differ by a compile-time constant")
       | Binop (Add, ofs, base) when expr_equal base lo -> (
           match try_const ctx ofs with
           | Some c -> `Dynamic (Bitvec.to_int c)
-          | None -> type_error loc "range bounds must differ by a compile-time constant")
+          | None -> type_error ~code:"E0104" loc "range bounds must differ by a compile-time constant")
       | _ ->
           type_error loc
             "range bounds must be constants or reference the same expression with a constant \
@@ -95,7 +98,7 @@ let coerce ctx loc (ty : Bitvec.ty) (e : texpr) =
   if Bitvec.ty_equal e.tty ty then e
   else if Bitvec.implicit_conv_ok ~src:e.tty ~dst:ty then { te = T_cast e; tty = ty; tloc = loc }
   else
-    type_error loc "implicit conversion from %s to %s loses information (use an explicit cast)"
+    type_error ~code:"E0102" loc "implicit conversion from %s to %s loses information (use an explicit cast)"
       (Bitvec.ty_to_string e.tty) (Bitvec.ty_to_string ty)
 
 (* truncating conversion used by compound assignments and ++/-- *)
@@ -165,7 +168,7 @@ and check_ident ctx loc name =
                   | Some a -> { te = T_lit a.(0); tty = r.rty; tloc = loc }
                   | None -> assert false)
               | Some _ -> type_error loc "register file '%s' must be indexed" name
-              | None -> type_error loc "unknown identifier '%s'" name)))
+              | None -> type_error ~code:"E0101" loc "unknown identifier '%s'" name)))
 
 and check_index ctx loc base idx =
   match base.e with
@@ -225,7 +228,7 @@ and check_range ctx loc base hi lo =
       match range_width ctx loc hi lo with
       | `Static (h, l) ->
           if h >= tb.tty.Bitvec.width then
-            type_error loc "range [%d:%d] exceeds width of %s" h l (Bitvec.ty_to_string tb.tty);
+            type_error ~code:"E0104" loc "range [%d:%d] exceeds width of %s" h l (Bitvec.ty_to_string tb.tty);
           let tl = { te = T_lit (Bitvec.of_int (Bitvec.unsigned_ty 32) l); tty = Bitvec.unsigned_ty 32; tloc = loc } in
           { te = T_extract { value = tb; lo = tl; width = h - l + 1 }; tty = Bitvec.unsigned_ty (h - l + 1); tloc = loc }
       | `Dynamic ofs ->
@@ -258,10 +261,10 @@ and check_unop ctx loc op a =
 
 and check_call ctx loc name args =
   match List.assoc_opt name ctx.tfuncs with
-  | None -> type_error loc "call to unknown function '%s'" name
+  | None -> type_error ~code:"E0105" loc "call to unknown function '%s'" name
   | Some f ->
       if List.length args <> List.length f.tf_params then
-        type_error loc "'%s' expects %d arguments, got %d" name (List.length f.tf_params)
+        type_error ~code:"E0105" loc "'%s' expects %d arguments, got %d" name (List.length f.tf_params)
           (List.length args);
       let targs =
         List.map2
@@ -273,7 +276,7 @@ and check_call ctx loc name args =
       let ret =
         match f.tf_ret with
         | Some r -> r
-        | None -> type_error loc "void function '%s' used in expression" name
+        | None -> type_error ~code:"E0105" loc "void function '%s' used in expression" name
       in
       { te = T_call (name, targs); tty = ret; tloc = loc }
 
@@ -352,7 +355,7 @@ let rec check_stmt ctx (st : stmt) : tstmt list =
               (* void call: check arguments only *)
               let f = List.assoc name ctx.tfuncs in
               if List.length args <> List.length f.tf_params then
-                type_error loc "'%s' expects %d arguments" name (List.length f.tf_params);
+                type_error ~code:"E0105" loc "'%s' expects %d arguments" name (List.length f.tf_params);
               let targs =
                 List.map2
                   (fun arg (_, pty) -> coerce ctx loc pty (check_expr ctx arg))
@@ -417,19 +420,19 @@ let rec check_stmt ctx (st : stmt) : tstmt list =
           let tbody = in_scope ctx (fun () -> check_stmts ctx body) in
           [ { ts = S_for { init = tinit; cond = tcond; step = tstep; body = tbody }; tsloc = loc } ])
   | Spawn body ->
-      if ctx.in_always then type_error loc "spawn is not allowed inside an always-block";
-      if ctx.fn_ret <> None then type_error loc "spawn is not allowed inside a function";
+      if ctx.in_always then type_error ~code:"E0106" loc "spawn is not allowed inside an always-block";
+      if ctx.fn_ret <> None then type_error ~code:"E0106" loc "spawn is not allowed inside a function";
       let tbody = in_scope ctx (fun () -> check_stmts ctx body) in
       [ { ts = S_spawn tbody; tsloc = loc } ]
   | Return e -> (
       match ctx.fn_ret with
-      | None -> type_error loc "return outside of a function"
+      | None -> type_error ~code:"E0106" loc "return outside of a function"
       | Some None ->
-          if e <> None then type_error loc "void function cannot return a value";
+          if e <> None then type_error ~code:"E0105" loc "void function cannot return a value";
           [ { ts = S_return None; tsloc = loc } ]
       | Some (Some rty) -> (
           match e with
-          | None -> type_error loc "function must return a value"
+          | None -> type_error ~code:"E0106" loc "function must return a value"
           | Some e ->
               let te = check_expr ctx e in
               [ { ts = S_return (Some (coerce ctx loc rty te)); tsloc = loc } ]))
@@ -444,18 +447,18 @@ and check_assign ctx loc lv (rhs : texpr) : tstmt =
       | Some ty -> { ts = S_assign_local (name, coerce ctx loc ty rhs); tsloc = loc }
       | None -> (
           match Elaborate.find_reg ctx.elab name with
-          | Some r when r.rconst -> type_error loc "cannot assign to constant register '%s'" name
+          | Some r when r.rconst -> type_error ~code:"E0103" loc "cannot assign to constant register '%s'" name
           | Some r when r.elems = 1 ->
               { ts = S_assign_reg (name, coerce ctx loc r.rty rhs); tsloc = loc }
-          | Some _ -> type_error loc "register file '%s' must be indexed in assignment" name
+          | Some _ -> type_error ~code:"E0103" loc "register file '%s' must be indexed in assignment" name
           | None ->
               if List.exists (fun (f : field_info) -> f.fld_name = name) ctx.fields then
-                type_error loc "cannot assign to encoding field '%s'" name
-              else type_error loc "unknown assignment target '%s'" name))
+                type_error ~code:"E0103" loc "cannot assign to encoding field '%s'" name
+              else type_error ~code:"E0103" loc "unknown assignment target '%s'" name))
   | Index (({ e = Ident name; _ } as base), idx) -> (
       match Elaborate.find_reg ctx.elab name with
       | Some r when r.elems > 1 && lookup_local ctx name = None ->
-          if r.rconst then type_error loc "cannot assign to constant register file '%s'" name;
+          if r.rconst then type_error ~code:"E0103" loc "cannot assign to constant register file '%s'" name;
           let ti = check_expr ctx idx in
           { ts = S_assign_regfile (name, ti, coerce ctx loc r.rty rhs); tsloc = loc }
       | _ -> (
@@ -468,7 +471,7 @@ and check_assign ctx loc lv (rhs : texpr) : tstmt =
               }
           | None ->
               ignore base;
-              type_error loc "unsupported assignment target"))
+              type_error ~code:"E0103" loc "unsupported assignment target"))
   | Range (({ e = Ident name; _ } as base), hi, lo) -> (
       match Elaborate.find_space ctx.elab name with
       | Some s -> (
@@ -491,13 +494,13 @@ and check_assign ctx loc lv (rhs : texpr) : tstmt =
               })
       | None ->
           ignore base;
-          type_error loc "bit-range assignment is only supported on address spaces")
-  | _ -> type_error loc "unsupported assignment target"
+          type_error ~code:"E0103" loc "bit-range assignment is only supported on address spaces")
+  | _ -> type_error ~code:"E0103" loc "unsupported assignment target"
 
 (* ---- encodings ---- *)
 
 let check_encoding loc (enc : enc_elem list) =
-  if enc = [] then type_error loc "instruction has no encoding";
+  if enc = [] then type_error ~code:"E0107" loc "instruction has no encoding";
   let total = List.fold_left (fun n el -> n + match el with
       | Enc_lit v -> Bitvec.width v
       | Enc_field { hi; lo; _ } -> hi - lo + 1) 0 enc
@@ -516,7 +519,7 @@ let check_encoding loc (enc : enc_elem list) =
           match_bits := Bn.add !match_bits (Bn.shift_left (Bitvec.pattern v) !pos)
       | Enc_field { field; hi; lo } ->
           let w = hi - lo + 1 in
-          if w <= 0 then type_error loc "empty field range in encoding";
+          if w <= 0 then type_error ~code:"E0107" loc "empty field range in encoding";
           pos := !pos - w;
           let seg = { instr_lo = !pos; fld_lo = lo; seg_len = w } in
           let segs, maxw =
@@ -574,7 +577,7 @@ let check_always elab cenv tfuncs (a : always_block) : talways =
   in
   { ta_name = a.aname; ta_body = check_stmts ctx a.abody }
 
-(* Type-check a whole elaborated unit. *)
+(* Type-check a whole elaborated unit, failing on the first error. *)
 let check (elab : Elaborate.elaborated) : tunit =
   let cenv = { Elaborate.vars = elab.params } in
   (* functions first (they may call previously defined functions only) *)
@@ -592,3 +595,43 @@ let check (elab : Elaborate.elaborated) : tunit =
     talways;
     tfuncs = List.map snd tfuncs;
   }
+
+(* Type-check a whole elaborated unit, accumulating one diagnostic per
+   failing function/instruction/always-block instead of aborting on the
+   first. Elaboration errors raised during checking (width resolution,
+   const-eval) are accumulated the same way. *)
+let check_all (elab : Elaborate.elaborated) : (tunit, Diag.t list) result =
+  let c = Diag.collector () in
+  let cenv = { Elaborate.vars = elab.params } in
+  let collect f =
+    match f () with
+    | v -> Some v
+    | exception Type_error d -> Diag.add c d; None
+    | exception Elaborate.Elab_error d -> Diag.add c d; None
+  in
+  let tfuncs =
+    List.fold_left
+      (fun acc f ->
+        match collect (fun () -> check_function elab cenv acc f) with
+        | Some tf -> acc @ [ (f.fname, tf) ]
+        | None -> acc)
+      [] elab.functions
+  in
+  let tinstrs =
+    List.filter_map
+      (fun i -> collect (fun () -> check_instruction elab cenv tfuncs i))
+      elab.instructions
+  in
+  let talways =
+    List.filter_map (fun a -> collect (fun () -> check_always elab cenv tfuncs a)) elab.always
+  in
+  if Diag.has_errors c then Error (Diag.to_list c)
+  else
+    Ok
+      {
+        tu_name = elab.ename;
+        elab;
+        tinstrs;
+        talways;
+        tfuncs = List.map snd tfuncs;
+      }

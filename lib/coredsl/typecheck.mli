@@ -6,9 +6,9 @@
    explicit cast is present. Produces the typed AST of {!Tast}. *)
 
 module Bn = Bitvec.Bn
-exception Type_error of Ast.loc * string
+exception Type_error of Diag.t
 val type_error :
-  Ast.loc -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+  ?code:string -> Ast.loc -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 type ctx = {
   elab : Elaborate.elaborated;
   cenv : Elaborate.cenv;
@@ -98,3 +98,7 @@ val check_always :
   (string * Tast.tfunc) list ->
   Ast.always_block -> Tast.talways
 val check : Elaborate.elaborated -> Tast.tunit
+
+val check_all : Elaborate.elaborated -> (Tast.tunit, Diag.t list) result
+(** Like {!check} but accumulates one diagnostic per failing
+    function/instruction/always-block instead of aborting on the first. *)

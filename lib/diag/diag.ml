@@ -1,0 +1,235 @@
+type severity = Error | Warning | Note
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+type span = {
+  sp_file : string;
+  sp_line : int;
+  sp_col : int;
+  sp_end_line : int;
+  sp_end_col : int;
+}
+
+let no_span =
+  { sp_file = "<unknown>"; sp_line = 0; sp_col = 0; sp_end_line = 0; sp_end_col = 0 }
+
+let point ~file ~line ~col =
+  { sp_file = file; sp_line = line; sp_col = col; sp_end_line = line; sp_end_col = col }
+
+let span_is_valid s = s.sp_file <> "" && s.sp_file <> "<unknown>" && s.sp_line >= 1 && s.sp_col >= 1
+
+let pp_span ppf s = Format.fprintf ppf "%s:%d:%d" s.sp_file s.sp_line s.sp_col
+
+type label = { lb_span : span; lb_text : string }
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  span : span option;
+  labels : label list;
+  notes : string list;
+}
+
+let make ?(severity = Error) ?span ?(labels = []) ?(notes = []) ~code message =
+  { severity; code; message; span; labels; notes }
+
+let errorf ?span ?labels ?notes ~code fmt =
+  Format.kasprintf (fun message -> make ?span ?labels ?notes ~code message) fmt
+
+exception Fatal of t list
+
+let () =
+  Printexc.register_printer (function
+    | Fatal ds ->
+        Some
+          (Printf.sprintf "Diag.Fatal [%s]"
+             (String.concat "; "
+                (List.map (fun d -> Printf.sprintf "%s: %s" d.code d.message) ds)))
+    | _ -> None)
+
+let fatal d = raise (Fatal [ d ])
+
+let fatalf ?span ?labels ?notes ~code fmt =
+  Format.kasprintf (fun message -> fatal (make ?span ?labels ?notes ~code message)) fmt
+
+(* ---- collector ---- *)
+
+type collector = { mutable rev : t list }
+
+let collector () = { rev = [] }
+let add c d = c.rev <- d :: c.rev
+let has_errors c = List.exists (fun d -> d.severity = Error) c.rev
+let to_list c = List.rev c.rev
+
+(* ---- error-code registry ---- *)
+
+let all_codes =
+  [
+    ("E0002", "syntax error");
+    ("E0101", "unknown identifier");
+    ("E0102", "type mismatch or lossy implicit conversion");
+    ("E0103", "invalid assignment target");
+    ("E0104", "invalid range bounds");
+    ("E0105", "function call error");
+    ("E0106", "statement not allowed in this context");
+    ("E0107", "instruction encoding error");
+    ("E0108", "redeclaration");
+    ("E0109", "type error");
+    ("E0200", "elaboration error");
+    ("E0201", "unresolved import");
+    ("E0202", "unknown instruction set or target");
+    ("E0203", "cyclic inheritance");
+    ("E0204", "constant evaluation error");
+    ("E0205", "invalid architectural state declaration");
+    ("E0301", "HLIR lowering error");
+    ("E0302", "LIL legalization error");
+    ("E0303", "sub-interface used more than once");
+    ("E0401", "scheduling infeasible");
+    ("E0402", "core lacks required interface");
+    ("E0501", "hardware generation error");
+    ("E0502", "SCAIE-V integration error");
+    ("E0601", "assembly error");
+    ("E0901", "internal error");
+  ]
+
+let describe code = List.assoc_opt code all_codes
+let is_registered code = List.mem_assoc code all_codes
+
+(* ---- source registry ---- *)
+
+let sources : (string, string) Hashtbl.t = Hashtbl.create 7
+
+let register_source ~file src = Hashtbl.replace sources file src
+let lookup_source ~file = Hashtbl.find_opt sources file
+let clear_sources () = Hashtbl.reset sources
+
+let source_line ~file ~line =
+  match lookup_source ~file with
+  | None -> None
+  | Some src ->
+      if line < 1 then None
+      else
+        let n = String.length src in
+        let rec seek pos ln =
+          if ln = line then
+            let e = match String.index_from_opt src pos '\n' with Some e -> e | None -> n in
+            Some (String.sub src pos (e - pos))
+          else
+            match String.index_from_opt src pos '\n' with
+            | Some e when e + 1 <= n -> seek (e + 1) (ln + 1)
+            | _ -> None
+        in
+        if n = 0 then None else seek 0 1
+
+(* ---- text rendering ---- *)
+
+let snippet ppf span ~text =
+  match source_line ~file:span.sp_file ~line:span.sp_line with
+  | None -> ()
+  | Some line_text ->
+      let gutter = string_of_int span.sp_line in
+      let pad = String.make (String.length gutter) ' ' in
+      Format.fprintf ppf "@,  %s | %s" gutter line_text;
+      let col = max 1 span.sp_col in
+      (* column is 1-based; expand to the span width when it ends on the
+         same line *)
+      let width =
+        if span.sp_end_line = span.sp_line && span.sp_end_col > span.sp_col then
+          span.sp_end_col - span.sp_col
+        else 1
+      in
+      let carets = String.make (max 1 width) '^' in
+      let indent = String.make (col - 1) ' ' in
+      if text = "" then Format.fprintf ppf "@,  %s | %s%s" pad indent carets
+      else Format.fprintf ppf "@,  %s | %s%s %s" pad indent carets text
+
+let render_text ppf d =
+  Format.pp_open_vbox ppf 0;
+  (match d.span with
+  | Some s when span_is_valid s -> Format.fprintf ppf "%a: " pp_span s
+  | _ -> ());
+  Format.fprintf ppf "%s[%s]: %s" (severity_to_string d.severity) d.code d.message;
+  (match d.span with Some s when span_is_valid s -> snippet ppf s ~text:"" | _ -> ());
+  List.iter
+    (fun l ->
+      if span_is_valid l.lb_span then begin
+        Format.fprintf ppf "@,  --> %a: %s" pp_span l.lb_span l.lb_text;
+        snippet ppf l.lb_span ~text:""
+      end
+      else Format.fprintf ppf "@,  --> %s" l.lb_text)
+    d.labels;
+  List.iter (fun n -> Format.fprintf ppf "@,  note: %s" n) d.notes;
+  Format.pp_close_box ppf ()
+
+let render_all ppf ds =
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      render_text ppf d)
+    ds;
+  Format.pp_close_box ppf ()
+
+let to_string d = Format.asprintf "%a" render_text d
+
+(* ---- JSON rendering ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_span s =
+  Printf.sprintf
+    {|{"file":"%s","line":%d,"col":%d,"end_line":%d,"end_col":%d}|}
+    (json_escape s.sp_file) s.sp_line s.sp_col s.sp_end_line s.sp_end_col
+
+let json_of_diag d =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"severity":"%s","code":"%s","message":"%s"|}
+       (severity_to_string d.severity) (json_escape d.code) (json_escape d.message));
+  (match d.span with
+  | Some s when span_is_valid s -> Buffer.add_string buf (",\"span\":" ^ json_of_span s)
+  | _ -> Buffer.add_string buf ",\"span\":null");
+  Buffer.add_string buf ",\"labels\":[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf {|{"span":%s,"text":"%s"}|} (json_of_span l.lb_span)
+           (json_escape l.lb_text)))
+    d.labels;
+  Buffer.add_string buf "],\"notes\":[";
+  List.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf {|"%s"|} (json_escape n)))
+    d.notes;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_json ds =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf {|{"diagnostics":[|};
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_of_diag d))
+    ds;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

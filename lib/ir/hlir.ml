@@ -19,9 +19,10 @@ module Bn = Bitvec.Bn
 open Coredsl.Tast
 open Mir
 
-exception Lower_error of string
+exception Lower_error of Diag.t
 
-let lower_error fmt = Format.kasprintf (fun m -> raise (Lower_error m)) fmt
+let lower_error ?span fmt =
+  Format.kasprintf (fun m -> raise (Lower_error (Diag.make ?span ~code:"E0301" m))) fmt
 
 let u w = Bitvec.unsigned_ty w
 let bool_ty = Bitvec.bool_ty
@@ -32,6 +33,7 @@ type pending = {
   p_pred : value option;  (* None = unconditional *)
   p_spawn : bool;
   p_elems : int;  (* memory only *)
+  p_loc : Diag.span option;  (* span of the (last) originating write statement *)
 }
 
 type env = {
@@ -79,17 +81,27 @@ let mux env c t f =
 (* fold a new predicated write into an existing pending entry;
    later writes take priority *)
 let merge_pending env (prev : pending option) operands pred spawn elems =
+  (* the flushed set/store op inherits the span of the latest contributing
+     write statement (flush happens after [cur_loc] is restored) *)
+  let loc =
+    match env.b.cur_loc with
+    | Some _ as l -> l
+    | None -> ( match prev with Some old -> old.p_loc | None -> None)
+  in
   match prev with
-  | None -> { p_operands = operands; p_pred = pred; p_spawn = spawn; p_elems = elems }
+  | None -> { p_operands = operands; p_pred = pred; p_spawn = spawn; p_elems = elems; p_loc = loc }
   | Some old -> (
       match pred with
-      | None -> { p_operands = operands; p_pred = None; p_spawn = spawn || old.p_spawn; p_elems = elems }
+      | None ->
+          { p_operands = operands; p_pred = None; p_spawn = spawn || old.p_spawn; p_elems = elems;
+            p_loc = loc }
       | Some p ->
           let merged = List.map2 (fun n o -> mux env p n o) operands old.p_operands in
           let pred' =
             match old.p_pred with None -> None | Some p0 -> Some (bool_or env p p0)
           in
-          { p_operands = merged; p_pred = pred'; p_spawn = spawn || old.p_spawn; p_elems = elems })
+          { p_operands = merged; p_pred = pred'; p_spawn = spawn || old.p_spawn; p_elems = elems;
+            p_loc = loc })
 
 (* ---- constant folding over typed expressions ---- *)
 
@@ -140,7 +152,17 @@ let to_bool env (v : value) =
       bool_ty
       ~attrs:[ ("predicate", A_str "ne") ]
 
+(* Ops emitted for [e] itself carry [e]'s source span; recursive calls set
+   (and restore) the ambient location for their own subtrees, so every op
+   in the graph points at the smallest enclosing source expression. *)
 let rec lower_expr env (e : texpr) : value =
+  let saved = env.b.cur_loc in
+  set_loc env.b (Some (Coredsl.Ast.span_of_loc e.tloc));
+  let v = lower_expr_at env e in
+  set_loc env.b saved;
+  v
+
+and lower_expr_at env (e : texpr) : value =
   let open Coredsl.Ast in
   match try_const env e with
   | Some v -> constant env (Bitvec.cast e.tty v)
@@ -150,11 +172,11 @@ let rec lower_expr env (e : texpr) : value =
       | T_local n -> (
           match List.assoc_opt n env.locals with
           | Some (v, _) -> v
-          | None -> lower_error "unbound local '%s' during lowering" n)
+          | None -> lower_error ?span:env.b.cur_loc "unbound local '%s' during lowering" n)
       | T_field n -> (
           match List.assoc_opt n env.fields with
           | Some v -> v
-          | None -> lower_error "unbound field '%s' during lowering" n)
+          | None -> lower_error ?span:env.b.cur_loc "unbound field '%s' during lowering" n)
       | T_reg name -> (
           match List.assoc_opt name env.reg_cur with
           | Some v -> v
@@ -213,7 +235,7 @@ let rec lower_expr env (e : texpr) : value =
           let vargs = List.map (lower_expr env) args in
           match inline_call env name vargs with
           | Some v -> v
-          | None -> lower_error "void call '%s' in expression position" name))
+          | None -> lower_error ?span:env.b.cur_loc "void call '%s' in expression position" name))
 
 and lower_binop env (e : texpr) op a b =
   let open Coredsl.Ast in
@@ -252,7 +274,7 @@ and inline_call env name args : value option =
   let f =
     match find_tfunc env.tu name with
     | Some f -> f
-    | None -> lower_error "unknown function '%s'" name
+    | None -> lower_error ?span:env.b.cur_loc "unknown function '%s'" name
   in
   (* save caller context *)
   let saved_locals = env.locals and saved_consts = env.consts and saved_ret = env.ret in
@@ -266,8 +288,8 @@ and inline_call env name args : value option =
     | Some (Some v, _), Some _ -> Some v
     | None, None -> None
     | Some (None, _), None -> None
-    | None, Some _ -> lower_error "function '%s' did not return a value on all paths" name
-    | Some (Some _, _), None | Some (None, _), Some _ -> lower_error "return arity mismatch in '%s'" name
+    | None, Some _ -> lower_error ?span:env.b.cur_loc "function '%s' did not return a value on all paths" name
+    | Some (Some _, _), None | Some (None, _), Some _ -> lower_error ?span:env.b.cur_loc "return arity mismatch in '%s'" name
   in
   env.locals <- saved_locals;
   env.consts <- saved_consts;
@@ -305,6 +327,12 @@ and assign_local env name (v : value) (cv : Bitvec.t option) =
   | _ -> env.consts <- List.remove_assoc name env.consts
 
 and lower_stmt env (s : tstmt) : unit =
+  let saved = env.b.cur_loc in
+  set_loc env.b (Some (Coredsl.Ast.span_of_loc s.tsloc));
+  lower_stmt_at env s;
+  set_loc env.b saved
+
+and lower_stmt_at env (s : tstmt) : unit =
   match s.ts with
   | S_local_decl (name, ty, init) ->
       let cv = Option.bind init (try_const env) in
@@ -355,7 +383,7 @@ and lower_stmt env (s : tstmt) : unit =
       let prev = List.assoc_opt space env.pend_mem in
       (match prev with
       | Some old when old.p_elems <> elems ->
-          lower_error "conflicting memory access widths on '%s'" space
+          lower_error ?span:env.b.cur_loc "conflicting memory access widths on '%s'" space
       | _ -> ());
       let p = merge_pending env prev [ va; vv ] (current_pred env) env.in_spawn elems in
       env.pend_mem <- (space, p) :: List.remove_assoc space env.pend_mem
@@ -375,11 +403,11 @@ and lower_stmt env (s : tstmt) : unit =
       let fuel = ref 4096 in
       let rec iter () =
         match try_const env cond with
-        | None -> lower_error "loop condition is not compile-time constant; cannot unroll"
+        | None -> lower_error ?span:env.b.cur_loc "loop condition is not compile-time constant; cannot unroll"
         | Some v when not (Bitvec.to_bool v) -> ()
         | Some _ ->
             decr fuel;
-            if !fuel <= 0 then lower_error "loop unrolling exceeded 4096 iterations";
+            if !fuel <= 0 then lower_error ?span:env.b.cur_loc "loop unrolling exceeded 4096 iterations";
             lower_stmts env body;
             lower_stmts env step;
             iter ()
@@ -400,7 +428,7 @@ and lower_stmt env (s : tstmt) : unit =
             match (old_v, v) with
             | Some ov, Some nv -> Some (mux env p_old ov nv)
             | None, None -> None
-            | _ -> lower_error "inconsistent return arity"
+            | _ -> lower_error ?span:env.b.cur_loc "inconsistent return arity"
           in
           let p' =
             match current_pred env with
@@ -431,7 +459,7 @@ let flush_pending env =
       @ (if p.p_pred <> None then [ ("has_pred", A_bool true) ] else [])
       @ if p.p_spawn then [ ("spawn", A_bool true) ] else []
     in
-    ignore (add_op env.b kind operands [] ~attrs)
+    ignore (add_op env.b kind operands [] ~attrs ?loc:p.p_loc)
   in
   List.iter (fun (name, p) -> emit_set "coredsl.set" name p []) (List.rev env.pend_reg);
   List.iter (fun (name, p) -> emit_set "coredsl.set" name p []) (List.rev env.pend_rf);
@@ -445,7 +473,7 @@ let flush_pending env =
         @ (if p.p_pred <> None then [ ("has_pred", A_bool true) ] else [])
         @ if p.p_spawn then [ ("spawn", A_bool true) ] else []
       in
-      ignore (add_op env.b "coredsl.store" operands [] ~attrs))
+      ignore (add_op env.b "coredsl.store" operands [] ~attrs ?loc:p.p_loc))
     (List.rev env.pend_mem)
 
 let fresh_env tu b =

@@ -16,8 +16,8 @@
    mirroring Longnail's flattening with provenance markers (Section 4.1c). *)
 
 module Bn = Bitvec.Bn
-exception Lower_error of string
-val lower_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+exception Lower_error of Diag.t
+val lower_error : ?span:Diag.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val u : int -> Bitvec.ty
 val bool_ty : Bitvec.ty
 type pending = {
@@ -25,6 +25,7 @@ type pending = {
   p_pred : Mir.value option;
   p_spawn : bool;
   p_elems : int;
+  p_loc : Diag.span option;
 }
 type env = {
   b : Mir.builder;

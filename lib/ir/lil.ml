@@ -15,9 +15,10 @@
 module Bn = Bitvec.Bn
 open Mir
 
-exception Lil_error of string
+exception Lil_error of Diag.t
 
-let lil_error fmt = Format.kasprintf (fun m -> raise (Lil_error m)) fmt
+let lil_error ?(code = "E0302") ?span fmt =
+  Format.kasprintf (fun m -> raise (Lil_error (Diag.make ?span ~code m))) fmt
 
 let u w = Bitvec.unsigned_ty w
 let width_of (v : value) = v.vty.Bitvec.width
@@ -36,7 +37,7 @@ type ctx = {
 let map_v ctx (v : value) =
   match Hashtbl.find_opt ctx.vmap v.vid with
   | Some v' -> v'
-  | None -> lil_error "unmapped value %%%d" v.vid
+  | None -> lil_error ?span:ctx.b.cur_loc "unmapped value %%%d" v.vid
 
 let const ctx v =
   let pat = Bitvec.of_bn (u (Bitvec.width v)) (Bitvec.pattern v) in
@@ -123,8 +124,11 @@ let icmp_name ~signed = function
 let carry_attrs op =
   List.filter (fun (k, _) -> k = "spawn" || k = "has_pred") op.attrs
 
-(* Lower one high-level op into the lil/comb builder. *)
+(* Lower one high-level op into the lil/comb builder. All lil/comb ops
+   built here inherit [op]'s source span via the builder's ambient
+   location, set by the caller. *)
 let lower_op ctx enc_width (op : op) =
+  let lil_error fmt = lil_error ?span:op.oloc fmt in
   let bind old nv = Hashtbl.replace ctx.vmap old.vid nv in
   let operand i = map_v ctx (List.nth op.operands i) in
   let old_operand i = List.nth op.operands i in
@@ -321,17 +325,20 @@ let of_hlir (elab : Coredsl.Elaborate.elaborated) ?(fields : Coredsl.Tast.field_
   in
   List.iter
     (fun op ->
+      (* lil/comb ops inherit the source span of the hlir op they lower *)
+      set_loc b op.oloc;
       match op.opname with
       | "coredsl.field" ->
           let name = Option.get (attr_str op "name") in
           let fi =
             match List.find_opt (fun (f : Coredsl.Tast.field_info) -> f.fld_name = name) fields with
             | Some fi -> fi
-            | None -> lil_error "no segment info for field '%s'" name
+            | None -> lil_error ?span:op.oloc "no segment info for field '%s'" name
           in
           Hashtbl.replace ctx.vmap (List.hd op.results).vid (lower_field ctx enc_width fi)
       | _ -> lower_op ctx enc_width op)
     g.body;
+  set_loc b None;
   ignore (add_op b "lil.sink" [] []);
   finish b ~name:g.gname ~kind:g.gkind ~attrs:g.gattrs ()
 
@@ -361,6 +368,7 @@ let validate_single_use g =
     (fun op ->
       let k = key op in
       if Hashtbl.mem seen k then
-        lil_error "sub-interface %s used more than once in %s" k g.gname
+        lil_error ~code:"E0303" ?span:op.oloc "sub-interface %s used more than once in %s" k
+          g.gname
       else Hashtbl.add seen k ())
     (interface_ops g)

@@ -13,8 +13,8 @@
    All lil/comb values are plain unsigned bit vectors. *)
 
 module Bn = Bitvec.Bn
-exception Lil_error of string
-val lil_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+exception Lil_error of Diag.t
+val lil_error : ?code:string -> ?span:Diag.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val u : int -> Bitvec.ty
 val width_of : Mir.value -> int
 val std_regfile : string

@@ -25,6 +25,10 @@ type op = {
   results : value list;
   attrs : (string * attr) list;
   regions : op list list;
+  (* CoreDSL source span this op was lowered from; carried through every
+     rewrite so back-end errors can cite the originating source line. Not
+     printed by [pp_op] (graph text is compared structurally by passes). *)
+  oloc : Diag.span option;
 }
 
 (* A lil.graph / coredsl.instruction / coredsl.always container. *)
@@ -37,29 +41,39 @@ type graph = {
 
 (* ---- builder ---- *)
 
-type builder = { mutable next_v : int; mutable next_o : int; mutable ops : op list }
+type builder = {
+  mutable next_v : int;
+  mutable next_o : int;
+  mutable ops : op list;
+  (* ambient source location: ops created while set inherit it *)
+  mutable cur_loc : Diag.span option;
+}
 
-let builder () = { next_v = 0; next_o = 0; ops = [] }
+let builder () = { next_v = 0; next_o = 0; ops = []; cur_loc = None }
+
+let set_loc b loc = b.cur_loc <- loc
 
 let fresh_value b ?(hint = "") ty =
   let v = { vid = b.next_v; vty = ty; vhint = hint } in
   b.next_v <- b.next_v + 1;
   v
 
-(* Create an op with [n] results of the given types and append it. *)
-let add_op b ?(attrs = []) ?(regions = []) ?(hints = []) opname operands result_tys =
+(* Create an op with [n] results of the given types and append it. The op
+   location defaults to the builder's ambient [cur_loc]. *)
+let add_op b ?(attrs = []) ?(regions = []) ?(hints = []) ?loc opname operands result_tys =
   let results =
     List.mapi
       (fun i ty -> fresh_value b ~hint:(try List.nth hints i with _ -> "") ty)
       result_tys
   in
-  let op = { oid = b.next_o; opname; operands; results; attrs; regions } in
+  let oloc = match loc with Some _ -> loc | None -> b.cur_loc in
+  let op = { oid = b.next_o; opname; operands; results; attrs; regions; oloc } in
   b.next_o <- b.next_o + 1;
   b.ops <- op :: b.ops;
   op
 
-let add_op1 b ?attrs ?regions ?(hint = "") opname operands result_ty =
-  let op = add_op b ?attrs ?regions ~hints:[ hint ] opname operands [ result_ty ] in
+let add_op1 b ?attrs ?regions ?(hint = "") ?loc opname operands result_ty =
+  let op = add_op b ?attrs ?regions ~hints:[ hint ] ?loc opname operands [ result_ty ] in
   List.hd op.results
 
 let finish b ~name ~kind ?(attrs = []) () =

@@ -23,6 +23,9 @@ type op = {
   results : value list;
   attrs : (string * attr) list;
   regions : op list list;
+  oloc : Diag.span option;
+      (** CoreDSL source span this op was lowered from; preserved by every
+          rewrite, not printed by {!pp_op} *)
 }
 type graph = {
   gname : string;
@@ -34,19 +37,22 @@ type builder = {
   mutable next_v : int;
   mutable next_o : int;
   mutable ops : op list;
+  mutable cur_loc : Diag.span option;
 }
 val builder : unit -> builder
+val set_loc : builder -> Diag.span option -> unit
 val fresh_value : builder -> ?hint:string -> Bitvec.ty -> value
 val add_op :
   builder ->
   ?attrs:(string * attr) list ->
   ?regions:op list list ->
-  ?hints:string list -> string -> value list -> Bitvec.ty list -> op
+  ?hints:string list ->
+  ?loc:Diag.span -> string -> value list -> Bitvec.ty list -> op
 val add_op1 :
   builder ->
   ?attrs:(string * attr) list ->
   ?regions:op list list ->
-  ?hint:string -> string -> value list -> Bitvec.ty -> value
+  ?hint:string -> ?loc:Diag.span -> string -> value list -> Bitvec.ty -> value
 val finish :
   builder ->
   name:string ->

@@ -191,6 +191,8 @@ let lower_constant_shifts (g : graph) : graph =
   let s v = match Hashtbl.find_opt subst v.vid with Some v' -> v' | None -> v in
   let u w = Bitvec.unsigned_ty w in
   let rewrite_shift op kind x k =
+    (* replacement wiring inherits the span of the shift it stands in for *)
+    set_loc b op.oloc;
     let w = x.vty.Bitvec.width in
     let r = List.hd op.results in
     let replacement =

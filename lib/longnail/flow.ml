@@ -13,7 +13,31 @@
    always-blocks are synthesized; base instructions are implemented by the
    host core itself. *)
 
-exception Flow_error of string
+(* Every failure of the flow surfaces as [Diag.Fatal]: stage exceptions
+   already carrying a [Diag.t] are re-raised as fatal diagnostics at the
+   stage boundary; stringly internal errors (IR/problem verification) are
+   wrapped as E0901. *)
+
+let diag_of_stage_exn = function
+  | Ir.Hlir.Lower_error d
+  | Ir.Lil.Lil_error d
+  | Sched_build.Build_error d
+  | Hwgen.Hwgen_error d
+  | Scaiev.Generator.Generate_error d ->
+      Some d
+  | Ir.Mir.Verify_error m ->
+      Some (Diag.make ~code:"E0901" ("internal: IR verification failed: " ^ m))
+  | Sched.Problem.Problem_error m -> Some (Diag.make ~code:"E0901" ("internal: " ^ m))
+  | _ -> None
+
+(* Run [f], converting any stage exception into a fatal diagnostic that
+   names the functionality being compiled. *)
+let with_stage_diags what f =
+  try f ()
+  with e -> (
+    match diag_of_stage_exn e with
+    | Some d -> Diag.fatal { d with Diag.notes = d.Diag.notes @ [ "while compiling " ^ what ] }
+    | None -> raise e)
 
 type compiled_functionality = {
   cf_name : string;
@@ -81,6 +105,7 @@ let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
     | `Always ta -> (ta.Coredsl.Tast.ta_name, `Always)
   in
   Obs.span_opt obs ("func:" ^ name) @@ fun obs ->
+  with_stage_diags name @@ fun () ->
   Obs.metric_str_opt obs "kind"
     (match kind with `Instruction -> "instruction" | `Always -> "always");
   let hlir, fields =
@@ -122,11 +147,26 @@ let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
         Obs.metric_int_opt sobs "ilp_constraints" constraints;
         let feasible = Sched_build.schedule ~scheduler built in
         Obs.metric_int_opt sobs "feasible" (if feasible then 1 else 0);
-        if not feasible then
-          raise
-            (Flow_error
+        if not feasible then begin
+          (* name the operation that overshoots its interface window, so the
+             error points at the CoreDSL line it was lowered from *)
+          let span, notes =
+            match Sched_build.infeasible_culprit built with
+            | Some (culprit, lb, latest) ->
+                ( culprit.Ir.Mir.oloc,
+                  [
+                    Printf.sprintf
+                      "%s cannot start before stage %d, but core %s requires it no later \
+                       than stage %d"
+                      culprit.Ir.Mir.opname lb core.core_name latest;
+                  ] )
+            | None -> (None, [])
+          in
+          Diag.fatal
+            (Diag.make ?span ~notes ~code:"E0401"
                (Printf.sprintf "scheduling of %s for core %s is infeasible" name
-                  core.core_name));
+                  core.core_name))
+        end;
         Sched.Problem.verify built.problem;
         Obs.metric_int_opt sobs "latency"
           (Array.fold_left max 0 p.Sched.Problem.start_time);
@@ -192,9 +232,13 @@ let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
           (fun f ->
             let mask =
               match f.cf_kind with
-              | `Instruction ->
-                  let ti = Option.get (Coredsl.Tast.find_tinstr tu f.cf_name) in
-                  mask_of ti
+              | `Instruction -> (
+                  match Coredsl.Tast.find_tinstr tu f.cf_name with
+                  | Some ti -> mask_of ti
+                  | None ->
+                      Diag.fatalf ~code:"E0901"
+                        "internal: compiled instruction %s is missing from the typed unit"
+                        f.cf_name)
               | `Always -> ""
             in
             Config_gen.functionality_of ~name:f.cf_name ~kind:f.cf_kind ~mask f.cf_hw)
@@ -203,7 +247,10 @@ let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
   in
   let adapter, config_yaml =
     Obs.span_opt obs "adapter_gen" (fun sobs ->
-        let adapter = Scaiev.Generator.generate ~hazard_handling core config in
+        let adapter =
+          with_stage_diags "the SCAIE-V adapter" (fun () ->
+              Scaiev.Generator.generate ~hazard_handling core config)
+        in
         let yaml = Scaiev.Config.to_yaml config in
         Obs.metric_int_opt sobs "config_yaml_bytes" (String.length yaml);
         (adapter, yaml))

@@ -15,8 +15,16 @@
     always-blocks are synthesized; base instructions are implemented by
     the host core itself. *)
 
-(** Raised when a functionality cannot be scheduled for the target core. *)
-exception Flow_error of string
+(** Every flow failure is raised as {!Diag.Fatal}. Stage exceptions that
+    already carry a {!Diag.t} ({!Ir.Hlir.Lower_error}, {!Ir.Lil.Lil_error},
+    {!Sched_build.Build_error}, {!Hwgen.Hwgen_error},
+    {!Scaiev.Generator.Generate_error}) are converted at the stage
+    boundary, with a note naming the functionality being compiled;
+    stringly internal errors (IR/problem verification) are wrapped as
+    E0901. *)
+val diag_of_stage_exn : exn -> Diag.t option
+
+val with_stage_diags : string -> (unit -> 'a) -> 'a
 
 (** One compiled functionality: a custom instruction or an always-block,
     with every intermediate artifact retained for inspection. *)
@@ -65,7 +73,9 @@ val stage_names : string list
     With [obs] set, records a ["func:NAME"] span with one child per
     {!stage_names} entry, each carrying stage-specific metrics (IR sizes,
     ILP variables/constraints, netlist cells, SV bytes, ...).
-    Raises {!Flow_error} when scheduling is infeasible. *)
+    Raises {!Diag.Fatal} with code E0401 when scheduling is infeasible; the
+    diagnostic cites the CoreDSL span of the operation whose interface
+    window cannot be met. *)
 val compile_functionality :
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->

@@ -10,9 +10,10 @@
 
 open Ir.Mir
 
-exception Hwgen_error of string
+exception Hwgen_error of Diag.t
 
-let hw_error fmt = Format.kasprintf (fun m -> raise (Hwgen_error m)) fmt
+let hw_error ?(code = "E0501") ?span fmt =
+  Format.kasprintf (fun m -> raise (Hwgen_error (Diag.make ?span ~code m))) fmt
 
 type iface_binding = {
   ib_opname : string;  (* lil op name *)
@@ -304,7 +305,7 @@ let generate (core : Scaiev.Datasheet.t) (elab : Coredsl.Elaborate.elaborated)
               let table =
                 match Coredsl.Elaborate.find_reg elab rom with
                 | Some { rinit = Some t; _ } -> t
-                | _ -> hw_error "ROM %s has no contents" rom
+                | _ -> hw_error ?span:op.oloc "ROM %s has no contents" rom
               in
               let idx = List.hd op.operands in
               let n = Printf.sprintf "v%d" r.vid in
@@ -332,7 +333,7 @@ let generate (core : Scaiev.Datasheet.t) (elab : Coredsl.Elaborate.elaborated)
                      inputs = List.map (fun v -> signal_at v t) op.operands;
                    });
               define r t n
-          | other -> hw_error "cannot generate hardware for op %s" other))
+          | other -> hw_error ?span:op.oloc "cannot generate hardware for op %s" other))
     g.body;
   let netlist =
     {

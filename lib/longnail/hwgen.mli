@@ -8,8 +8,8 @@
    Longnail does not generate a controller: SCAIE-V's logic tracks the
    progress of the custom instruction and commits results (Section 4.5). *)
 
-exception Hwgen_error of string
-val hw_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+exception Hwgen_error of Diag.t
+val hw_error : ?code:string -> ?span:Diag.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 (** One SCAIE-V port binding of a generated module: which sub-interface,
     in which stage, in which execution mode, and the module port names by

@@ -12,9 +12,10 @@
 
 open Ir.Mir
 
-exception Build_error of string
+exception Build_error of Diag.t
 
-let build_error fmt = Format.kasprintf (fun m -> raise (Build_error m)) fmt
+let build_error ?(code = "E0901") ?span fmt =
+  Format.kasprintf (fun m -> raise (Build_error (Diag.make ?span ~code m))) fmt
 
 type built = {
   problem : Sched.Problem.t;
@@ -38,7 +39,9 @@ let operator_type_for (core : Scaiev.Datasheet.t) (dm : Delay_model.t) ~always (
         let w =
           match Scaiev.Datasheet.find core iface with
           | Some w -> w
-          | None -> build_error "core %s lacks interface %s" core.core_name iface
+          | None ->
+              build_error ~code:"E0402" ?span:op.oloc "core %s lacks interface %s"
+                core.core_name iface
         in
         let latest =
           if List.mem iface Scaiev.Iface.relaxable then None (* relaxed to infinity *)
@@ -105,8 +108,43 @@ let schedule ?(scheduler = Ilp) (bt : built) =
       | Sched.Asap_scheduler.Scheduled -> true
       | Sched.Asap_scheduler.Infeasible -> false)
 
+(* Explain an infeasible problem: compute each operation's ASAP lower
+   bound (longest dependence path, honoring [earliest] but ignoring
+   [latest]) and return the op whose lower bound overshoots its own
+   [latest] window the most, with (lower_bound, latest). The returned mir
+   op carries the CoreDSL span the violation originates from, so flow
+   errors can cite the offending source line. *)
+let infeasible_culprit (bt : built) : (op * int * int) option =
+  let p = bt.problem in
+  let ops = p.Sched.Problem.operations in
+  let n = Array.length ops in
+  let lb = Array.make n 0 in
+  Array.iteri (fun i (o : Sched.Problem.operation) -> lb.(i) <- o.lot.earliest) ops;
+  let preds = Array.make n [] in
+  let add_edge extra (d : Sched.Problem.dependence) =
+    let w = ops.(d.dep_src).lot.latency + extra in
+    preds.(d.dep_dst) <- (d.dep_src, w) :: preds.(d.dep_dst)
+  in
+  List.iter (add_edge 0) p.Sched.Problem.dependences;
+  List.iter (add_edge 1) (Sched.Problem.chain_breakers p);
+  List.iter
+    (fun j ->
+      List.iter (fun (i, w) -> if lb.(i) + w > lb.(j) then lb.(j) <- lb.(i) + w) preds.(j))
+    (Sched.Problem.topo_order p);
+  let best = ref None in
+  Array.iteri
+    (fun i (o : Sched.Problem.operation) ->
+      match o.lot.latest with
+      | Some l when lb.(i) > l -> (
+          match !best with
+          | Some (_, lb0, l0) when lb0 - l0 >= lb.(i) - l -> ()
+          | _ -> best := Some (bt.ops_by_index.(i), lb.(i), l))
+      | _ -> ())
+    ops;
+  !best
+
 (* start time of a mir op after scheduling *)
 let start_time bt (op : op) =
   match Hashtbl.find_opt bt.index_of_op op.oid with
   | Some idx -> bt.problem.Sched.Problem.start_time.(idx)
-  | None -> build_error "op %d not in problem" op.oid
+  | None -> build_error ?span:op.oloc "op %d not in problem" op.oid

@@ -10,8 +10,9 @@
    - for always-blocks, every interface constraint is stage 0 and solving
      merely checks single-cycle feasibility (Section 4.4). *)
 
-exception Build_error of string
-val build_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+exception Build_error of Diag.t
+val build_error :
+  ?code:string -> ?span:Diag.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 type built = {
   problem : Sched.Problem.t;
   index_of_op : (int, int) Hashtbl.t;
@@ -28,4 +29,11 @@ val build :
   ?cycle_time:float -> Ir.Mir.graph -> built
 type scheduler = Ilp | Asap
 val schedule : ?scheduler:scheduler -> built -> bool
+
+(** For an infeasible problem: the operation whose ASAP lower bound
+    (longest dependence path, ignoring [latest] windows) most overshoots
+    its own [latest] window, with that bound and the window. The mir op
+    carries the originating CoreDSL span. *)
+val infeasible_culprit : built -> (Ir.Mir.op * int * int) option
+
 val start_time : built -> Ir.Mir.op -> int

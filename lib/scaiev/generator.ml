@@ -9,9 +9,10 @@
    - the cycle-level core models (lib/riscv), which interpret the same
      plan to emulate the integrated ISAX cycle-accurately. *)
 
-exception Generate_error of string
+exception Generate_error of Diag.t
 
-let gen_error fmt = Format.kasprintf (fun m -> raise (Generate_error m)) fmt
+let gen_error ?(code = "E0502") ?span fmt =
+  Format.kasprintf (fun m -> raise (Generate_error (Diag.make ?span ~code m))) fmt
 
 type adapter = {
   core : Datasheet.t;

@@ -9,8 +9,8 @@
    - the cycle-level core models (lib/riscv), which interpret the same
      plan to emulate the integrated ISAX cycle-accurately. *)
 
-exception Generate_error of string
-val gen_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+exception Generate_error of Diag.t
+val gen_error : ?code:string -> ?span:Diag.span -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 type adapter = {
   core : Datasheet.t;
   config : Config.t;

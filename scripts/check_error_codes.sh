@@ -1,0 +1,26 @@
+#!/bin/sh
+# CI gate: the diagnostic error-code registry is a checked-in contract.
+#
+# Diffs the registry reported by `longnail diag --list-codes` against
+# docs/ERROR_CODES.txt. Adding, removing or re-describing a code must come
+# with an update to that file (regenerate with
+#   longnail diag --list-codes > docs/ERROR_CODES.txt).
+#
+# Usage: scripts/check_error_codes.sh   (from the repository root)
+set -eu
+
+CLI=_build/default/bin/longnail_cli.exe
+CODES=docs/ERROR_CODES.txt
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+dune build bin/longnail_cli.exe
+
+"$CLI" diag --list-codes > "$TMP/codes.txt"
+
+if ! diff -u "$CODES" "$TMP/codes.txt"; then
+    echo "error: diagnostic code registry diverges from $CODES" >&2
+    echo "       (if the change is deliberate, update the checked-in file)" >&2
+    exit 1
+fi
+echo "error-code registry matches $CODES"

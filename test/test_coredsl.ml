@@ -206,6 +206,40 @@ let test_encoding_fields () =
   check_int "BEQ imm width" 13 imm.fld_width
 
 let test_unknown_ident () = expect_type_error "X[rd] = NOT_A_THING;"
+
+let test_errors_accumulate_across_instructions () =
+  (* three independently broken instructions: one run of the front end
+     reports all three, each with a stable code and a span into its own
+     behavior block, instead of stopping at the first *)
+  let src =
+    {|import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    E1 { encoding: 12'd0 :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b1111011;
+         behavior: { X[rd] = NOT_A_THING; } }
+    E2 { encoding: 12'd0 :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b1111011;
+         behavior: { unsigned<5> u5 = 0; unsigned<4> u4 = u5; } }
+    E3 { encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b1111011;
+         behavior: { signed<4> s4 = 0; unsigned<4> u4 = s4; } }
+  }
+}
+|}
+  in
+  match compile_result ~file:"accumulate.core_desc" ~target:"T" src with
+  | Ok _ -> Alcotest.fail "expected three type errors"
+  | Stdlib.Error ds ->
+      check_int "all three reported in one run" 3 (List.length ds);
+      List.iter
+        (fun (d : Diag.t) ->
+          check_bool (d.Diag.code ^ " registered") true (Diag.is_registered d.Diag.code);
+          match d.Diag.span with
+          | Some sp -> check_bool "valid span" true (Diag.span_is_valid sp)
+          | None -> Alcotest.fail "accumulated diagnostic without span")
+        ds;
+      (* diagnostics come out in declaration order of the instructions *)
+      let lines = List.map (fun (d : Diag.t) -> (Option.get d.Diag.span).Diag.sp_line) ds in
+      check_bool "source order" true (List.sort compare lines = lines)
+
 let test_rom_write_rejected () =
   let src =
     {|
@@ -649,6 +683,7 @@ let () =
           Alcotest.test_case "spawn restrictions" `Quick test_spawn_restrictions;
           Alcotest.test_case "encoding fields" `Quick test_encoding_fields;
           Alcotest.test_case "unknown identifier" `Quick test_unknown_ident;
+          Alcotest.test_case "errors accumulate" `Quick test_errors_accumulate_across_instructions;
           Alcotest.test_case "rom write rejected" `Quick test_rom_write_rejected;
         ] );
       ( "interp-base",

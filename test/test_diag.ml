@@ -1,0 +1,254 @@
+(* Tests for the structured diagnostics engine: golden renderings of the
+   caret-snippet text format and the JSON format, the error-code registry,
+   multi-error accumulation across the front end, parser error recovery,
+   and import-chain provenance. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- golden text rendering ---- *)
+
+let test_render_caret_layout () =
+  let file = "demo1.core_desc" in
+  Diag.register_source ~file "instr ADD {\n  x = y + z;\n}\n";
+  let span =
+    { Diag.sp_file = file; sp_line = 2; sp_col = 7; sp_end_line = 2; sp_end_col = 12 }
+  in
+  let d = Diag.make ~span ~notes:[ "try an explicit cast" ] ~code:"E0102" "type mismatch" in
+  let expected =
+    String.concat "\n"
+      [
+        "demo1.core_desc:2:7: error[E0102]: type mismatch";
+        "  2 |   x = y + z;";
+        "    |       ^^^^^";
+        "  note: try an explicit cast";
+      ]
+  in
+  (* a point span renders a single caret *)
+  check_str "caret layout" expected (Diag.to_string d);
+  let p = Diag.point ~file ~line:2 ~col:3 in
+  let d2 = Diag.make ~span:p ~code:"E0101" "unknown identifier 'x'" in
+  let expected2 =
+    String.concat "\n"
+      [
+        "demo1.core_desc:2:3: error[E0101]: unknown identifier 'x'";
+        "  2 |   x = y + z;";
+        "    |   ^";
+      ]
+  in
+  check_str "point span caret" expected2 (Diag.to_string d2)
+
+let test_render_without_source_or_span () =
+  (* unregistered file: header only, no snippet *)
+  let span = Diag.point ~file:"not_registered.cd" ~line:3 ~col:1 in
+  let d = Diag.make ~span ~code:"E0109" "some error" in
+  check_str "no snippet" "not_registered.cd:3:1: error[E0109]: some error" (Diag.to_string d);
+  (* no span at all: bare header *)
+  let d2 = Diag.make ~code:"E0901" "internal error" in
+  check_str "no span" "error[E0901]: internal error" (Diag.to_string d2)
+
+let test_render_labels () =
+  let file = "demo2.core_desc" in
+  Diag.register_source ~file "import \"a.inc\"\n";
+  let lb =
+    { Diag.lb_span = Diag.point ~file ~line:1 ~col:1; lb_text = "imported here" }
+  in
+  let d = Diag.make ~labels:[ lb ] ~code:"E0201" "cannot resolve import \"b.inc\"" in
+  let expected =
+    String.concat "\n"
+      [
+        "error[E0201]: cannot resolve import \"b.inc\"";
+        "  --> demo2.core_desc:1:1: imported here";
+        "  1 | import \"a.inc\"";
+        "    | ^";
+      ]
+  in
+  check_str "label rendering" expected (Diag.to_string d)
+
+(* ---- golden JSON rendering ---- *)
+
+let test_json_rendering () =
+  let span =
+    { Diag.sp_file = "j.cd"; sp_line = 1; sp_col = 2; sp_end_line = 1; sp_end_col = 5 }
+  in
+  let lb = { Diag.lb_span = Diag.point ~file:"k.cd" ~line:7 ~col:3; lb_text = "here" } in
+  let d = Diag.make ~span ~labels:[ lb ] ~notes:[ "a \"note\"" ] ~code:"E0102" "bad" in
+  let expected =
+    {|{"diagnostics":[{"severity":"error","code":"E0102","message":"bad",|}
+    ^ {|"span":{"file":"j.cd","line":1,"col":2,"end_line":1,"end_col":5},|}
+    ^ {|"labels":[{"span":{"file":"k.cd","line":7,"col":3,"end_line":7,"end_col":3},"text":"here"}],|}
+    ^ {|"notes":["a \"note\""]}]}|}
+  in
+  check_str "json" expected (Diag.to_json [ d ]);
+  (* a spanless diagnostic serializes span as null *)
+  let d2 = Diag.make ~code:"E0901" "boom" in
+  check_str "json null span"
+    {|{"diagnostics":[{"severity":"error","code":"E0901","message":"boom","span":null,"labels":[],"notes":[]}]}|}
+    (Diag.to_json [ d2 ])
+
+(* ---- registry ---- *)
+
+let test_registry () =
+  check_bool "E0401 registered" true (Diag.is_registered "E0401");
+  check_bool "E9999 not registered" false (Diag.is_registered "E9999");
+  check_str "describe" "scheduling infeasible" (Option.get (Diag.describe "E0401"));
+  (* sorted and unique: the CI gate diffs this listing against
+     docs/ERROR_CODES.txt *)
+  let codes = List.map fst Diag.all_codes in
+  check_bool "sorted" true (List.sort compare codes = codes);
+  check_int "unique" (List.length codes) (List.length (List.sort_uniq compare codes));
+  List.iter
+    (fun c ->
+      check_bool (c ^ " shaped") true
+        (String.length c = 5 && c.[0] = 'E' && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub c 1 4)))
+    codes
+
+(* ---- collector ordering ---- *)
+
+let test_collector_ordering () =
+  let c = Diag.collector () in
+  check_bool "empty" false (Diag.has_errors c);
+  Diag.add c (Diag.make ~code:"E0101" "first");
+  Diag.add c (Diag.make ~code:"E0102" "second");
+  Diag.add c (Diag.make ~code:"E0109" "third");
+  check_bool "has errors" true (Diag.has_errors c);
+  check_str "insertion order" "first,second,third"
+    (String.concat "," (List.map (fun (d : Diag.t) -> d.Diag.message) (Diag.to_list c)))
+
+(* ---- parser error recovery ---- *)
+
+let test_parser_recovery_multiple_errors () =
+  (* two broken instructions and one good one: both errors are recorded,
+     the good instruction survives *)
+  let src =
+    {|
+InstructionSet T {
+  instructions {
+    BAD1 { encoding: ; behavior: {} }
+    GOOD { encoding: 27'd0 :: rd[4:0]; behavior: {} }
+    BAD2 { encoding: 32'd1; behavior: { = ; } }
+  }
+}
+|}
+  in
+  let diags = Diag.collector () in
+  let d = Coredsl.Parser.parse ~diags ~file:"recover.core_desc" src in
+  let errs = Diag.to_list diags in
+  check_int "two syntax errors" 2 (List.length errs);
+  List.iter
+    (fun (e : Diag.t) ->
+      check_str "code" "E0002" e.Diag.code;
+      match e.Diag.span with
+      | Some sp ->
+          check_bool "valid span" true (Diag.span_is_valid sp);
+          check_str "file" "recover.core_desc" sp.Diag.sp_file
+      | None -> Alcotest.fail "syntax diagnostic without span")
+    errs;
+  (* errors are reported in source order *)
+  (match List.map (fun (e : Diag.t) -> (Option.get e.Diag.span).Diag.sp_line) errs with
+  | [ l1; l2 ] -> check_bool "ordered by line" true (l1 < l2)
+  | _ -> Alcotest.fail "expected two spans");
+  match d.Coredsl.Ast.sets with
+  | [ s ] ->
+      check_str "good instruction kept" "GOOD"
+        (List.hd s.Coredsl.Ast.set_isa.instructions).Coredsl.Ast.iname
+  | _ -> Alcotest.fail "expected one instruction set"
+
+(* ---- multi-error accumulation across the front end ---- *)
+
+let multi_error_src =
+  {|import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    E1 { encoding: 12'd0 :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b1111011;
+         behavior: { X[rd] = NOT_A_THING; } }
+    E2 { encoding: 12'd0 :: rs1[4:0] :: 3'b010 :: rd[4:0] :: 7'b1111011;
+         behavior: { unsigned<5> u5 = 0; unsigned<4> u4 = u5; } }
+    E3 { encoding: 12'd0 :: rs1[4:0] :: 3'b011 :: rd[4:0] :: 7'b1111011;
+         behavior: { signed<4> s4 = 0; unsigned<4> u4 = s4; } }
+  }
+}
+|}
+
+let test_multi_error_one_run () =
+  match Coredsl.compile_result ~file:"multi.core_desc" ~target:"T" multi_error_src with
+  | Ok _ -> Alcotest.fail "expected three type errors"
+  | Error ds ->
+      check_int "all three reported" 3 (List.length ds);
+      check_str "codes" "E0101,E0102,E0102"
+        (String.concat "," (List.map (fun (d : Diag.t) -> d.Diag.code) ds));
+      List.iter
+        (fun (d : Diag.t) ->
+          match d.Diag.span with
+          | Some sp ->
+              check_bool "valid span" true (Diag.span_is_valid sp);
+              check_str "file" "multi.core_desc" sp.Diag.sp_file;
+              (* each error points into the behavior block of its instruction *)
+              check_bool "line in body" true (sp.Diag.sp_line >= 5 && sp.Diag.sp_line <= 9)
+          | None -> Alcotest.fail "type diagnostic without span")
+        ds;
+      (* rendered text carries one caret snippet per error *)
+      let txt = Format.asprintf "%a" Diag.render_all ds in
+      check_int "three headers" 3
+        (List.length
+           (List.filter (fun l -> String.length l > 0 && l.[0] <> ' ')
+              (String.split_on_char '\n' txt)));
+      check_bool "caret present" true (String.exists (fun c -> c = '^') txt)
+
+(* ---- import-chain provenance ---- *)
+
+let test_import_chain_provenance () =
+  let provider path =
+    if path = "mid.inc" then Some "import \"missing.inc\"\nInstructionSet M { }\n"
+    else None
+  in
+  let src = "import \"mid.inc\"\nInstructionSet T extends M { }\n" in
+  match Coredsl.compile_result ~provider ~file:"top.core_desc" ~target:"T" src with
+  | Ok _ -> Alcotest.fail "expected unresolved import"
+  | Error [ d ] ->
+      check_str "code" "E0201" d.Diag.code;
+      (* primary span: the failing import statement inside mid.inc *)
+      let sp = Option.get d.Diag.span in
+      check_str "file" "mid.inc" sp.Diag.sp_file;
+      check_int "line" 1 sp.Diag.sp_line;
+      (* provenance label: the import site in the top-level file *)
+      (match d.Diag.labels with
+      | [ lb ] ->
+          check_str "label text" "imported here" lb.Diag.lb_text;
+          check_str "label file" "top.core_desc" lb.Diag.lb_span.Diag.sp_file;
+          check_int "label line" 1 lb.Diag.lb_span.Diag.sp_line
+      | ls -> Alcotest.failf "expected one provenance label, got %d" (List.length ls));
+      (* both snippets appear in the rendered text *)
+      let txt = Diag.to_string d in
+      check_bool "cites mid.inc" true (contains ~sub:"mid.inc:1:1" txt);
+      check_bool "cites top file" true (contains ~sub:"top.core_desc:1:1" txt)
+  | Error ds -> Alcotest.failf "expected exactly one diagnostic, got %d" (List.length ds)
+
+let () =
+  Alcotest.run "diag"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "caret layout" `Quick test_render_caret_layout;
+          Alcotest.test_case "no source / no span" `Quick test_render_without_source_or_span;
+          Alcotest.test_case "labels" `Quick test_render_labels;
+          Alcotest.test_case "json" `Quick test_json_rendering;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "codes" `Quick test_registry;
+          Alcotest.test_case "collector order" `Quick test_collector_ordering;
+        ] );
+      ( "front-end",
+        [
+          Alcotest.test_case "parser recovery" `Quick test_parser_recovery_multiple_errors;
+          Alcotest.test_case "multi-error run" `Quick test_multi_error_one_run;
+          Alcotest.test_case "import provenance" `Quick test_import_chain_provenance;
+        ] );
+    ]

@@ -118,9 +118,8 @@ let gen_behavior seed =
     (Printf.sprintf "        if (rd != 0) X[rd] = %s;\n" (gen_expr ctx ~depth:2 ~w:32));
   Buffer.contents buf
 
-let compile_fuzz seed =
-  let src =
-    Printf.sprintf
+let fuzz_source seed =
+  Printf.sprintf
       {|
 import "RV32I.core_desc"
 InstructionSet FUZZ extends RV32I {
@@ -136,9 +135,9 @@ InstructionSet FUZZ extends RV32I {
   }
 }
 |}
-      (gen_behavior seed)
-  in
-  Coredsl.compile ~target:"FUZZ" src
+    (gen_behavior seed)
+
+let compile_fuzz seed = Coredsl.compile ~target:"FUZZ" (fuzz_source seed)
 
 let cores = Scaiev.Datasheet.all_cores
 
@@ -200,9 +199,82 @@ let prop_sv_clean =
       in
       String.length sv > 0 && contains "module FZ(" && (not (contains "lil.")) && contains "endmodule")
 
+(* ---- mutated sources must fail with structured diagnostics ----
+
+   Corrupt a known-good source in a targeted way (typos, deleted
+   punctuation, bogus identifiers, truncation) and require that any
+   resulting compile failure is a diagnostic — registered code, valid
+   span where one is attached — rather than a bare exception escaping
+   the front end or the flow. *)
+
+let replace_first ~sub ~by s =
+  let nl = String.length sub in
+  let rec go i =
+    if i + nl > String.length s then s
+    else if String.sub s i nl = sub then
+      String.sub s 0 i ^ by ^ String.sub s (i + nl) (String.length s - i - nl)
+    else go (i + 1)
+  in
+  go 0
+
+let mutate rng src =
+  let nth_char c n =
+    (* index of the [n]-th occurrence of [c], if any *)
+    let occ = ref [] in
+    String.iteri (fun i ch -> if ch = c then occ := i :: !occ) src;
+    match List.rev !occ with [] -> None | os -> Some (List.nth os (n mod List.length os))
+  in
+  let drop_char_at i = String.sub src 0 i ^ String.sub src (i + 1) (String.length src - i - 1) in
+  match Random.State.int rng 8 with
+  | 0 -> replace_first ~sub:"X[rd]" ~by:"X[zz]" src
+  | 1 -> replace_first ~sub:"behavior" ~by:"behaviour" src
+  | 2 -> (
+      match nth_char '}' (Random.State.int rng 16) with
+      | Some i -> drop_char_at i
+      | None -> src)
+  | 3 -> (
+      match nth_char ';' (Random.State.int rng 16) with
+      | Some i -> drop_char_at i
+      | None -> src)
+  | 4 -> replace_first ~sub:"unsigned<32> a" ~by:"unsigned<4> a" src
+  | 5 ->
+      let i = 1 + Random.State.int rng (String.length src - 1) in
+      String.sub src 0 i ^ "$$" ^ String.sub src i (String.length src - i)
+  | 6 -> replace_first ~sub:"X[rs1]" ~by:"X[undefined_reg]" src
+  | _ ->
+      (* truncate somewhere in the second half *)
+      let half = String.length src / 2 in
+      String.sub src 0 (half + Random.State.int rng half)
+
+let structured (ds : Diag.t list) =
+  ds <> []
+  && List.for_all
+       (fun (d : Diag.t) ->
+         Diag.is_registered d.Diag.code
+         && match d.Diag.span with Some sp -> Diag.span_is_valid sp | None -> true)
+       ds
+
+let prop_mutations_yield_diagnostics =
+  QCheck.Test.make ~name:"mutated sources fail with structured diagnostics" ~count:80
+    (QCheck.pair QCheck.small_nat QCheck.small_nat)
+    (fun (seed, mseed) ->
+      let rng = Random.State.make [| seed; mseed |] in
+      let src = mutate rng (fuzz_source seed) in
+      match Coredsl.compile_result ~file:"mutant.core_desc" ~target:"FUZZ" src with
+      | Error ds -> structured ds
+      | Ok tu -> (
+          (* the mutation survived the front end: the back end must still
+             either succeed or fail with a structured diagnostic — any
+             bare Failure/Invalid_argument fails the property *)
+          try
+            ignore (Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu);
+            true
+          with Diag.Fatal ds -> structured ds))
+
 let () =
   Alcotest.run "fuzz-flow"
     [
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_flow_matches_interp; prop_sv_clean ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_flow_matches_interp; prop_sv_clean; prop_mutations_yield_diagnostics ] );
     ]

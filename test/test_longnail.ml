@@ -306,7 +306,9 @@ InstructionSet T extends RV32I {
       (Longnail.Flow.compile ~cycle_time:0.9
          ~delay_model:Longnail.Delay_model.physical Scaiev.Datasheet.orca tu);
     Alcotest.fail "expected infeasible schedule"
-  with Longnail.Flow.Flow_error m ->
+  with Diag.Fatal (d :: _) ->
+    let m = d.Diag.message in
+    Alcotest.(check string) "stable code" "E0401" d.Diag.code;
     check_bool "mentions the instruction" true
       (let nl = String.length "LONGJMP" in
        let rec go i = i + nl <= String.length m && (String.sub m i nl = "LONGJMP" || go (i + 1)) in

@@ -344,6 +344,61 @@ let test_profile_optimize_stats_api () =
          Some st.ps_ops_after)
        None stats)
 
+(* ---- diagnostics provenance through the full pipeline ---- *)
+
+let test_infeasible_error_cites_source () =
+  (* the PC write sits behind a memory load and a multiply chain; with a
+     tight cycle time it cannot reach WrPC's native window on ORCA. The
+     E0401 diagnostic must cite the CoreDSL span of the culprit operation,
+     which has to survive hlir -> lil -> optimize -> schedule. *)
+  let src =
+    {|import "RV32I.core_desc"
+InstructionSet T extends RV32I {
+  instructions {
+    LONGJMP {
+      encoding: imm[11:0] :: rs1[4:0] :: 3'b111 :: 5'b00000 :: 7'b1111011;
+      behavior: {
+        unsigned<32> a = MEM[X[rs1]+3:X[rs1]];
+        unsigned<32> b = MEM2;
+        PC = (unsigned<32>)(a * a * b * b);
+      }
+    }
+  }
+  architectural_state { register unsigned<32> MEM2; }
+}
+|}
+  in
+  let tu = Coredsl.compile ~file:"longjmp.core_desc" ~target:"T" src in
+  try
+    ignore
+      (Longnail.Flow.compile ~cycle_time:0.9 ~delay_model:Longnail.Delay_model.physical
+         Scaiev.Datasheet.orca tu);
+    Alcotest.fail "expected infeasible schedule"
+  with Diag.Fatal (d :: _) ->
+    Alcotest.(check string) "stable code" "E0401" d.Diag.code;
+    (match d.Diag.span with
+    | None -> Alcotest.fail "infeasibility diagnostic lost its source span"
+    | Some sp ->
+        check_bool "span valid" true (Diag.span_is_valid sp);
+        Alcotest.(check string) "cites the CoreDSL file" "longjmp.core_desc" sp.Diag.sp_file;
+        (* the culprit is an interface write inside the behavior block
+           (lines 7-9: the load, the register read, the PC assignment) *)
+        check_bool
+          (Printf.sprintf "line %d inside the behavior block" sp.Diag.sp_line)
+          true
+          (sp.Diag.sp_line >= 7 && sp.Diag.sp_line <= 9));
+    (* the note explains the window violation in stage terms *)
+    check_bool "note explains the stage window" true
+      (List.exists
+         (fun n ->
+           let sub = "cannot start before stage" in
+           let nl = String.length sub in
+           let rec go i =
+             i + nl <= String.length n && (String.sub n i nl = sub || go (i + 1))
+           in
+           go 0)
+         d.Diag.notes)
+
 (* random base-ISA programs: the pipeline must match the native ISS *)
 let prop_pipeline_matches_iss =
   QCheck.Test.make ~name:"pipeline matches ISS on random ALU programs" ~count:30 QCheck.int
@@ -396,6 +451,11 @@ let () =
           Alcotest.test_case "write arbitration order" `Quick test_pipeline_arbitration;
           Alcotest.test_case "decoupled overtaking" `Quick test_decoupled_overtaking;
           Alcotest.test_case "decoupled dependent stalls" `Quick test_decoupled_dependent_stalls;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "infeasible error cites source" `Quick
+            test_infeasible_error_cites_source;
         ] );
       ( "profiling",
         [
