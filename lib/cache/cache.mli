@@ -1,0 +1,96 @@
+(** Content-addressed compilation artifacts (docs/CACHING.md).
+
+    Two halves:
+
+    - {!Fp}: stable structural fingerprints over the values that flow
+      between pipeline stages — typed CoreDSL units ({!Coredsl.Tast}),
+      MIR graphs ({!Ir.Mir}, SSA-id independent), SCAIE-V virtual
+      datasheets ({!Scaiev.Datasheet}) — plus the generic combinators the
+      flow uses to key scheduling knobs. Fingerprints are deterministic
+      across processes: no [Hashtbl.hash], no physical identity, no
+      source locations, no cosmetic hints.
+    - {!Store}: a generic keyed artifact store with LRU eviction and
+      hit/miss/store/eviction counters, reported per lookup through
+      {!Obs} so the [--profile] output and the bench baseline carry
+      per-stage cache behaviour. *)
+
+module Fp : sig
+  type t = string
+  (** A fingerprint: 32 lowercase hex characters (an MD5 of the canonical
+      serialization). Exposed as a string so stage keys can be composed
+      by concatenation. *)
+
+  (** {2 Generic combinators}
+
+      A [ctx] accumulates the canonical serialization; every combinator
+      is injective over its own domain (strings are length-prefixed,
+      constructors tagged, floats rendered with [%h]). *)
+
+  type ctx
+
+  val create : unit -> ctx
+  val add_tag : ctx -> string -> unit
+  val add_string : ctx -> string -> unit
+  val add_int : ctx -> int -> unit
+  val add_bool : ctx -> bool -> unit
+  val add_float : ctx -> float -> unit
+  val add_opt : (ctx -> 'a -> unit) -> ctx -> 'a option -> unit
+  val add_list : (ctx -> 'a -> unit) -> ctx -> 'a list -> unit
+  val finish : ctx -> t
+
+  val digest : (ctx -> unit) -> t
+  (** [digest f] runs [f] on a fresh context and finishes it. *)
+
+  (** {2 Domain fingerprints} *)
+
+  val add_bitvec_ty : ctx -> Bitvec.ty -> unit
+  val add_bitvec : ctx -> Bitvec.t -> unit
+
+  val tunit : Coredsl.Tast.tunit -> t
+  (** Structural fingerprint of a typed unit: elaborated state (registers,
+      address spaces, parameters) plus every typed instruction,
+      always-block and function body. Source locations are excluded, so
+      two elaborations of the same source (even from different files)
+      agree; any semantic edit — a literal, an operator, an encoding, a
+      register width — changes the fingerprint. *)
+
+  val graph : Ir.Mir.graph -> t
+  (** Fingerprint of a MIR graph. SSA value ids are renumbered densely in
+      order of first occurrence, so alpha-renamed graphs agree; operation
+      names, attributes, operand/result structure, types and region
+      nesting all contribute. Cosmetic value hints and op ids do not. *)
+
+  val datasheet : Scaiev.Datasheet.t -> t
+  (** Fingerprint of a virtual datasheet: every stage/window/latency field
+      plus the ASIC baselines. *)
+end
+
+module Store : sig
+  type stats = { hits : int; misses : int; stores : int; evictions : int }
+
+  type 'v t
+
+  val create : ?capacity:int -> name:string -> unit -> 'v t
+  (** A keyed store holding at most [capacity] entries (default 512),
+      evicting least-recently-used beyond that. [capacity = 0] disables
+      storing entirely: every lookup misses and recomputes — used for
+      deliberately cold sessions. *)
+
+  val name : 'v t -> string
+  val length : 'v t -> int
+  val stats : 'v t -> stats
+
+  val find_or_add : 'v t -> ?obs:Obs.scope -> string -> (unit -> 'v) -> 'v
+  (** [find_or_add t key compute] returns the cached value for [key] or
+      runs [compute], stores the result and returns it. If [compute]
+      raises, nothing is stored and the exception propagates. With [obs],
+      records the [cache.hit] / [cache.miss] / [cache.store] counters on
+      that span (all three are always present, so the profiling schema is
+      identical for cold and warm lookups). *)
+
+  val mem : 'v t -> string -> bool
+
+  val record_stats : 'v t -> Obs.scope -> unit
+  (** Write the store's cumulative [NAME.hits] / [NAME.misses] /
+      [NAME.stores] / [NAME.evictions] metrics onto a span. *)
+end

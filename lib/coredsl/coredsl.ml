@@ -56,8 +56,14 @@ let compile ?provider ?file ~target src =
   | Ok tu -> tu
   | Stdlib.Error ds -> raise (Error (Format.asprintf "%a" Diag.render_all ds))
 
-(* Compile the built-in RV32I base ISA on its own. *)
-let compile_rv32i () = compile ~file:"RV32I.core_desc" ~target:"RV32I" Base_isa.rv32i
+(* Compile the built-in RV32I base ISA on its own. The base ISAs are
+   compiled from immutable bundled sources and requested from dozens of
+   call sites (every flow compile consults the base instruction list), so
+   both units are memoized; the typed unit is immutable and interpreter
+   state lives elsewhere, making sharing safe. *)
+let rv32i_memo = lazy (compile ~file:"RV32I.core_desc" ~target:"RV32I" Base_isa.rv32i)
+let compile_rv32i () = Lazy.force rv32i_memo
 
 (* Compile RV32I + the M standard extension (the RV32IM core). *)
-let compile_rv32im () = compile ~file:"RV32M.core_desc" ~target:"RV32IM" Base_isa.rv32m
+let rv32im_memo = lazy (compile ~file:"RV32M.core_desc" ~target:"RV32IM" Base_isa.rv32m)
+let compile_rv32im () = Lazy.force rv32im_memo

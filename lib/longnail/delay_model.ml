@@ -49,3 +49,28 @@ let uniform d =
    produces the Table 4 frequency regressions on cores with narrow
    interface windows (Section 5.4). *)
 let default = uniform 0.14  (* overridden per core by Flow *)
+
+(* Declarative model selection. [t] holds a closure and therefore cannot
+   be fingerprinted by the artifact cache; [spec] is the stable,
+   key-able description that the Flow session stores in its stage keys
+   and resolves to a [t] only at scheduling time. *)
+type spec =
+  | Default  (** uniform, cycle-time-derived delay (the paper's setting) *)
+  | Uniform of float  (** uniform delay in ns for every logic op *)
+  | Physical  (** the width-aware 22nm linear model *)
+  | Custom of string * t
+      (** escape hatch: caller-provided model under a caller-chosen
+          cache key — the caller owns key uniqueness *)
+
+let spec_key = function
+  | Default -> "default"
+  | Uniform d -> Printf.sprintf "uniform:%h" d
+  | Physical -> "physical"
+  | Custom (k, _) -> "custom:" ^ k
+
+let resolve spec ~cycle_time_ns =
+  match spec with
+  | Default -> uniform (cycle_time_ns /. 14.0)
+  | Uniform d -> uniform d
+  | Physical -> physical
+  | Custom (_, t) -> t

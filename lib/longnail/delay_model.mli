@@ -12,3 +12,20 @@ val default_op_delay : string -> int -> float
 val physical : t
 val uniform : float -> t
 val default : t
+
+(** Declarative, fingerprintable model selection for the compilation
+    session ({!Flow}): [t] holds a closure and cannot be content-hashed,
+    so stage cache keys store a [spec] and resolve it only when the
+    scheduler actually runs. *)
+type spec =
+  | Default  (** uniform delay derived from the core's cycle time (paper default) *)
+  | Uniform of float  (** uniform delay in ns *)
+  | Physical  (** width-aware 22nm linear model *)
+  | Custom of string * t  (** caller-keyed custom model; caller owns key uniqueness *)
+
+val spec_key : spec -> string
+(** Stable string used inside stage cache keys. *)
+
+val resolve : spec -> cycle_time_ns:float -> t
+(** [Default] resolves to [uniform (cycle_time_ns /. 14.)] — the same
+    per-core derivation the flow has always used. *)

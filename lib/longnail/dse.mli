@@ -9,7 +9,13 @@
    - the scheduling delay model (the paper's uniform delays vs. the
      physical width-aware model),
    and report the Pareto-optimal trade-off points over (area, frequency,
-   instruction latency). *)
+   instruction latency).
+
+   The sweep runs through a {!Flow.session}, so only the sched->hwgen
+   tail re-runs per grid point: front-end and HLIR/LIL passes execute
+   exactly once per functionality across the whole grid, and repeating a
+   sweep in the same {!sweep_session} replays entirely from cache —
+   including the injected [measure], memoized per {!Flow.target_key}. *)
 
 type point = {
   dp_label : string;
@@ -22,9 +28,27 @@ type point = {
   dp_pipe_bits : int;
   dp_pareto : bool;
 }
+
 val dominates : point -> point -> bool
+(** [dominates p q]: no worse on every axis and strictly better on at
+    least one — equal points never dominate each other. *)
+
 val mark_pareto : point list -> point list
+
+(** A sweep session: the shared compilation session plus a memo for the
+    injected measurement, which can dominate a warm sweep's cost. *)
+type sweep_session = {
+  ss_flow : Flow.session;
+  ss_measure : (float * float) Cache.Store.t;
+}
+
+val sweep_session : ?session:Flow.session -> unit -> sweep_session
+
 val explore :
   ?cycle_factors:float list ->
+  ?session:sweep_session ->
+  ?obs:Obs.scope ->
   measure:(Flow.compiled -> float * float) ->
   Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> point list
+(** Grid points whose compile raises {!Diag.Fatal} (e.g. infeasible
+    schedules) are skipped; identical outcomes are deduplicated. *)

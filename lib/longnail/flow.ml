@@ -11,7 +11,22 @@
 
    Only the ISAX instructions (those not part of the RV32I base set) and
    always-blocks are synthesized; base instructions are implemented by the
-   host core itself. *)
+   host core itself.
+
+   The flow is organized as a *compilation session*: every stage boundary
+   is a content-addressed artifact (Cache.Store) keyed by structural
+   fingerprints (Cache.Fp), so repeated compiles — the CLI, batch
+   compiles, the DSE sweep, the bench baseline — reuse everything
+   upstream of the first changed input. Artifact granularity:
+
+     frontend artifact   per source            (caller-supplied key)
+     IR artifact         per functionality     (unit fp; core-independent)
+     sched artifact      per functionality x core x knobs
+     target artifact     per unit x core x knobs (incl. hazard handling)
+
+   Hazard handling only affects the SCAIE-V adapter, so it appears only in
+   the target key: the w/ and w/o-scoreboard ablation shares every
+   per-functionality artifact. *)
 
 (* Every failure of the flow surfaces as [Diag.Fatal]: stage exceptions
    already carrying a [Diag.t] are re-raised as fatal diagnostics at the
@@ -86,33 +101,143 @@ let default_delay_model core cycle_time =
   let ct = match cycle_time with Some ct -> ct | None -> Scaiev.Datasheet.cycle_time_ns core in
   Delay_model.uniform (ct /. 14.0)
 
-(* The per-functionality Figure-9 stages, in pipeline order. Each compiled
-   functionality records exactly one profiling span per stage; tests and
-   the CI schema check rely on this list staying in sync with
-   [compile_functionality]. *)
+(* ---- scheduling knobs ------------------------------------------------ *)
+
+type knobs = {
+  k_scheduler : Sched_build.scheduler;
+  k_delay : Delay_model.spec;
+  k_cycle_time : float option;  (* None = the core's base clock period *)
+  k_hazard_handling : bool;
+}
+
+let default_knobs =
+  {
+    k_scheduler = Sched_build.Ilp;
+    k_delay = Delay_model.Default;
+    k_cycle_time = None;
+    k_hazard_handling = true;
+  }
+
+let knobs ?(scheduler = Sched_build.Ilp) ?(delay = Delay_model.Default) ?cycle_time
+    ?(hazard_handling = true) () =
+  { k_scheduler = scheduler; k_delay = delay; k_cycle_time = cycle_time; k_hazard_handling = hazard_handling }
+
+let scheduler_name = function Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap"
+
+(* The knob part of the per-functionality sched key. Hazard handling is
+   deliberately absent: it only affects the adapter (target artifact). *)
+let func_knobs_key k =
+  Printf.sprintf "%s|ct:%s|%s" (scheduler_name k.k_scheduler)
+    (match k.k_cycle_time with Some ct -> Printf.sprintf "%h" ct | None -> "core")
+    (Delay_model.spec_key k.k_delay)
+
+let delay_model_for core k =
+  let ct =
+    match k.k_cycle_time with Some ct -> ct | None -> Scaiev.Datasheet.cycle_time_ns core
+  in
+  Delay_model.resolve k.k_delay ~cycle_time_ns:ct
+
+(* ---- compilation sessions -------------------------------------------- *)
+
+(* IR artifact: the core-independent half of a functionality (Figure 5b
+   and the optimized Figure 5c CDFG). *)
+type func_ir = { fi_hlir : Ir.Mir.graph; fi_lil : Ir.Mir.graph }
+
+type session = {
+  s_frontend : Coredsl.Tast.tunit Cache.Store.t;
+  s_ir : func_ir Cache.Store.t;
+  s_func : compiled_functionality Cache.Store.t;
+  s_target : compiled Cache.Store.t;
+  (* fingerprint memos, keyed by physical identity: reusing the same
+     tunit/datasheet value across lookups skips re-serialization *)
+  mutable s_unit_fps : (Coredsl.Tast.tunit * Cache.Fp.t) list;
+  mutable s_core_fps : (Scaiev.Datasheet.t * Cache.Fp.t) list;
+}
+
+let create_session ?capacity ?(enabled = true) () =
+  let capacity = if enabled then capacity else Some 0 in
+  {
+    s_frontend = Cache.Store.create ?capacity ~name:"frontend" ();
+    s_ir = Cache.Store.create ?capacity ~name:"ir" ();
+    s_func = Cache.Store.create ?capacity ~name:"sched" ();
+    s_target = Cache.Store.create ?capacity ~name:"target" ();
+    s_unit_fps = [];
+    s_core_fps = [];
+  }
+
+let session_stats s =
+  [
+    (Cache.Store.name s.s_frontend, Cache.Store.stats s.s_frontend);
+    (Cache.Store.name s.s_ir, Cache.Store.stats s.s_ir);
+    (Cache.Store.name s.s_func, Cache.Store.stats s.s_func);
+    (Cache.Store.name s.s_target, Cache.Store.stats s.s_target);
+  ]
+
+let fp_memo_limit = 32
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+let unit_fp s (tu : Coredsl.Tast.tunit) =
+  match List.assq_opt tu s.s_unit_fps with
+  | Some fp -> fp
+  | None ->
+      let fp = Cache.Fp.tunit tu in
+      s.s_unit_fps <- take fp_memo_limit ((tu, fp) :: s.s_unit_fps);
+      fp
+
+let core_fp s (core : Scaiev.Datasheet.t) =
+  match List.assq_opt core s.s_core_fps with
+  | Some fp -> fp
+  | None ->
+      let fp = Cache.Fp.datasheet core in
+      s.s_core_fps <- take fp_memo_limit ((core, fp) :: s.s_core_fps);
+      fp
+
+let frontend s ?obs ~key thunk = Cache.Store.find_or_add s.s_frontend ?obs ("fe/" ^ key) thunk
+
+let ir_key s tu ~kind ~name =
+  Printf.sprintf "%s/%s/%s" (unit_fp s tu)
+    (match kind with `Instruction -> "instr" | `Always -> "always")
+    name
+
+let func_key s k core tu ~kind ~name =
+  Printf.sprintf "%s/%s/%s" (ir_key s tu ~kind ~name) (core_fp s core) (func_knobs_key k)
+
+let target_key s k (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) =
+  Printf.sprintf "%s/%s/%s|%s" (unit_fp s tu) (core_fp s core) (func_knobs_key k)
+    (if k.k_hazard_handling then "hz" else "nohz")
+
+(* A throwaway session with storing disabled: used when a caller compiles
+   without a session, so the un-cached path has no retention cost. *)
+let throwaway () = create_session ~enabled:false ()
+
+(* ---- per-functionality stages ---------------------------------------- *)
+
+(* The per-functionality Figure-9 stages, in pipeline order. Each cold
+   compiled functionality records exactly one profiling span per stage
+   (nested under the [ir_artifact] / [sched_artifact] cache-boundary
+   spans); tests and the CI schema check rely on this list staying in sync
+   with [compile_functionality]. Cache hits skip the stage spans entirely
+   — only the boundary span with its cache counters remains. *)
 let stage_names = [ "hlir"; "lil"; "optimize"; "schedule"; "hwgen"; "sv_emit" ]
 
-let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
-    ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time ?obs
-    (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
-    compiled_functionality =
-  let delay_model =
-    match delay_model with Some dm -> dm | None -> default_delay_model core cycle_time
-  in
-  let name, kind =
-    match fn with
-    | `Instr ti -> (ti.Coredsl.Tast.ti_name, `Instruction)
-    | `Always ta -> (ta.Coredsl.Tast.ta_name, `Always)
-  in
-  Obs.span_opt obs ("func:" ^ name) @@ fun obs ->
-  with_stage_diags name @@ fun () ->
-  Obs.metric_str_opt obs "kind"
-    (match kind with `Instruction -> "instruction" | `Always -> "always");
+let resolve_knobs ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs () =
+  match knobs with
+  | Some k -> k
+  | None ->
+      {
+        k_scheduler = Option.value scheduler ~default:Sched_build.Ilp;
+        k_delay = Option.value delay ~default:Delay_model.Default;
+        k_cycle_time = cycle_time;
+        k_hazard_handling = Option.value hazard_handling ~default:true;
+      }
+
+let build_func_ir (tu : Coredsl.Tast.tunit) obs fn =
   let hlir, fields =
     Obs.span_opt obs "hlir" (fun sobs ->
         let hlir, fields =
           match fn with
-          | `Instr ti -> (Ir.Hlir.lower_instruction tu ti, ti.fields)
+          | `Instr (ti : Coredsl.Tast.tinstr) -> (Ir.Hlir.lower_instruction tu ti, ti.fields)
           | `Always ta -> (Ir.Hlir.lower_always tu ta, [])
         in
         Ir.Mir.verify hlir;
@@ -134,12 +259,19 @@ let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
         Ir.Lil.validate_single_use lil;
         lil)
   in
+  { fi_hlir = hlir; fi_lil = lil }
+
+let build_func_hw (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name ~kind obs
+    (fir : func_ir) =
+  let delay_model = delay_model_for core k in
+  let cycle_time = k.k_cycle_time in
+  let scheduler = k.k_scheduler in
+  let lil = fir.fi_lil in
   let built =
     Obs.span_opt obs "schedule" (fun sobs ->
         let built = Sched_build.build core ~delay_model ?cycle_time lil in
         let p = built.Sched_build.problem in
-        Obs.metric_str_opt sobs "scheduler"
-          (match scheduler with Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap");
+        Obs.metric_str_opt sobs "scheduler" (scheduler_name scheduler);
         Obs.metric_int_opt sobs "sched_ops" (Array.length p.Sched.Problem.operations);
         Obs.metric_int_opt sobs "sched_deps" (List.length p.Sched.Problem.dependences);
         let vars, constraints = Sched.Ilp_scheduler.ilp_size p in
@@ -192,35 +324,53 @@ let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
   {
     cf_name = name;
     cf_kind = kind;
-    cf_hlir = hlir;
-    cf_lil = lil;
+    cf_hlir = fir.fi_hlir;
+    cf_lil = fir.fi_lil;
     cf_built = built;
     cf_hw = hw;
     cf_sv = sv;
     cf_mode = dominant_mode hw ~kind;
   }
 
+let compile_functionality_in session k ?obs (core : Scaiev.Datasheet.t)
+    (tu : Coredsl.Tast.tunit)
+    (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
+    compiled_functionality =
+  let name, kind =
+    match fn with
+    | `Instr ti -> (ti.Coredsl.Tast.ti_name, `Instruction)
+    | `Always ta -> (ta.Coredsl.Tast.ta_name, `Always)
+  in
+  Obs.span_opt obs ("func:" ^ name) @@ fun obs ->
+  with_stage_diags name @@ fun () ->
+  Obs.metric_str_opt obs "kind"
+    (match kind with `Instruction -> "instruction" | `Always -> "always");
+  let fir =
+    Obs.span_opt obs "ir_artifact" @@ fun sobs ->
+    Cache.Store.find_or_add session.s_ir ?obs:sobs (ir_key session tu ~kind ~name)
+      (fun () -> build_func_ir tu sobs fn)
+  in
+  Obs.span_opt obs "sched_artifact" @@ fun sobs ->
+  Cache.Store.find_or_add session.s_func ?obs:sobs (func_key session k core tu ~kind ~name)
+    (fun () -> build_func_hw core tu k ~name ~kind sobs fir)
+
+let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) ?scheduler
+    ?delay ?cycle_time ?knobs ?session ?obs
+    (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
+    compiled_functionality =
+  let k = resolve_knobs ?scheduler ?delay ?cycle_time ?knobs () in
+  let session = match session with Some s -> s | None -> throwaway () in
+  compile_functionality_in session k ?obs core tu fn
+
 let mask_of (ti : Coredsl.Tast.tinstr) =
   Scaiev.Config.mask_string ~width:ti.enc_width ~mask:ti.mask ~match_bits:ti.match_bits
 
-(* Compile every ISAX functionality of [tu] for [core]. *)
-let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
-    ?(hazard_handling = true) ?obs (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) :
+let build_target session k ?obs (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) :
     compiled =
-  let delay_model =
-    match delay_model with Some dm -> dm | None -> default_delay_model core cycle_time
-  in
-  Obs.metric_str_opt obs "core" core.core_name;
   let instrs = List.filter is_isax_instruction tu.tinstrs in
   let funcs =
-    List.map
-      (fun ti ->
-        compile_functionality core tu ~scheduler ~delay_model ?cycle_time ?obs (`Instr ti))
-      instrs
-    @ List.map
-        (fun ta ->
-          compile_functionality core tu ~scheduler ~delay_model ?cycle_time ?obs (`Always ta))
-        tu.talways
+    List.map (fun ti -> compile_functionality_in session k ?obs core tu (`Instr ti)) instrs
+    @ List.map (fun ta -> compile_functionality_in session k ?obs core tu (`Always ta)) tu.talways
   in
   Obs.metric_int_opt obs "n_funcs" (List.length funcs);
   let config =
@@ -249,12 +399,25 @@ let compile ?(scheduler = Sched_build.Ilp) ?delay_model ?cycle_time
     Obs.span_opt obs "adapter_gen" (fun sobs ->
         let adapter =
           with_stage_diags "the SCAIE-V adapter" (fun () ->
-              Scaiev.Generator.generate ~hazard_handling core config)
+              Scaiev.Generator.generate ~hazard_handling:k.k_hazard_handling core config)
         in
         let yaml = Scaiev.Config.to_yaml config in
         Obs.metric_int_opt sobs "config_yaml_bytes" (String.length yaml);
         (adapter, yaml))
   in
   { core; unit_ = tu; funcs; config; config_yaml; adapter }
+
+(* Compile every ISAX functionality of [tu] for [core]. *)
+let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
+    (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
+  let k = resolve_knobs ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs () in
+  let session = match session with Some s -> s | None -> throwaway () in
+  Obs.metric_str_opt obs "core" core.core_name;
+  Cache.Store.find_or_add session.s_target ?obs (target_key session k core tu) (fun () ->
+      build_target session k ?obs core tu)
+
+let compile_many ?knobs ?session ?obs targets =
+  let session = match session with Some s -> s | None -> create_session () in
+  List.map (fun (core, tu) -> compile ?knobs ~session ?obs core tu) targets
 
 let find_func c name = List.find_opt (fun f -> f.cf_name = name) c.funcs

@@ -1,15 +1,24 @@
-(** The end-to-end Longnail flow (Figure 9 of the paper):
+(** The end-to-end Longnail flow (Figure 9 of the paper), organized as a
+    {e compilation session} over content-addressed stage artifacts:
 
     {v
     CoreDSL source
-      -> typed AST                     (lib/coredsl)
-      -> high-level IR, Figure 5b      (Ir.Hlir)
-      -> lil CDFG, Figure 5c           (Ir.Lil + Ir.Passes)
-      -> LongnailProblem + schedule    (Sched_build, against the core's
-                                        virtual datasheet)
-      -> RTL + SystemVerilog, Fig 5d   (Hwgen, Rtl.Sv_emit)
-      -> SCAIE-V configuration, Fig 8  (Config_gen)
+      -> typed AST                     (lib/coredsl)    [frontend artifact]
+      -> high-level IR, Figure 5b      (Ir.Hlir)        ]
+      -> lil CDFG, Figure 5c           (Ir.Lil+Passes)  ] [IR artifact]
+      -> LongnailProblem + schedule    (Sched_build)    ]
+      -> RTL + SystemVerilog, Fig 5d   (Hwgen, Sv_emit) ] [sched artifact]
+      -> SCAIE-V configuration, Fig 8  (Config_gen)       [target artifact]
     v}
+
+    Artifact granularity (see docs/CACHING.md for the key grammar):
+    the frontend artifact is keyed per source; the IR artifact per
+    functionality (core-independent — a unit compiled for five cores
+    lowers and optimizes each instruction once); the sched artifact per
+    functionality x core x scheduling knobs; the target artifact per
+    unit x core x knobs including hazard handling. Hazard handling only
+    affects the SCAIE-V adapter, so the w/ and w/o-scoreboard ablation
+    shares every per-functionality artifact.
 
     Only the ISAX instructions (those not part of the RV32I base set) and
     always-blocks are synthesized; base instructions are implemented by
@@ -63,16 +72,84 @@ val dominant_mode : Hwgen.result -> kind:[> `Always ] -> Scaiev.Config.mode
     (wiring is free), reproducing the reported ~10-stage sqrt. *)
 val default_delay_model : Scaiev.Datasheet.t -> float option -> Delay_model.t
 
+(** {1 Scheduling knobs}
+
+    The fingerprintable knob set that selects one point of the scheduling
+    design space. Knobs are part of the sched- and target-artifact cache
+    keys; two compiles with equal knobs (and equal unit/core fingerprints)
+    share artifacts. *)
+type knobs = {
+  k_scheduler : Sched_build.scheduler;
+  k_delay : Delay_model.spec;
+  k_cycle_time : float option;  (** [None] = the core's base clock period *)
+  k_hazard_handling : bool;
+      (** scoreboard for decoupled mode; only affects the target artifact *)
+}
+
+val default_knobs : knobs
+(** ILP scheduler, the paper's uniform cycle-time-derived delay model, the
+    core's base period, hazard handling on. *)
+
+val knobs :
+  ?scheduler:Sched_build.scheduler ->
+  ?delay:Delay_model.spec ->
+  ?cycle_time:float ->
+  ?hazard_handling:bool ->
+  unit ->
+  knobs
+
+val func_knobs_key : knobs -> string
+(** The knob component of sched-artifact keys (excludes hazard handling,
+    which only appears in the target key). *)
+
+val delay_model_for : Scaiev.Datasheet.t -> knobs -> Delay_model.t
+(** Resolve the knob's delay spec against the effective cycle time. *)
+
+(** {1 Compilation sessions}
+
+    A session owns four content-addressed artifact stores (frontend, IR,
+    sched, target) plus fingerprint memos. Sessions are shared by the CLI,
+    {!compile_many}, {!Dse.explore} and the bench baseline; compiling the
+    same inputs twice within a session is served entirely from cache. *)
+type session
+
+val create_session : ?capacity:int -> ?enabled:bool -> unit -> session
+(** [capacity] bounds each store (default 512 entries, LRU beyond that).
+    [enabled:false] creates a session whose stores never retain anything —
+    every compile is cold; used for deliberately un-cached baselines. *)
+
+val session_stats : session -> (string * Cache.Store.stats) list
+(** Per-store cumulative hit/miss/store/eviction counters, in pipeline
+    order: [frontend], [ir], [sched], [target]. *)
+
+val frontend :
+  session -> ?obs:Obs.scope -> key:string -> (unit -> Coredsl.Tast.tunit) -> Coredsl.Tast.tunit
+(** Memoize a front-end run (parse + typecheck + elaborate) under a
+    caller-supplied key — a digest of everything that determines the
+    result: source text, compile target, provider contents. The caller
+    owns key completeness; see docs/CACHING.md. With [obs], cache
+    counters are recorded on that span. *)
+
+val target_key : session -> knobs -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> string
+(** The content-addressed key of a whole-target compile — exposed so
+    callers (e.g. the DSE measure memo) can key their own derived
+    artifacts consistently with the session. *)
+
+(** {1 Compiling} *)
+
 (** The per-functionality Figure-9 stage names, in pipeline order. With a
-    profiling scope, {!compile_functionality} records one child span named
-    ["func:NAME"] containing exactly one span per stage in this list. *)
+    profiling scope, a {e cold} {!compile_functionality} records one child
+    span named ["func:NAME"] containing one span per stage in this list,
+    nested under the ["ir_artifact"] (hlir/lil/optimize) and
+    ["sched_artifact"] (schedule/hwgen/sv_emit) cache-boundary spans. A
+    cache hit skips the stage spans: only the boundary span with its
+    [cache.hit]/[cache.miss]/[cache.store] counters remains. *)
 val stage_names : string list
 
-(** Compile a single instruction or always-block. [cycle_time] defaults to
-    the core's base clock period; [delay_model] to {!default_delay_model}.
-    With [obs] set, records a ["func:NAME"] span with one child per
-    {!stage_names} entry, each carrying stage-specific metrics (IR sizes,
-    ILP variables/constraints, netlist cells, SV bytes, ...).
+(** Compile a single instruction or always-block. [knobs] wins over the
+    individual knob arguments when both are given; without [session] a
+    throwaway non-retaining session is used. With [obs] set, records a
+    ["func:NAME"] span as described at {!stage_names}.
     Raises {!Diag.Fatal} with code E0401 when scheduling is infeasible; the
     diagnostic cites the CoreDSL span of the operation whose interface
     window cannot be met. *)
@@ -80,8 +157,10 @@ val compile_functionality :
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->
   ?scheduler:Sched_build.scheduler ->
-  ?delay_model:Delay_model.t ->
+  ?delay:Delay_model.spec ->
   ?cycle_time:float ->
+  ?knobs:knobs ->
+  ?session:session ->
   ?obs:Obs.scope ->
   [ `Always of Coredsl.Tast.talways | `Instr of Coredsl.Tast.tinstr ] ->
   compiled_functionality
@@ -91,15 +170,30 @@ val mask_of : Coredsl.Tast.tinstr -> string
 
 (** Compile every ISAX functionality of a typed unit for one host core and
     produce the integration artifacts. [hazard_handling:false] drops the
-    decoupled-mode scoreboard (the Table 4 ablation row). *)
+    decoupled-mode scoreboard (the Table 4 ablation row). [knobs] wins
+    over the individual knob arguments; without [session] a throwaway
+    non-retaining session is used, so results are identical with and
+    without caching (see the byte-equivalence tests). *)
 val compile :
   ?scheduler:Sched_build.scheduler ->
-  ?delay_model:Delay_model.t ->
+  ?delay:Delay_model.spec ->
   ?cycle_time:float ->
   ?hazard_handling:bool ->
+  ?knobs:knobs ->
+  ?session:session ->
   ?obs:Obs.scope ->
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->
   compiled
+
+val compile_many :
+  ?knobs:knobs ->
+  ?session:session ->
+  ?obs:Obs.scope ->
+  (Scaiev.Datasheet.t * Coredsl.Tast.tunit) list ->
+  compiled list
+(** Batch compile ISAX x core targets through one shared session (a fresh
+    retaining session if none is given): common units lower once, common
+    (unit, core, knobs) triples compile once. *)
 
 val find_func : compiled -> string -> compiled_functionality option

@@ -75,6 +75,8 @@ let incr s key ?(by = 1) () =
   let prev = match List.assoc_opt key s.current.sp_metrics with Some (M_int i) -> i | _ -> 0 in
   set_metric s key (M_int (prev + by))
 
+let incr_opt s key ?(by = 1) () = Option.iter (fun s -> incr s key ~by ()) s
+
 let metric_int_opt s key v = Option.iter (fun s -> metric_int s key v) s
 let metric_float_opt s key v = Option.iter (fun s -> metric_float s key v) s
 let metric_str_opt s key v = Option.iter (fun s -> metric_str s key v) s

@@ -43,6 +43,8 @@ val metric_str : scope -> string -> string -> unit
 val incr : scope -> string -> ?by:int -> unit -> unit
 (** Accumulating counter (starts from 0). *)
 
+val incr_opt : scope option -> string -> ?by:int -> unit -> unit
+
 val metric_int_opt : scope option -> string -> int -> unit
 val metric_float_opt : scope option -> string -> float -> unit
 val metric_str_opt : scope option -> string -> string -> unit

@@ -1,0 +1,299 @@
+(* Tests for the content-addressed compilation sessions (lib/cache +
+   Longnail.Flow sessions): fingerprint determinism and sensitivity,
+   store semantics, and the acceptance gates of docs/CACHING.md —
+   recompiles served from cache and byte-identical artifacts with and
+   without caching. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ---- the generic store ---- *)
+
+let test_store_hit_miss () =
+  let st = Cache.Store.create ~name:"t" () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  check_int "miss computes" 42 (Cache.Store.find_or_add st "k" compute);
+  check_int "hit returns" 42 (Cache.Store.find_or_add st "k" compute);
+  check_int "computed once" 1 !calls;
+  let s = Cache.Store.stats st in
+  check_int "hits" 1 s.hits;
+  check_int "misses" 1 s.misses;
+  check_int "stores" 1 s.stores;
+  check_int "length" 1 (Cache.Store.length st);
+  check_bool "mem" true (Cache.Store.mem st "k");
+  check_bool "not mem" false (Cache.Store.mem st "other")
+
+let test_store_raise_not_stored () =
+  let st = Cache.Store.create ~name:"t" () in
+  (try ignore (Cache.Store.find_or_add st "k" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check_bool "nothing stored on raise" false (Cache.Store.mem st "k");
+  check_int "still a miss" 1 (Cache.Store.stats st).misses;
+  check_int "no store" 0 (Cache.Store.stats st).stores
+
+let test_store_lru_eviction () =
+  let st = Cache.Store.create ~capacity:2 ~name:"t" () in
+  ignore (Cache.Store.find_or_add st "a" (fun () -> 1));
+  ignore (Cache.Store.find_or_add st "b" (fun () -> 2));
+  ignore (Cache.Store.find_or_add st "a" (fun () -> 1));
+  (* "b" is now least recently used; inserting "c" must evict it *)
+  ignore (Cache.Store.find_or_add st "c" (fun () -> 3));
+  check_bool "a survives" true (Cache.Store.mem st "a");
+  check_bool "b evicted" false (Cache.Store.mem st "b");
+  check_bool "c present" true (Cache.Store.mem st "c");
+  check_int "one eviction" 1 (Cache.Store.stats st).evictions;
+  check_int "at capacity" 2 (Cache.Store.length st)
+
+let test_store_disabled () =
+  let st = Cache.Store.create ~capacity:0 ~name:"t" () in
+  let calls = ref 0 in
+  let compute () = incr calls; 7 in
+  ignore (Cache.Store.find_or_add st "k" compute);
+  ignore (Cache.Store.find_or_add st "k" compute);
+  check_int "always recomputes" 2 !calls;
+  check_int "never stores" 0 (Cache.Store.stats st).stores;
+  check_int "never hits" 0 (Cache.Store.stats st).hits;
+  check_int "empty" 0 (Cache.Store.length st)
+
+let test_store_obs_counters () =
+  let st = Cache.Store.create ~name:"t" () in
+  let obs = Obs.create ~name:"test" () in
+  Obs.span obs "lookup" (fun sobs ->
+      ignore (Cache.Store.find_or_add st ~obs:sobs "k" (fun () -> 1));
+      ignore (Cache.Store.find_or_add st ~obs:sobs "k" (fun () -> 1)));
+  Obs.finish obs;
+  let sp = List.hd (Obs.find_spans (Obs.root obs) "lookup") in
+  check_int "cache.hit" 1 (Option.get (Obs.get_int sp "cache.hit"));
+  check_int "cache.miss" 1 (Option.get (Obs.get_int sp "cache.miss"));
+  check_int "cache.store" 1 (Option.get (Obs.get_int sp "cache.store"))
+
+(* ---- fingerprint determinism and sensitivity ---- *)
+
+(* two independent elaborations of the same source (fresh typed-unit
+   values, different source spans object identity) must agree *)
+let test_tunit_fp_deterministic () =
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      let fp1 = Cache.Fp.tunit (Isax.Registry.compile e) in
+      let fp2 = Cache.Fp.tunit (Isax.Registry.compile e) in
+      check_str (e.name ^ " deterministic") fp1 fp2)
+    Isax.Registry.all
+
+(* source locations must not contribute: the same unit elaborated under a
+   different file name fingerprints identically *)
+let test_tunit_fp_ignores_locations () =
+  let e = List.hd Isax.Registry.all in
+  let tu1 = Coredsl.compile ~provider:Isax.Registry.provider ~file:"a.core_desc" ~target:e.target e.source in
+  let tu2 = Coredsl.compile ~provider:Isax.Registry.provider ~file:"b.core_desc" ~target:e.target e.source in
+  check_str "file name irrelevant" (Cache.Fp.tunit tu1) (Cache.Fp.tunit tu2)
+
+(* any semantic edit must change the fingerprint *)
+let test_tunit_fp_source_sensitivity () =
+  let src constant =
+    Printf.sprintf
+      {|import "RV32I.core_desc"
+
+        InstructionSet Tiny extends RV32I {
+          instructions {
+            TINY {
+              encoding: imm[11:0] :: rs1[4:0] :: 3'b001 :: rd[4:0] :: 7'b0001011;
+              behavior: { if (rd != 0) X[rd] = (unsigned<32>)(X[rs1] + %s); }
+            }
+          }
+        }|}
+      constant
+  in
+  let fp constant =
+    Cache.Fp.tunit
+      (Coredsl.compile ~provider:Isax.Registry.provider ~file:"tiny.core_desc" ~target:"Tiny"
+         (src constant))
+  in
+  check_str "identical source agrees" (fp "1") (fp "1");
+  check_bool "edited literal differs" false (fp "1" = fp "2")
+
+(* golden digests: any unintended change to the canonical serialization
+   (or to a bundled ISAX) shows up as a diff here. Regenerate with the
+   printf below when the change is deliberate. *)
+let test_tunit_fp_golden () =
+  let goldens =
+    [
+      ("autoinc", "bb40229e3db54dc42382c1d3d3ef78f0");
+      ("dotprod", "cfbf6118cc8261aa0f923c9a2b76e1a3");
+      ("ijmp", "e1babea7a443b0744cd9ca87bea9aa8d");
+      ("sbox", "4e27102d023487ef31d6982849fae598");
+      ("sparkle", "03aa171c7665e50e39cd2d5c720607d2");
+      ("sqrt_tightly", "f01475cbdc6a9201bf60d92256cd5275");
+      ("sqrt_decoupled", "4497cbaabe85805eeadc1bfec0cfe288");
+      ("zol", "7eeef67145714948d060e637baf6739c");
+      ("autoinc+zol", "b1fb71a5a2060e970c2bf80680a43546");
+    ]
+  in
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      check_str (e.name ^ " golden digest") (List.assoc e.name goldens)
+        (Cache.Fp.tunit (Isax.Registry.compile e)))
+    Isax.Registry.all
+
+(* MIR fingerprints must be invariant under alpha-renaming of SSA value
+   ids but sensitive to structure *)
+let test_graph_fp_alpha_invariant () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  List.iter
+    (fun (ti : Coredsl.Tast.tinstr) ->
+      let g = Ir.Hlir.lower_instruction tu ti in
+      let renamed = Ir.Mir.renumber_values g ~f:(fun vid -> vid + 1000) in
+      check_str (ti.ti_name ^ " alpha-invariant") (Cache.Fp.graph g) (Cache.Fp.graph renamed);
+      let relabeled = { g with Ir.Mir.gname = g.Ir.Mir.gname ^ "_x" } in
+      check_bool (ti.ti_name ^ " name-sensitive") false
+        (Cache.Fp.graph g = Cache.Fp.graph relabeled))
+    tu.tinstrs
+
+let test_datasheet_fp_distinct () =
+  let fps = List.map Cache.Fp.datasheet Scaiev.Datasheet.all_cores in
+  let distinct = List.sort_uniq compare fps in
+  check_int "all cores fingerprint distinctly" (List.length fps) (List.length distinct);
+  check_str "deterministic"
+    (Cache.Fp.datasheet Scaiev.Datasheet.vexriscv)
+    (Cache.Fp.datasheet Scaiev.Datasheet.vexriscv)
+
+(* ---- sessions ---- *)
+
+(* recompiling an identical target within a session is served entirely
+   from the target store: the physically identical value comes back and
+   no per-functionality work re-runs *)
+let test_session_recompile_from_cache () =
+  let session = Longnail.Flow.create_session () in
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let core = Scaiev.Datasheet.vexriscv in
+  let c1 = Longnail.Flow.compile ~session core tu in
+  let c2 = Longnail.Flow.compile ~session core tu in
+  check_bool "identical artifact returned" true (c1 == c2);
+  let stats = Longnail.Flow.session_stats session in
+  check_int "target hit" 1 (List.assoc "target" stats).Cache.Store.hits;
+  check_int "ir computed once" 1 (List.assoc "ir" stats).Cache.Store.misses;
+  check_int "ir not re-entered" 0 (List.assoc "ir" stats).Cache.Store.hits;
+  check_int "sched computed once" 1 (List.assoc "sched" stats).Cache.Store.misses
+
+(* a re-parsed unit (same source, fresh typed-unit value) hits the same
+   artifacts: keys are content-addressed, not identity-addressed *)
+let test_session_content_addressed () =
+  let session = Longnail.Flow.create_session () in
+  let core = Scaiev.Datasheet.vexriscv in
+  let c1 = Longnail.Flow.compile ~session core (Isax.Registry.compile_by_name "dotprod") in
+  let c2 = Longnail.Flow.compile ~session core (Isax.Registry.compile_by_name "dotprod") in
+  check_bool "re-parse still hits" true (c1 == c2)
+
+(* cached and uncached compiles must produce byte-identical SystemVerilog
+   and SCAIE-V YAML for every bundled ISAX x core target *)
+let test_cached_equals_uncached_everywhere () =
+  let session = Longnail.Flow.create_session () in
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      List.iter
+        (fun core ->
+          (* warm the session with an independently parsed unit... *)
+          ignore (Longnail.Flow.compile ~session core (Isax.Registry.compile e));
+          (* ...then serve this compile from cache and compare against a
+             sessionless (always-cold) compile of a fresh parse *)
+          let cached = Longnail.Flow.compile ~session core (Isax.Registry.compile e) in
+          let cold = Longnail.Flow.compile core (Isax.Registry.compile e) in
+          let ctx = Printf.sprintf "%s/%s" e.name core.Scaiev.Datasheet.core_name in
+          check_str (ctx ^ " config yaml") cold.config_yaml cached.config_yaml;
+          check_int (ctx ^ " func count") (List.length cold.funcs) (List.length cached.funcs);
+          List.iter2
+            (fun (a : Longnail.Flow.compiled_functionality)
+                 (b : Longnail.Flow.compiled_functionality) ->
+              check_str (ctx ^ "/" ^ a.cf_name ^ " sv") a.cf_sv b.cf_sv)
+            cold.funcs cached.funcs)
+        Scaiev.Datasheet.all_cores)
+    Isax.Registry.all
+
+(* knob granularity: the hazard-handling ablation shares every
+   per-functionality artifact and only re-runs the adapter *)
+let test_session_hazard_shares_funcs () =
+  let session = Longnail.Flow.create_session () in
+  let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
+  let core = Scaiev.Datasheet.vexriscv in
+  let c1 = Longnail.Flow.compile ~session core tu in
+  let c2 = Longnail.Flow.compile ~session ~hazard_handling:false core tu in
+  check_bool "distinct targets" true (c1 != c2);
+  let stats = Longnail.Flow.session_stats session in
+  check_int "no target hit" 0 (List.assoc "target" stats).Cache.Store.hits;
+  let sched = List.assoc "sched" stats in
+  check_bool "sched artifacts shared" true (sched.Cache.Store.hits > 0);
+  List.iter2
+    (fun (a : Longnail.Flow.compiled_functionality) b ->
+      check_bool (a.Longnail.Flow.cf_name ^ " functionality shared") true (a == b))
+    c1.funcs c2.funcs
+
+(* distinct knobs must not collide *)
+let test_session_knob_isolation () =
+  let session = Longnail.Flow.create_session () in
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let core = Scaiev.Datasheet.vexriscv in
+  let a = Longnail.Flow.compile ~session ~scheduler:Longnail.Sched_build.Ilp core tu in
+  let b = Longnail.Flow.compile ~session ~scheduler:Longnail.Sched_build.Asap core tu in
+  check_bool "different schedulers, different artifacts" true (a != b);
+  let c = Longnail.Flow.compile ~session ~cycle_time:7.0 core tu in
+  check_bool "different cycle time, different artifact" true (a != c && b != c)
+
+let test_compile_many_shares () =
+  let session = Longnail.Flow.create_session () in
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let cores = [ Scaiev.Datasheet.vexriscv; Scaiev.Datasheet.orca ] in
+  let results =
+    Longnail.Flow.compile_many ~session (List.map (fun core -> (core, tu)) cores)
+  in
+  check_int "one compiled per target" 2 (List.length results);
+  let stats = Longnail.Flow.session_stats session in
+  let ir = List.assoc "ir" stats in
+  (* the unit's functionality lowers once; the second core re-uses it *)
+  check_int "ir computed once" 1 ir.Cache.Store.misses;
+  check_bool "ir shared across cores" true (ir.Cache.Store.hits > 0)
+
+let test_frontend_memo () =
+  let session = Longnail.Flow.create_session () in
+  let calls = ref 0 in
+  let parse () = incr calls; Isax.Registry.compile_by_name "dotprod" in
+  let tu1 = Longnail.Flow.frontend session ~key:"k1" parse in
+  let tu2 = Longnail.Flow.frontend session ~key:"k1" parse in
+  check_bool "same unit back" true (tu1 == tu2);
+  check_int "parsed once" 1 !calls;
+  ignore (Longnail.Flow.frontend session ~key:"k2" parse);
+  check_int "new key parses" 2 !calls
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_store_hit_miss;
+          Alcotest.test_case "raise not stored" `Quick test_store_raise_not_stored;
+          Alcotest.test_case "lru eviction" `Quick test_store_lru_eviction;
+          Alcotest.test_case "disabled" `Quick test_store_disabled;
+          Alcotest.test_case "obs counters" `Quick test_store_obs_counters;
+        ] );
+      ( "fingerprints",
+        [
+          Alcotest.test_case "tunit deterministic" `Quick test_tunit_fp_deterministic;
+          Alcotest.test_case "locations excluded" `Quick test_tunit_fp_ignores_locations;
+          Alcotest.test_case "source sensitivity" `Quick test_tunit_fp_source_sensitivity;
+          Alcotest.test_case "golden digests" `Quick test_tunit_fp_golden;
+          Alcotest.test_case "graph alpha-invariance" `Quick test_graph_fp_alpha_invariant;
+          Alcotest.test_case "datasheets distinct" `Quick test_datasheet_fp_distinct;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "recompile from cache" `Quick test_session_recompile_from_cache;
+          Alcotest.test_case "content addressed" `Quick test_session_content_addressed;
+          Alcotest.test_case "cached = uncached (all targets)" `Slow
+            test_cached_equals_uncached_everywhere;
+          Alcotest.test_case "hazard ablation shares funcs" `Quick
+            test_session_hazard_shares_funcs;
+          Alcotest.test_case "knob isolation" `Quick test_session_knob_isolation;
+          Alcotest.test_case "compile_many shares" `Quick test_compile_many_shares;
+          Alcotest.test_case "frontend memo" `Quick test_frontend_memo;
+        ] );
+    ]

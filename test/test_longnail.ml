@@ -269,7 +269,7 @@ let test_ablation_physical_delays () =
   let tu = Isax.Registry.compile_by_name "sparkle" in
   let core = Scaiev.Datasheet.orca in
   let uni = Longnail.Flow.compile core tu in
-  let phys = Longnail.Flow.compile ~delay_model:Longnail.Delay_model.physical core tu in
+  let phys = Longnail.Flow.compile ~delay:Longnail.Delay_model.Physical core tu in
   let max_stage c =
     List.fold_left (fun acc f -> max acc f.Longnail.Flow.cf_hw.Longnail.Hwgen.max_stage) 0
       c.Longnail.Flow.funcs
@@ -304,7 +304,7 @@ InstructionSet T extends RV32I {
   try
     ignore
       (Longnail.Flow.compile ~cycle_time:0.9
-         ~delay_model:Longnail.Delay_model.physical Scaiev.Datasheet.orca tu);
+         ~delay:Longnail.Delay_model.Physical Scaiev.Datasheet.orca tu);
     Alcotest.fail "expected infeasible schedule"
   with Diag.Fatal (d :: _) ->
     let m = d.Diag.message in
@@ -364,6 +364,73 @@ let test_dse_pareto () =
   List.iter
     (fun (p : Longnail.Dse.point) -> check_bool "latency positive" true (p.dp_latency >= 1))
     points
+
+let mk_point ?(label = "p") area freq lat =
+  {
+    Longnail.Dse.dp_label = label;
+    dp_scheduler = Longnail.Sched_build.Ilp;
+    dp_cycle_factor = 1.0;
+    dp_physical = false;
+    dp_area_pct = area;
+    dp_freq_mhz = freq;
+    dp_latency = lat;
+    dp_pipe_bits = 0;
+    dp_pareto = false;
+  }
+
+let test_mark_pareto_ties () =
+  (* equal points must not dominate each other: duplicates both stay on
+     the front instead of knocking each other out *)
+  let a = mk_point ~label:"a" 10.0 100.0 3 in
+  let b = mk_point ~label:"b" 10.0 100.0 3 in
+  check_bool "equal points don't dominate" false
+    (Longnail.Dse.dominates a b || Longnail.Dse.dominates b a);
+  let dominated = mk_point ~label:"c" 20.0 90.0 5 in
+  match Longnail.Dse.mark_pareto [ a; b; dominated ] with
+  | [ a'; b'; c' ] ->
+      check_bool "first duplicate on front" true a'.Longnail.Dse.dp_pareto;
+      check_bool "second duplicate on front" true b'.Longnail.Dse.dp_pareto;
+      check_bool "dominated point off front" false c'.Longnail.Dse.dp_pareto
+  | _ -> Alcotest.fail "mark_pareto changed the point count"
+
+(* the DSE sweep through a session: front-end and HLIR/LIL passes run
+   exactly once per functionality across the whole knob grid, and a
+   repeated sweep replays entirely from cache with identical points *)
+let test_dse_session_reuse () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let core = Scaiev.Datasheet.vexriscv in
+  let measure c =
+    let r = Asic.Flow.run ~isax_name:"dotprod" c in
+    (r.Asic.Flow.area_overhead_pct, r.Asic.Flow.achieved_freq_mhz)
+  in
+  let n_funcs = List.length (Longnail.Flow.compile core tu).Longnail.Flow.funcs in
+  let ss = Longnail.Dse.sweep_session () in
+  let obs_cold = Obs.create ~name:"dse-cold" () in
+  let cold = Longnail.Dse.explore ~session:ss ~obs:obs_cold ~measure core tu in
+  Obs.finish obs_cold;
+  let cold_root = Obs.root obs_cold in
+  List.iter
+    (fun stage ->
+      check_int (stage ^ " runs once per functionality") n_funcs
+        (List.length (Obs.find_spans cold_root stage)))
+    [ "hlir"; "lil"; "optimize" ];
+  check_bool "schedule re-runs per grid point" true
+    (List.length (Obs.find_spans cold_root "schedule") > n_funcs);
+  let obs_warm = Obs.create ~name:"dse-warm" () in
+  let warm = Longnail.Dse.explore ~session:ss ~obs:obs_warm ~measure core tu in
+  Obs.finish obs_warm;
+  let warm_root = Obs.root obs_warm in
+  check_bool "warm sweep returns identical points" true (warm = cold);
+  List.iter
+    (fun stage ->
+      check_int ("warm " ^ stage ^ " never runs") 0
+        (List.length (Obs.find_spans warm_root stage)))
+    Longnail.Flow.stage_names;
+  let stats = Longnail.Flow.session_stats ss.Longnail.Dse.ss_flow in
+  check_bool "warm sweep hits the target store" true
+    ((List.assoc "target" stats).Cache.Store.hits > 0);
+  let mstats = Cache.Store.stats ss.Longnail.Dse.ss_measure in
+  check_int "measure served from memo" mstats.Cache.Store.misses mstats.Cache.Store.hits
 
 let test_custom_regfile_indexed () =
   (* multi-element custom register file with a computed index: the
@@ -533,6 +600,8 @@ let () =
         [
           Alcotest.test_case "app-class relative cost" `Quick test_outlook_relative_cost_decreases;
           Alcotest.test_case "dse pareto" `Quick test_dse_pareto;
+          Alcotest.test_case "dse pareto ties" `Quick test_mark_pareto_ties;
+          Alcotest.test_case "dse session reuse" `Quick test_dse_session_reuse;
           Alcotest.test_case "indexed custom regfile" `Quick test_custom_regfile_indexed;
         ] );
       ( "extra-isaxes",

@@ -371,7 +371,7 @@ InstructionSet T extends RV32I {
   let tu = Coredsl.compile ~file:"longjmp.core_desc" ~target:"T" src in
   try
     ignore
-      (Longnail.Flow.compile ~cycle_time:0.9 ~delay_model:Longnail.Delay_model.physical
+      (Longnail.Flow.compile ~cycle_time:0.9 ~delay:Longnail.Delay_model.Physical
          Scaiev.Datasheet.orca tu);
     Alcotest.fail "expected infeasible schedule"
   with Diag.Fatal (d :: _) ->
