@@ -287,7 +287,10 @@ let profile_one (core : Scaiev.Datasheet.t) (e : Isax.Registry.entry) =
         Obs.metric_int sobs "n_always" (List.length tu.Coredsl.Tast.talways);
         tu)
   in
-  ignore (Longnail.Flow.compile ~session:psession ~obs core tu);
+  (* through the batch driver (one target, jobs=1) so the baseline schema
+     matches the CLI's --profile output: parallel_compile + target:* spans *)
+  let request = Longnail.Flow.Request.make ~session:psession ~obs () in
+  ignore (Longnail.Flow.compile_many ~request [ (core, tu) ]);
   Obs.finish obs;
   let sp = Obs.root obs in
   Obs.validate sp;
@@ -341,7 +344,48 @@ let dse_sweep_json () =
     (stats_json cache_stats) isax core.Scaiev.Datasheet.core_name (List.length cold) cold_ms
     warm_ms speedup
 
-let perf_json ~json_path ~schema_path () =
+(* Parallel-vs-sequential equivalence: compile the full bundled
+   ISAX x core grid once at jobs=1 and once at the requested job count,
+   each through a fresh session, and compare every artifact byte
+   (SystemVerilog modules + configuration YAML). The [speedup] field is
+   always present — CI greps for it — but only meaningful when the host
+   actually has spare cores; [--assert-par-equal] turns a byte
+   divergence into a fatal error. *)
+let par_json ~jobs ~assert_equal () =
+  let targets =
+    List.concat_map
+      (fun (core : Scaiev.Datasheet.t) ->
+        List.map (fun (e : Isax.Registry.entry) -> (core, Isax.Registry.compile e))
+          Isax.Registry.all)
+      Scaiev.Datasheet.all_cores
+  in
+  let compile_all jobs =
+    let psession = Longnail.Flow.create_session () in
+    let request = Longnail.Flow.Request.make ~session:psession ~jobs () in
+    let t0 = Unix.gettimeofday () in
+    let cs = Longnail.Flow.compile_many ~request targets in
+    ((Unix.gettimeofday () -. t0) *. 1000.0, cs)
+  in
+  let seq_ms, seq = compile_all 1 in
+  let par_ms, par = compile_all jobs in
+  let artifact_bytes (c : Longnail.Flow.compiled) =
+    String.concat "\x00" (List.map (fun (f : Longnail.Flow.compiled_functionality) -> f.cf_sv) c.funcs)
+    ^ "\x01" ^ c.config_yaml
+  in
+  let bytes_equal =
+    List.length seq = List.length par
+    && List.for_all2 (fun a b -> artifact_bytes a = artifact_bytes b) seq par
+  in
+  if assert_equal && not bytes_equal then
+    Diag.fatalf ~code:"E0901"
+      "internal: parallel compile (jobs=%d) produced different artifact bytes than the \
+       sequential run" jobs;
+  let speedup = seq_ms /. Float.max par_ms 1e-6 in
+  Printf.sprintf
+    "\"par\":{\"jobs\":%d,\"host_cores\":%d,\"targets\":%d,\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.2f,\"bytes_equal\":%b}"
+    jobs (Par.available_workers ()) (List.length targets) seq_ms par_ms speedup bytes_equal
+
+let perf_json ~jobs ~assert_par_equal ~json_path ~schema_path () =
   let results =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
@@ -370,10 +414,13 @@ let perf_json ~json_path ~schema_path () =
   in
   Printf.eprintf "running warm-vs-cold DSE sweep...\n%!";
   let sweep_json = dse_sweep_json () in
+  Printf.eprintf "running parallel-vs-sequential grid (jobs=%d)...\n%!" jobs;
+  let parallel_json = par_json ~jobs ~assert_equal:assert_par_equal () in
   let b = Buffer.create (64 * 1024) in
   Buffer.add_string b "{\"schema_version\":1,";
   Buffer.add_string b "\"tool\":\"bench/main.exe perf --json\",";
   Buffer.add_string b (sweep_json ^ ",");
+  Buffer.add_string b (parallel_json ^ ",");
   Buffer.add_string b "\"targets\":[";
   List.iteri
     (fun i (isax, core, sp) ->
@@ -620,29 +667,41 @@ let usage_error fmt =
   Printf.ksprintf
     (fun m ->
       Printf.eprintf
-        "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --assert-cache-hits\n"
+        "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --assert-cache-hits,\n\
+        \       --assert-par-equal, plus the shared knob flags (--jobs N, --scheduler KIND, ...)\n"
         m
         (String.concat " " (List.map fst all_targets));
       exit 2)
     fmt
 
 let main () =
-  (* flags first, then target names; every name is validated before any
-     target runs, and errors exit nonzero — CI depends on the exit code.
-     Target names may repeat: `perf perf --assert-cache-hits` runs the
-     case study twice in one process to prove the session stays warm. *)
-  let rec parse (targets, json, schema, assert_hits) = function
-    | [] -> (List.rev targets, json, schema, assert_hits)
-    | "--json" :: path :: rest -> parse (targets, Some path, schema, assert_hits) rest
-    | "--schema" :: path :: rest -> parse (targets, json, Some path, assert_hits) rest
-    | "--assert-cache-hits" :: rest -> parse (targets, json, schema, true) rest
+  (* the shared knob/cache/parallelism flags (one table with the CLI —
+     Longnail.Knob_flags) are stripped first; the bench's own parser gets
+     the leftovers. Flags first, then target names; every name is
+     validated before any target runs, and errors exit nonzero (code 2
+     for usage) — CI depends on the exit codes. Target names may repeat:
+     `perf perf --assert-cache-hits` runs the case study twice in one
+     process to prove the session stays warm. *)
+  let kf, rest =
+    match
+      Longnail.Knob_flags.parse Longnail.Knob_flags.default (List.tl (Array.to_list Sys.argv))
+    with
+    | Ok r -> r
+    | Error m -> usage_error "%s" m
+  in
+  let rec parse (targets, json, schema, assert_hits, assert_par) = function
+    | [] -> (List.rev targets, json, schema, assert_hits, assert_par)
+    | "--json" :: path :: rest -> parse (targets, Some path, schema, assert_hits, assert_par) rest
+    | "--schema" :: path :: rest -> parse (targets, json, Some path, assert_hits, assert_par) rest
+    | "--assert-cache-hits" :: rest -> parse (targets, json, schema, true, assert_par) rest
+    | "--assert-par-equal" :: rest -> parse (targets, json, schema, assert_hits, true) rest
     | ("--json" | "--schema") :: [] -> usage_error "missing file argument"
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
         usage_error "unknown flag '%s'" a
-    | a :: rest -> parse (a :: targets, json, schema, assert_hits) rest
+    | a :: rest -> parse (a :: targets, json, schema, assert_hits, assert_par) rest
   in
-  let names, json, schema, assert_hits =
-    parse ([], None, None, false) (List.tl (Array.to_list Sys.argv))
+  let names, json, schema, assert_hits, assert_par_equal =
+    parse ([], None, None, false, false) rest
   in
   List.iter
     (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
@@ -659,7 +718,9 @@ let main () =
       List.iter
         (fun n ->
           match (n, json) with
-          | "perf", Some json_path -> perf_json ~json_path ~schema_path:schema ()
+          | "perf", Some json_path ->
+              perf_json ~jobs:kf.Longnail.Knob_flags.jobs ~assert_par_equal ~json_path
+                ~schema_path:schema ()
           | _ -> (List.assoc n all_targets) ())
         names);
   if assert_hits then begin

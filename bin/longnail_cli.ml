@@ -59,6 +59,36 @@ let core_arg =
     & opt (some core_conv) None
     & info [ "c"; "core" ] ~docv:"CORE" ~doc:"Host core (orca, piccolo, picorv32, vexriscv).")
 
+(* ---- the shared knob/cache/parallelism flags ----
+
+   The flag table lives in [Longnail.Knob_flags] (shared with the bench
+   harness); here it is bridged generically into cmdliner terms. The
+   term evaluates to the (name, value) pairs actually given; [run]
+   folds them through [Knob_flags.set], so a malformed value surfaces
+   as a cmdliner usage error (exit 2) with the parser's message. *)
+let knob_flags_term : (string * string option) list Term.t =
+  List.fold_left
+    (fun acc (s : Longnail.Knob_flags.spec) ->
+      let term =
+        match s.arg with
+        | None ->
+            Term.(
+              const (fun b -> if b then Some (s.name, None) else None)
+              $ Arg.(value & flag & info [ s.name ] ~doc:s.doc))
+        | Some docv ->
+            Term.(
+              const (Option.map (fun v -> (s.name, Some v)))
+              $ Arg.(value & opt (some string) None & info [ s.name ] ~docv ~doc:s.doc))
+      in
+      Term.(const (fun o l -> match o with Some kv -> kv :: l | None -> l) $ term $ acc))
+    (Term.const []) Longnail.Knob_flags.specs
+
+let resolve_knob_flags settings =
+  List.fold_left
+    (fun acc (name, value) ->
+      Result.bind acc (fun t -> Longnail.Knob_flags.set t name value))
+    (Ok Longnail.Knob_flags.default) settings
+
 (* ---- compile ---- *)
 
 let compile_cmd =
@@ -74,13 +104,6 @@ let compile_cmd =
   let outdir =
     Arg.(value & opt string "." & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let scheduler =
-    Arg.(
-      value
-      & opt (enum [ ("ilp", Longnail.Sched_build.Ilp); ("asap", Longnail.Sched_build.Asap) ])
-          Longnail.Sched_build.Ilp
-      & info [ "scheduler" ] ~docv:"KIND" ~doc:"Scheduler: ilp (default) or asap.")
-  in
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Also write a Graphviz CDFG per functionality.")
   in
@@ -95,8 +118,11 @@ let compile_cmd =
           ~doc:
             "Profile the pipeline: one span per Figure-9 stage with stage metrics.              FORMAT is 'pretty' (default), 'json' (the span tree on stdout), or              'schema' (the sorted metric-name schema, for the CI contract check).")
   in
-  let run efmt input target core outdir scheduler dot profile =
+  let run efmt input target core outdir knob_settings dot profile =
     error_format := efmt;
+    match resolve_knob_flags knob_settings with
+    | Error msg -> `Error (true, msg)
+    | Ok kf ->
     (* with machine-readable profile output, progress notes move to
        stderr so stdout stays pure JSON / schema lines *)
       let note fmt =
@@ -111,7 +137,7 @@ let compile_cmd =
       (* one compilation session per invocation: a single compile is
          served cold, but the profile output carries the cache counters
          (always present, so the schema is invocation-independent) *)
-      let session = Longnail.Flow.create_session () in
+      let session = Longnail.Knob_flags.session kf in
       let fe_key =
         Cache.Fp.digest (fun b ->
             Cache.Fp.add_string b input;
@@ -134,7 +160,15 @@ let compile_cmd =
             Obs.metric_int_opt sobs "n_always" (List.length tu.Coredsl.Tast.talways);
             tu)
       in
-      let c = Longnail.Flow.compile ~scheduler ~session ?obs core tu in
+      (* one unified request drives the batch driver even for a single
+         target, so the profile schema (parallel_compile / target:* spans)
+         is identical at any --jobs value *)
+      let request = Longnail.Knob_flags.request ~session ?obs kf in
+      let c =
+        match Longnail.Flow.compile_many ~request [ (core, tu) ] with
+        | [ c ] -> c
+        | _ -> Diag.fatalf ~code:"E0901" "internal: compile_many lost the target"
+      in
       if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
       List.iter
         (fun (f : Longnail.Flow.compiled_functionality) ->
@@ -180,8 +214,8 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(
       ret
-        (const run $ error_format_arg $ input $ target $ core_arg $ outdir $ scheduler $ dot
-       $ profile))
+        (const run $ error_format_arg $ input $ target $ core_arg $ outdir $ knob_flags_term
+       $ dot $ profile))
 
 (* ---- cores ---- *)
 

@@ -335,10 +335,21 @@ module Store = struct
 
   type 'v entry = { value : 'v; mutable last_use : int }
 
+  (* Thread-safety: every field is guarded by [lock]. Lookups from
+     several domains are {e single-flight}: the first domain to miss a
+     key claims it in [pending] and computes with the lock released;
+     concurrent lookups of the same key park on [resolved] and are
+     served the stored value when the computation lands (counted as
+     hits — exactly one store per key). [compute] itself always runs
+     outside the lock, so independent keys never serialize on each
+     other. *)
   type 'v t = {
     st_name : string;
     capacity : int;
+    lock : Mutex.t;
+    resolved : Condition.t;
     tbl : (string, 'v entry) Hashtbl.t;
+    pending : (string, unit) Hashtbl.t;
     mutable clock : int;
     mutable hits : int;
     mutable misses : int;
@@ -350,7 +361,10 @@ module Store = struct
     {
       st_name = name;
       capacity = max 0 capacity;
+      lock = Mutex.create ();
+      resolved = Condition.create ();
       tbl = Hashtbl.create (min 64 (max 8 capacity));
+      pending = Hashtbl.create 8;
       clock = 0;
       hits = 0;
       misses = 0;
@@ -359,9 +373,13 @@ module Store = struct
     }
 
   let name t = t.st_name
-  let length t = Hashtbl.length t.tbl
-  let stats t = { hits = t.hits; misses = t.misses; stores = t.stores; evictions = t.evictions }
-  let mem t key = Hashtbl.mem t.tbl key
+  let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.tbl)
+
+  let stats t =
+    Mutex.protect t.lock (fun () ->
+        { hits = t.hits; misses = t.misses; stores = t.stores; evictions = t.evictions })
+
+  let mem t key = Mutex.protect t.lock (fun () -> Hashtbl.mem t.tbl key)
 
   let evict_lru t =
     let worst =
@@ -384,30 +402,65 @@ module Store = struct
     Obs.incr_opt obs "cache.hit" ~by:0 ();
     Obs.incr_opt obs "cache.miss" ~by:0 ();
     Obs.incr_opt obs "cache.store" ~by:0 ();
-    t.clock <- t.clock + 1;
-    match Hashtbl.find_opt t.tbl key with
-    | Some e ->
-        e.last_use <- t.clock;
-        t.hits <- t.hits + 1;
+    Mutex.lock t.lock;
+    let rec claim () =
+      t.clock <- t.clock + 1;
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          e.last_use <- t.clock;
+          t.hits <- t.hits + 1;
+          `Hit e.value
+      | None ->
+          if Hashtbl.mem t.pending key then begin
+            (* another domain is computing this key: wait for it rather
+               than duplicating the work, then re-check (the computation
+               may have failed, or the entry may not have been retained
+               by a capacity-0 store — in both cases we claim it) *)
+            Condition.wait t.resolved t.lock;
+            claim ()
+          end
+          else begin
+            Hashtbl.add t.pending key ();
+            t.misses <- t.misses + 1;
+            `Compute
+          end
+    in
+    let outcome = claim () in
+    Mutex.unlock t.lock;
+    match outcome with
+    | `Hit v ->
         Obs.incr_opt obs "cache.hit" ();
-        e.value
-    | None ->
-        t.misses <- t.misses + 1;
-        Obs.incr_opt obs "cache.miss" ();
-        let v = compute () in
-        if t.capacity > 0 then begin
-          while Hashtbl.length t.tbl >= t.capacity do
-            evict_lru t
-          done;
-          Hashtbl.replace t.tbl key { value = v; last_use = t.clock };
-          t.stores <- t.stores + 1;
-          Obs.incr_opt obs "cache.store" ()
-        end;
         v
+    | `Compute -> (
+        Obs.incr_opt obs "cache.miss" ();
+        match compute () with
+        | v ->
+            Mutex.lock t.lock;
+            Hashtbl.remove t.pending key;
+            if t.capacity > 0 then begin
+              while Hashtbl.length t.tbl >= t.capacity do
+                evict_lru t
+              done;
+              Hashtbl.replace t.tbl key { value = v; last_use = t.clock };
+              t.stores <- t.stores + 1
+            end;
+            Condition.broadcast t.resolved;
+            let stored = t.capacity > 0 in
+            Mutex.unlock t.lock;
+            if stored then Obs.incr_opt obs "cache.store" ();
+            v
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Mutex.lock t.lock;
+            Hashtbl.remove t.pending key;
+            Condition.broadcast t.resolved;
+            Mutex.unlock t.lock;
+            Printexc.raise_with_backtrace e bt)
 
   let record_stats t (obs : Obs.scope) =
-    Obs.metric_int obs (t.st_name ^ ".hits") t.hits;
-    Obs.metric_int obs (t.st_name ^ ".misses") t.misses;
-    Obs.metric_int obs (t.st_name ^ ".stores") t.stores;
-    Obs.metric_int obs (t.st_name ^ ".evictions") t.evictions
+    let s = stats t in
+    Obs.metric_int obs (t.st_name ^ ".hits") s.hits;
+    Obs.metric_int obs (t.st_name ^ ".misses") s.misses;
+    Obs.metric_int obs (t.st_name ^ ".stores") s.stores;
+    Obs.metric_int obs (t.st_name ^ ".evictions") s.evictions
 end

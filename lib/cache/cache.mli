@@ -12,7 +12,9 @@
     - {!Store}: a generic keyed artifact store with LRU eviction and
       hit/miss/store/eviction counters, reported per lookup through
       {!Obs} so the [--profile] output and the bench baseline carry
-      per-stage cache behaviour. *)
+      per-stage cache behaviour. Stores are safe for concurrent use
+      from multiple domains (the parallel driver of
+      docs/PARALLELISM.md): lookups are single-flight per key. *)
 
 module Fp : sig
   type t = string
@@ -86,7 +88,15 @@ module Store : sig
       raises, nothing is stored and the exception propagates. With [obs],
       records the [cache.hit] / [cache.miss] / [cache.store] counters on
       that span (all three are always present, so the profiling schema is
-      identical for cold and warm lookups). *)
+      identical for cold and warm lookups).
+
+      Concurrent lookups of the same key from several domains are
+      single-flight: exactly one domain runs [compute] (outside the
+      store lock — independent keys never serialize on each other);
+      the others block until the artifact lands and count as hits. If
+      the computing domain's [compute] raises, one waiter is promoted
+      to retry. [obs] scopes are not shared across domains — each
+      caller passes its own. *)
 
   val mem : 'v t -> string -> bool
 

@@ -94,6 +94,7 @@ let all_codes =
     ("E0502", "SCAIE-V integration error");
     ("E0601", "assembly error");
     ("E0901", "internal error");
+    ("E0902", "conflicting compile options");
   ]
 
 let describe code = List.assoc_opt code all_codes

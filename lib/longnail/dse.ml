@@ -56,12 +56,41 @@ let sweep_session ?session () =
     ss_measure = Cache.Store.create ~name:"measure" ();
   }
 
+let config_label (factor, scheduler, physical) =
+  Printf.sprintf "%s/ct*%.2f/%s"
+    (match scheduler with Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap")
+    factor
+    (if physical then "phys" else "unif")
+
 (* [measure] converts a compile into (area %, fmax); injected so that the
-   asic library (which depends on this one) can supply the real flow. *)
-let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs
+   asic library (which depends on this one) can supply the real flow.
+
+   With [?request] carrying [jobs > 1] the grid points fan out over
+   worker domains: the shared IR artifacts are warmed once on the
+   calling domain, each point runs the sched->hwgen tail in a task, and
+   results are collected by index, so the point list (and the Pareto
+   marking over it) is identical to a sequential sweep. *)
+let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs ?request
     ~(measure : Flow.compiled -> float * float) (core : Scaiev.Datasheet.t)
     (tu : Coredsl.Tast.tunit) : point list =
-  let ss = match session with Some ss -> ss | None -> sweep_session () in
+  let jobs, req_session, req_obs =
+    match request with
+    | None -> (1, None, None)
+    | Some (r : Flow.Request.t) ->
+        if Option.is_some session || Option.is_some obs then
+          Diag.fatal
+            (Diag.make ~code:"E0902"
+               "conflicting compile options: ?request given together with ?session / ?obs"
+               ~notes:
+                 [
+                   "carry the session and profiling scope inside the Flow.Request.t instead";
+                 ]);
+        (r.jobs, r.session, r.obs)
+  in
+  let obs = match obs with Some _ -> obs | None -> req_obs in
+  let ss =
+    match session with Some ss -> ss | None -> sweep_session ?session:req_session ()
+  in
   let base_ct = Scaiev.Datasheet.cycle_time_ns core in
   let configs =
     List.concat_map
@@ -72,50 +101,68 @@ let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs
           [ Sched_build.Ilp; Sched_build.Asap ])
       cycle_factors
   in
-  let points =
-    List.filter_map
-      (fun (factor, scheduler, physical) ->
-        let cycle_time = base_ct *. factor in
-        let delay =
-          if physical then Delay_model.Physical
-          else Delay_model.Uniform (cycle_time /. 14.0)
+  let eval_point ?obs ((factor, scheduler, physical) as config) =
+    let cycle_time = base_ct *. factor in
+    let delay =
+      if physical then Delay_model.Physical else Delay_model.Uniform (cycle_time /. 14.0)
+    in
+    let knobs = Flow.knobs ~scheduler ~delay ~cycle_time () in
+    match Flow.compile ~knobs ~session:ss.ss_flow ?obs core tu with
+    | exception Diag.Fatal _ -> None
+    | exception _ -> None
+    | c ->
+        let area_pct, freq =
+          Cache.Store.find_or_add ss.ss_measure ?obs
+            (Flow.target_key ss.ss_flow knobs core tu) (fun () -> measure c)
         in
-        let knobs = Flow.knobs ~scheduler ~delay ~cycle_time () in
-        match Flow.compile ~knobs ~session:ss.ss_flow ?obs core tu with
-        | exception Diag.Fatal _ -> None
-        | exception _ -> None
-        | c ->
-            let area_pct, freq =
-              Cache.Store.find_or_add ss.ss_measure ?obs
-                (Flow.target_key ss.ss_flow knobs core tu) (fun () -> measure c)
-            in
-            let latency =
-              List.fold_left
-                (fun acc (f : Flow.compiled_functionality) -> max acc f.cf_hw.Hwgen.max_stage)
-                0 c.funcs
-            in
-            let pipe_bits =
-              List.fold_left
-                (fun acc (f : Flow.compiled_functionality) -> acc + f.cf_hw.Hwgen.pipe_reg_bits)
-                0 c.funcs
-            in
-            Some
-              {
-                dp_label =
-                  Printf.sprintf "%s/ct*%.2f/%s"
-                    (match scheduler with Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap")
-                    factor
-                    (if physical then "phys" else "unif");
-                dp_scheduler = scheduler;
-                dp_cycle_factor = factor;
-                dp_physical = physical;
-                dp_area_pct = area_pct;
-                dp_freq_mhz = freq;
-                dp_latency = latency;
-                dp_pipe_bits = pipe_bits;
-                dp_pareto = false;
-              })
-      configs
+        let latency =
+          List.fold_left
+            (fun acc (f : Flow.compiled_functionality) -> max acc f.cf_hw.Hwgen.max_stage)
+            0 c.funcs
+        in
+        let pipe_bits =
+          List.fold_left
+            (fun acc (f : Flow.compiled_functionality) -> acc + f.cf_hw.Hwgen.pipe_reg_bits)
+            0 c.funcs
+        in
+        Some
+          {
+            dp_label = config_label config;
+            dp_scheduler = scheduler;
+            dp_cycle_factor = factor;
+            dp_physical = physical;
+            dp_area_pct = area_pct;
+            dp_freq_mhz = freq;
+            dp_latency = latency;
+            dp_pipe_bits = pipe_bits;
+            dp_pareto = false;
+          }
+  in
+  let points =
+    if jobs <= 1 then List.filter_map (fun config -> eval_point ?obs config) configs
+    else begin
+      (* warm the shared frontend/IR artifacts on this domain, then fan
+         the per-point sched->hwgen tails out over the worker pool *)
+      Flow.warm_ir ss.ss_flow tu;
+      Obs.span_opt obs "parallel_explore" @@ fun pobs ->
+      Obs.metric_int_opt pobs "par.workers" (max 1 (min jobs (List.length configs)));
+      Obs.metric_int_opt pobs "par.points" (List.length configs);
+      let task config () =
+        let tobs =
+          match pobs with
+          | None -> None
+          | Some _ -> Some (Obs.create ~name:("dse:" ^ config_label config) ())
+        in
+        let p = eval_point ?obs:tobs config in
+        Option.iter Obs.finish tobs;
+        (p, Option.map Obs.root tobs)
+      in
+      let results = Par.run ~jobs (List.map task configs) in
+      (match pobs with
+      | None -> ()
+      | Some p -> List.iter (fun (_, sp) -> Option.iter (Obs.attach p) sp) results);
+      List.filter_map fst results
+    end
   in
   (* deduplicate identical outcomes to keep the report readable *)
   let distinct =

@@ -48,7 +48,14 @@ val explore :
   ?cycle_factors:float list ->
   ?session:sweep_session ->
   ?obs:Obs.scope ->
+  ?request:Flow.Request.t ->
   measure:(Flow.compiled -> float * float) ->
   Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> point list
 (** Grid points whose compile raises {!Diag.Fatal} (e.g. infeasible
-    schedules) are skipped; identical outcomes are deduplicated. *)
+    schedules) are skipped; identical outcomes are deduplicated.
+
+    [?request] supplies the worker count ([Request.jobs]), and may carry
+    the flow session and profiling scope; with [jobs > 1] the grid fans
+    out over worker domains after warming the shared IR artifacts, and
+    the returned point list is identical to a sequential sweep. Mixing
+    [?request] with [?session] / [?obs] raises E0902. *)

@@ -80,8 +80,14 @@ let base_instr_names =
     (let tu = Coredsl.compile_rv32i () in
      List.map (fun (ti : Coredsl.Tast.tinstr) -> ti.ti_name) tu.tinstrs)
 
+(* Forcing a lazy concurrently from two domains raises [RacyLazy], so
+   every internal access goes through this lock; the parallel driver also
+   forces it eagerly before fanning out worker domains. *)
+let base_instr_lock = Mutex.create ()
+let base_names () = Mutex.protect base_instr_lock (fun () -> Lazy.force base_instr_names)
+
 let is_isax_instruction (ti : Coredsl.Tast.tinstr) =
-  not (List.mem ti.ti_name (Lazy.force base_instr_names))
+  not (List.mem ti.ti_name (base_names ()))
 
 let dominant_mode (hw : Hwgen.result) ~kind =
   if kind = `Always then Scaiev.Config.Always_mode
@@ -149,7 +155,9 @@ type session = {
   s_func : compiled_functionality Cache.Store.t;
   s_target : compiled Cache.Store.t;
   (* fingerprint memos, keyed by physical identity: reusing the same
-     tunit/datasheet value across lookups skips re-serialization *)
+     tunit/datasheet value across lookups skips re-serialization. Guarded
+     by [s_fp_lock]: sessions are shared across worker domains. *)
+  s_fp_lock : Mutex.t;
   mutable s_unit_fps : (Coredsl.Tast.tunit * Cache.Fp.t) list;
   mutable s_core_fps : (Scaiev.Datasheet.t * Cache.Fp.t) list;
 }
@@ -161,6 +169,7 @@ let create_session ?capacity ?(enabled = true) () =
     s_ir = Cache.Store.create ?capacity ~name:"ir" ();
     s_func = Cache.Store.create ?capacity ~name:"sched" ();
     s_target = Cache.Store.create ?capacity ~name:"target" ();
+    s_fp_lock = Mutex.create ();
     s_unit_fps = [];
     s_core_fps = [];
   }
@@ -177,20 +186,25 @@ let fp_memo_limit = 32
 
 let take n l = List.filteri (fun i _ -> i < n) l
 
+(* The memo lookups mutate the lists, so reads and writes both take the
+   lock. Fingerprinting itself is pure; a rare duplicate computation when
+   two domains race on the same fresh value is harmless (same fp). *)
 let unit_fp s (tu : Coredsl.Tast.tunit) =
-  match List.assq_opt tu s.s_unit_fps with
+  match Mutex.protect s.s_fp_lock (fun () -> List.assq_opt tu s.s_unit_fps) with
   | Some fp -> fp
   | None ->
       let fp = Cache.Fp.tunit tu in
-      s.s_unit_fps <- take fp_memo_limit ((tu, fp) :: s.s_unit_fps);
+      Mutex.protect s.s_fp_lock (fun () ->
+          s.s_unit_fps <- take fp_memo_limit ((tu, fp) :: s.s_unit_fps));
       fp
 
 let core_fp s (core : Scaiev.Datasheet.t) =
-  match List.assq_opt core s.s_core_fps with
+  match Mutex.protect s.s_fp_lock (fun () -> List.assq_opt core s.s_core_fps) with
   | Some fp -> fp
   | None ->
       let fp = Cache.Fp.datasheet core in
-      s.s_core_fps <- take fp_memo_limit ((core, fp) :: s.s_core_fps);
+      Mutex.protect s.s_fp_lock (fun () ->
+          s.s_core_fps <- take fp_memo_limit ((core, fp) :: s.s_core_fps));
       fp
 
 let frontend s ?obs ~key thunk = Cache.Store.find_or_add s.s_frontend ?obs ("fe/" ^ key) thunk
@@ -211,6 +225,82 @@ let target_key s k (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) =
    without a session, so the un-cached path has no retention cost. *)
 let throwaway () = create_session ~enabled:false ()
 
+(* ---- compile requests ------------------------------------------------ *)
+
+(* The unified public compile API: one record bundles everything a compile
+   entry point used to take as a pile of optional arguments. *)
+module Request = struct
+  type t = {
+    knobs : knobs;
+    session : session option;
+    obs : Obs.scope option;
+    jobs : int;
+  }
+
+  let default = { knobs = default_knobs; session = None; obs = None; jobs = 1 }
+
+  let make ?(knobs = default_knobs) ?session ?obs ?(jobs = 1) () =
+    if jobs < 1 then
+      Diag.fatalf ~code:"E0902" "invalid compile request: jobs must be >= 1 (got %d)" jobs;
+    { knobs; session; obs; jobs }
+end
+
+let request_conflict msg =
+  Diag.fatal
+    (Diag.make ~code:"E0902" ("conflicting compile options: " ^ msg)
+       ~notes:
+         [
+           "build one Flow.Request.t with Request.make and pass it as ?request instead of \
+            mixing it with the deprecated optional arguments";
+         ])
+
+(* Resolve the deprecated optional arguments and the unified [?request]
+   into one request. Mixing [?request] with any other optional, or
+   [?knobs] with an individual knob argument, is a usage error (E0902) —
+   there is no silent precedence. *)
+let resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
+    ?request () : Request.t =
+  let individual =
+    List.filter_map
+      (fun (present, arg) -> if present then Some arg else None)
+      [
+        (Option.is_some scheduler, "?scheduler");
+        (Option.is_some delay, "?delay");
+        (Option.is_some cycle_time, "?cycle_time");
+        (Option.is_some hazard_handling, "?hazard_handling");
+      ]
+  in
+  match request with
+  | Some r ->
+      let also =
+        individual
+        @ (if Option.is_some knobs then [ "?knobs" ] else [])
+        @ (if Option.is_some session then [ "?session" ] else [])
+        @ if Option.is_some obs then [ "?obs" ] else []
+      in
+      if also <> [] then
+        request_conflict
+          (Printf.sprintf "?request given together with %s" (String.concat ", " also));
+      r
+  | None ->
+      let knobs =
+        match knobs with
+        | Some k ->
+            if individual <> [] then
+              request_conflict
+                (Printf.sprintf "?knobs given together with %s"
+                   (String.concat ", " individual));
+            k
+        | None ->
+            {
+              k_scheduler = Option.value scheduler ~default:Sched_build.Ilp;
+              k_delay = Option.value delay ~default:Delay_model.Default;
+              k_cycle_time = cycle_time;
+              k_hazard_handling = Option.value hazard_handling ~default:true;
+            }
+      in
+      { Request.knobs; session; obs; jobs = 1 }
+
 (* ---- per-functionality stages ---------------------------------------- *)
 
 (* The per-functionality Figure-9 stages, in pipeline order. Each cold
@@ -220,17 +310,6 @@ let throwaway () = create_session ~enabled:false ()
    with [compile_functionality]. Cache hits skip the stage spans entirely
    — only the boundary span with its cache counters remains. *)
 let stage_names = [ "hlir"; "lil"; "optimize"; "schedule"; "hwgen"; "sv_emit" ]
-
-let resolve_knobs ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs () =
-  match knobs with
-  | Some k -> k
-  | None ->
-      {
-        k_scheduler = Option.value scheduler ~default:Sched_build.Ilp;
-        k_delay = Option.value delay ~default:Delay_model.Default;
-        k_cycle_time = cycle_time;
-        k_hazard_handling = Option.value hazard_handling ~default:true;
-      }
 
 let build_func_ir (tu : Coredsl.Tast.tunit) obs fn =
   let hlir, fields =
@@ -355,12 +434,12 @@ let compile_functionality_in session k ?obs (core : Scaiev.Datasheet.t)
     (fun () -> build_func_hw core tu k ~name ~kind sobs fir)
 
 let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) ?scheduler
-    ?delay ?cycle_time ?knobs ?session ?obs
+    ?delay ?cycle_time ?knobs ?session ?obs ?request
     (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
     compiled_functionality =
-  let k = resolve_knobs ?scheduler ?delay ?cycle_time ?knobs () in
-  let session = match session with Some s -> s | None -> throwaway () in
-  compile_functionality_in session k ?obs core tu fn
+  let r = resolve_request ?scheduler ?delay ?cycle_time ?knobs ?session ?obs ?request () in
+  let session = match r.Request.session with Some s -> s | None -> throwaway () in
+  compile_functionality_in session r.Request.knobs ?obs:r.Request.obs core tu fn
 
 let mask_of (ti : Coredsl.Tast.tinstr) =
   Scaiev.Config.mask_string ~width:ti.enc_width ~mask:ti.mask ~match_bits:ti.match_bits
@@ -407,17 +486,88 @@ let build_target session k ?obs (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.t
   in
   { core; unit_ = tu; funcs; config; config_yaml; adapter }
 
-(* Compile every ISAX functionality of [tu] for [core]. *)
-let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
-    (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
-  let k = resolve_knobs ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs () in
-  let session = match session with Some s -> s | None -> throwaway () in
+(* Compile every ISAX functionality of [tu] for [core] — the single
+   implementation behind [compile] and the per-target tail of
+   [compile_many]. *)
+let compile_request (r : Request.t) (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) :
+    compiled =
+  let k = r.Request.knobs in
+  let session = match r.Request.session with Some s -> s | None -> throwaway () in
+  let obs = r.Request.obs in
   Obs.metric_str_opt obs "core" core.core_name;
   Cache.Store.find_or_add session.s_target ?obs (target_key session k core tu) (fun () ->
       build_target session k ?obs core tu)
 
-let compile_many ?knobs ?session ?obs targets =
-  let session = match session with Some s -> s | None -> create_session () in
-  List.map (fun (core, tu) -> compile ?knobs ~session ?obs core tu) targets
+let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs ?request
+    (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
+  compile_request
+    (resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
+       ?request ())
+    core tu
+
+(* Populate the session's core-independent IR artifacts for [tu] on the
+   calling domain. The parallel driver runs this before fanning out, so
+   the frontend/IR half is computed once and shared read-only — worker
+   domains then run only the per-target sched/hwgen/SV/integration tail. *)
+let warm_ir session (tu : Coredsl.Tast.tunit) =
+  let warm ~kind ~name fn =
+    with_stage_diags name (fun () ->
+        ignore
+          (Cache.Store.find_or_add session.s_ir (ir_key session tu ~kind ~name) (fun () ->
+               build_func_ir tu None fn)))
+  in
+  List.iter
+    (fun (ti : Coredsl.Tast.tinstr) -> warm ~kind:`Instruction ~name:ti.ti_name (`Instr ti))
+    (List.filter is_isax_instruction tu.tinstrs);
+  List.iter
+    (fun (ta : Coredsl.Tast.talways) -> warm ~kind:`Always ~name:ta.ta_name (`Always ta))
+    tu.talways
+
+(* Batch compile: fan the per-target tail out over [jobs] worker domains.
+   Results are collected by index, so the output list (and therefore SV /
+   YAML bytes and diagnostics ordering) is identical to a sequential run;
+   with a profiling scope every target records into its own single-domain
+   scope, merged under one [parallel_compile] span in task order. *)
+let compile_many ?knobs ?session ?obs ?request targets =
+  let r = resolve_request ?knobs ?session ?obs ?request () in
+  let session = match r.Request.session with Some s -> s | None -> create_session () in
+  let n = List.length targets in
+  let jobs = max 1 (min r.Request.jobs (max n 1)) in
+  Obs.span_opt r.Request.obs "parallel_compile" @@ fun pobs ->
+  Obs.metric_int_opt pobs "par.workers" jobs;
+  Obs.metric_int_opt pobs "par.targets" n;
+  if jobs > 1 then begin
+    (* worker-domain safety: force the base-instruction lazy before
+       domains could race on it, and warm the shared IR artifacts so the
+       fan-out is purely per-target *)
+    ignore (base_names ());
+    let seen = ref [] in
+    List.iter
+      (fun ((_ : Scaiev.Datasheet.t), tu) ->
+        if not (List.memq tu !seen) then begin
+          seen := tu :: !seen;
+          warm_ir session tu
+        end)
+      targets
+  end;
+  let task ((core : Scaiev.Datasheet.t), tu) () =
+    let tobs =
+      match pobs with
+      | None -> None
+      | Some _ -> Some (Obs.create ~name:("target:" ^ core.core_name) ())
+    in
+    let result =
+      compile_request
+        { r with Request.session = Some session; obs = tobs; jobs = 1 }
+        core tu
+    in
+    Option.iter Obs.finish tobs;
+    (result, Option.map Obs.root tobs)
+  in
+  let results = Par.run ~jobs (List.map task targets) in
+  (match pobs with
+  | None -> ()
+  | Some p -> List.iter (fun (_, sp) -> Option.iter (Obs.attach p) sp) results);
+  List.map fst results
 
 let find_func c name = List.find_opt (fun f -> f.cf_name = name) c.funcs

@@ -120,7 +120,35 @@ val create_session : ?capacity:int -> ?enabled:bool -> unit -> session
 
 val session_stats : session -> (string * Cache.Store.stats) list
 (** Per-store cumulative hit/miss/store/eviction counters, in pipeline
-    order: [frontend], [ir], [sched], [target]. *)
+    order: [frontend], [ir], [sched], [target]. Sessions are safe for
+    concurrent use from multiple domains: the stores are single-flight
+    (see {!Cache.Store.find_or_add}) and the fingerprint memos are
+    mutex-guarded. *)
+
+(** {1 Compile requests}
+
+    The unified compile API (docs/PARALLELISM.md): one {!Request.t}
+    bundles the scheduling knobs, the session, the profiling scope and
+    the worker count, replacing the pile of optional arguments the entry
+    points used to take. All compile entry points accept [?request];
+    their remaining optional arguments are deprecated thin wrappers that
+    delegate here, and mixing [?request] with any of them — or [?knobs]
+    with an individual knob argument — raises {!Diag.Fatal} with code
+    E0902 (there is no silent precedence). *)
+module Request : sig
+  type t = {
+    knobs : knobs;
+    session : session option;  (** [None] = a throwaway non-retaining session *)
+    obs : Obs.scope option;
+    jobs : int;  (** worker domains for batch entry points; [1] = sequential *)
+  }
+
+  val default : t
+  (** [default_knobs], no session, no profiling, one job. *)
+
+  val make : ?knobs:knobs -> ?session:session -> ?obs:Obs.scope -> ?jobs:int -> unit -> t
+  (** Raises {!Diag.Fatal} (E0902) when [jobs < 1]. *)
+end
 
 val frontend :
   session -> ?obs:Obs.scope -> key:string -> (unit -> Coredsl.Tast.tunit) -> Coredsl.Tast.tunit
@@ -146,10 +174,12 @@ val target_key : session -> knobs -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit ->
     [cache.hit]/[cache.miss]/[cache.store] counters remains. *)
 val stage_names : string list
 
-(** Compile a single instruction or always-block. [knobs] wins over the
-    individual knob arguments when both are given; without [session] a
-    throwaway non-retaining session is used. With [obs] set, records a
-    ["func:NAME"] span as described at {!stage_names}.
+(** Compile a single instruction or always-block. Prefer passing one
+    {!Request.t} as [?request]; the remaining optional arguments are
+    {b deprecated} wrappers kept for source compatibility, and mixing
+    them with [?request] (or [?knobs] with an individual knob argument)
+    raises E0902. With a profiling scope, records a ["func:NAME"] span as
+    described at {!stage_names}.
     Raises {!Diag.Fatal} with code E0401 when scheduling is infeasible; the
     diagnostic cites the CoreDSL span of the operation whose interface
     window cannot be met. *)
@@ -162,18 +192,25 @@ val compile_functionality :
   ?knobs:knobs ->
   ?session:session ->
   ?obs:Obs.scope ->
+  ?request:Request.t ->
   [ `Always of Coredsl.Tast.talways | `Instr of Coredsl.Tast.tinstr ] ->
   compiled_functionality
 
 (** The Figure 8 bit-pattern string of an instruction's encoding. *)
 val mask_of : Coredsl.Tast.tinstr -> string
 
-(** Compile every ISAX functionality of a typed unit for one host core and
-    produce the integration artifacts. [hazard_handling:false] drops the
-    decoupled-mode scoreboard (the Table 4 ablation row). [knobs] wins
-    over the individual knob arguments; without [session] a throwaway
-    non-retaining session is used, so results are identical with and
-    without caching (see the byte-equivalence tests). *)
+val compile_request : Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> compiled
+(** The canonical single-target entry point: compile every ISAX
+    functionality of a typed unit for one host core and produce the
+    integration artifacts. [Request.jobs] is ignored here (one target has
+    nothing to fan out); without a session a throwaway non-retaining one
+    is used, so results are identical with and without caching (see the
+    byte-equivalence tests). [knobs.k_hazard_handling = false] drops the
+    decoupled-mode scoreboard (the Table 4 ablation row). *)
+
+(** Like {!compile_request}, via optional arguments. The non-[?request]
+    optionals are {b deprecated} wrappers; mixing them with [?request]
+    (or [?knobs] with an individual knob argument) raises E0902. *)
 val compile :
   ?scheduler:Sched_build.scheduler ->
   ?delay:Delay_model.spec ->
@@ -182,18 +219,33 @@ val compile :
   ?knobs:knobs ->
   ?session:session ->
   ?obs:Obs.scope ->
+  ?request:Request.t ->
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->
   compiled
+
+val warm_ir : session -> Coredsl.Tast.tunit -> unit
+(** Populate the session's core-independent IR artifacts (hlir + optimized
+    lil per ISAX functionality) on the calling domain. {!compile_many}
+    calls this before fanning out worker domains, so the frontend/IR half
+    is computed once and shared read-only. *)
 
 val compile_many :
   ?knobs:knobs ->
   ?session:session ->
   ?obs:Obs.scope ->
+  ?request:Request.t ->
   (Scaiev.Datasheet.t * Coredsl.Tast.tunit) list ->
   compiled list
 (** Batch compile ISAX x core targets through one shared session (a fresh
     retaining session if none is given): common units lower once, common
-    (unit, core, knobs) triples compile once. *)
+    (unit, core, knobs) triples compile once. With [Request.jobs > 1] the
+    per-target sched/hwgen/SV/integration tail fans out over that many
+    worker domains ({!Par.run}); results are collected by index, so the
+    output — SV and YAML bytes, diagnostics ordering, the first raised
+    failure — is identical to a sequential run. With a profiling scope,
+    records one [parallel_compile] span carrying [par.workers] and
+    [par.targets] metrics, with one ["target:CORE"] child span per target
+    (merged in task order, deterministic at any job count). *)
 
 val find_func : compiled -> string -> compiled_functionality option

@@ -1,0 +1,140 @@
+(* The shared knob/cache/parallelism flag table (see the .mli). The CLI
+   bridges [specs] into cmdliner terms and folds [set]; the bench feeds
+   its raw argv through [parse] and keeps the leftovers for its own
+   target parser — both front ends accept the exact same flags. *)
+
+type spec = { name : string; arg : string option; doc : string }
+
+let specs =
+  [
+    { name = "scheduler"; arg = Some "KIND"; doc = "Scheduler: ilp (default) or asap." };
+    {
+      name = "delay";
+      arg = Some "MODEL";
+      doc = "Scheduling delay model: 'default', 'physical', or 'uniform:NS'.";
+    };
+    {
+      name = "cycle-time";
+      arg = Some "NS";
+      doc = "Target cycle time in nanoseconds (default: the core's base period).";
+    };
+    {
+      name = "no-hazard-handling";
+      arg = None;
+      doc = "Drop the decoupled-mode scoreboard (the Table 4 ablation row).";
+    };
+    {
+      name = "jobs";
+      arg = Some "N";
+      doc = "Worker domains for batch compiles (default 1 = sequential).";
+    };
+    { name = "no-cache"; arg = None; doc = "Disable artifact retention: every compile runs cold." };
+    {
+      name = "cache-capacity";
+      arg = Some "N";
+      doc = "Maximum entries per artifact store (default 512, LRU beyond).";
+    };
+  ]
+
+type t = {
+  scheduler : Sched_build.scheduler;
+  delay : Delay_model.spec;
+  cycle_time : float option;
+  hazard_handling : bool;
+  jobs : int;
+  cache_enabled : bool;
+  cache_capacity : int option;
+}
+
+let default =
+  {
+    scheduler = Sched_build.Ilp;
+    delay = Delay_model.Default;
+    cycle_time = None;
+    hazard_handling = true;
+    jobs = 1;
+    cache_enabled = true;
+    cache_capacity = None;
+  }
+
+let err fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let set t name value =
+  match (name, value) with
+  | "scheduler", Some "ilp" -> Ok { t with scheduler = Sched_build.Ilp }
+  | "scheduler", Some "asap" -> Ok { t with scheduler = Sched_build.Asap }
+  | "scheduler", Some v -> err "--scheduler expects 'ilp' or 'asap', got '%s'" v
+  | "delay", Some "default" -> Ok { t with delay = Delay_model.Default }
+  | "delay", Some "physical" -> Ok { t with delay = Delay_model.Physical }
+  | "delay", Some v when String.length v > 8 && String.sub v 0 8 = "uniform:" -> (
+      let ns = String.sub v 8 (String.length v - 8) in
+      match float_of_string_opt ns with
+      | Some f when f > 0.0 -> Ok { t with delay = Delay_model.Uniform f }
+      | _ -> err "--delay uniform:NS expects a positive number of ns, got '%s'" ns)
+  | "delay", Some v -> err "--delay expects 'default', 'physical' or 'uniform:NS', got '%s'" v
+  | "cycle-time", Some v -> (
+      match float_of_string_opt v with
+      | Some f when f > 0.0 -> Ok { t with cycle_time = Some f }
+      | _ -> err "--cycle-time expects a positive number of ns, got '%s'" v)
+  | "no-hazard-handling", None -> Ok { t with hazard_handling = false }
+  | "jobs", Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 -> Ok { t with jobs = n }
+      | _ -> err "--jobs expects an integer >= 1, got '%s'" v)
+  | "no-cache", None -> Ok { t with cache_enabled = false }
+  | "cache-capacity", Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok { t with cache_capacity = Some n }
+      | _ -> err "--cache-capacity expects a non-negative integer, got '%s'" v)
+  | name, Some _ -> err "--%s does not take a value" name
+  | name, None -> err "--%s requires a value" name
+
+let find_spec name = List.find_opt (fun s -> s.name = name) specs
+
+let is_flag_like a = String.length a >= 2 && String.sub a 0 2 = "--"
+
+(* "--name=value" -> (name, Some value); "--name" -> (name, None) *)
+let split_flag a =
+  let body = String.sub a 2 (String.length a - 2) in
+  match String.index_opt body '=' with
+  | None -> (body, None)
+  | Some i ->
+      (String.sub body 0 i, Some (String.sub body (i + 1) (String.length body - i - 1)))
+
+let parse t args =
+  let rec go t leftovers = function
+    | [] -> Ok (t, List.rev leftovers)
+    | a :: rest when is_flag_like a -> (
+        let name, inline = split_flag a in
+        match find_spec name with
+        | None -> go t (a :: leftovers) rest
+        | Some spec -> (
+            let value, rest =
+              match (spec.arg, inline) with
+              | None, v -> (v, rest) (* bare flag; an inline value errors in [set] *)
+              | Some _, Some v -> (Some v, rest)
+              | Some _, None -> (
+                  match rest with
+                  | v :: rest' when not (is_flag_like v) -> (Some v, rest')
+                  | _ -> (None, rest))
+            in
+            match set t name value with
+            | Ok t -> go t leftovers rest
+            | Error e -> Error e))
+    | a :: rest -> go t (a :: leftovers) rest
+  in
+  go t [] args
+
+let knobs t =
+  {
+    Flow.k_scheduler = t.scheduler;
+    k_delay = t.delay;
+    k_cycle_time = t.cycle_time;
+    k_hazard_handling = t.hazard_handling;
+  }
+
+let session t = Flow.create_session ?capacity:t.cache_capacity ~enabled:t.cache_enabled ()
+
+let request ?session:s ?obs t =
+  let session = match s with Some s -> s | None -> session t in
+  Flow.Request.make ~knobs:(knobs t) ~session ?obs ~jobs:t.jobs ()

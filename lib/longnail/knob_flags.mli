@@ -1,0 +1,53 @@
+(** The shared command-line surface for the scheduling knobs, the cache
+    controls and the parallel driver — one table of flag specs with one
+    parser, used by both the [longnail] CLI (bridged into cmdliner
+    terms) and the bench harness (fed the raw argv), so the two front
+    ends cannot drift apart.
+
+    Flags:
+    {v
+    --scheduler KIND        ilp (default) or asap
+    --delay MODEL           default, physical, or uniform:NS
+    --cycle-time NS         target cycle time (default: the core's period)
+    --no-hazard-handling    drop the decoupled-mode scoreboard
+    --jobs N                worker domains for batch compiles (default 1)
+    --no-cache              disable artifact retention
+    --cache-capacity N      max entries per artifact store
+    v} *)
+
+(** One flag: [arg = None] is a bare flag, [Some docv] takes a value. *)
+type spec = { name : string; arg : string option; doc : string }
+
+val specs : spec list
+
+(** Accumulated settings (start from {!default}, fold {!set}). *)
+type t = {
+  scheduler : Sched_build.scheduler;
+  delay : Delay_model.spec;
+  cycle_time : float option;
+  hazard_handling : bool;
+  jobs : int;
+  cache_enabled : bool;
+  cache_capacity : int option;
+}
+
+val default : t
+
+val set : t -> string -> string option -> (t, string) result
+(** [set t name value] applies one flag (name without the leading
+    [--]); [Error] carries a user-facing usage message. *)
+
+val parse : t -> string list -> (t * string list, string) result
+(** Consume every recognized [--name VALUE] / [--name=VALUE] / bare
+    [--name] from the argument list, returning the settings and the
+    remaining arguments in their original order. Unrecognized arguments
+    (including unknown [--] flags) are left for the caller's own parser;
+    a recognized flag with a missing or malformed value is an [Error]. *)
+
+val knobs : t -> Flow.knobs
+val session : t -> Flow.session
+(** A session honoring [--no-cache] / [--cache-capacity]. *)
+
+val request : ?session:Flow.session -> ?obs:Obs.scope -> t -> Flow.Request.t
+(** The {!Flow.Request.t} these settings describe; creates {!session}
+    when none is supplied. *)

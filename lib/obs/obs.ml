@@ -61,6 +61,13 @@ let span (s : scope) name (f : scope -> 'a) : 'a =
 let span_opt (s : scope option) name (f : scope option -> 'a) : 'a =
   match s with None -> f None | Some s -> span s name (fun c -> f (Some c))
 
+(* Graft an independently recorded (finished) span tree under the
+   scope's current span. This is how the parallel driver merges
+   per-worker scopes deterministically: each worker records into its
+   own scope (scopes are single-domain cursors, never shared), and the
+   joining domain attaches the finished roots in task order. *)
+let attach (s : scope) (sp : span) = s.current.sp_children <- sp :: s.current.sp_children
+
 (* ---- metrics ---- *)
 
 let set_metric (s : scope) key m =

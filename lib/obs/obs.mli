@@ -34,6 +34,14 @@ val span : scope -> string -> (scope -> 'a) -> 'a
 val span_opt : scope option -> string -> (scope option -> 'a) -> 'a
 (** Optional-scope variant: with [None] just runs the function. *)
 
+val attach : scope -> span -> unit
+(** [attach s sp] grafts an independently recorded span tree as the next
+    child of the scope's current span. Scopes are single-domain cursors
+    and must never be shared across domains; parallel work records into
+    one fresh ({!create}d, {!finish}ed) scope per task and the joining
+    domain merges the roots in task order with [attach] — the resulting
+    tree shape is deterministic regardless of worker scheduling. *)
+
 (** {2 Metrics} *)
 
 val metric_int : scope -> string -> int -> unit

@@ -1,0 +1,103 @@
+(* A fixed-size Domain-based task pool with a mutex/condition work
+   queue. One-shot: [run] spawns its workers, drains the queue, joins
+   them, and re-raises the lowest-index task failure, so results (and
+   errors) are independent of worker scheduling.
+
+   The queue is deliberately simple: every task is enqueued before the
+   first worker starts, workers pull under the pool mutex and park on
+   the condition only in the (brief) window where the queue is empty
+   but the batch is not yet closed. Results are written into a
+   per-index slot array; Domain.join publishes them to the caller, so
+   no other synchronization is needed on the result side. *)
+
+exception Nested_parallelism
+
+let available_workers () = Domain.recommended_domain_count ()
+
+(* Nested-join rejection: a fixed pool that blocks on its own join from
+   inside a worker can deadlock, so parallel regions must not nest.
+   The flag lives in domain-local storage — fresh worker domains start
+   inside a region; the calling domain never does. *)
+let in_worker_key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let in_worker () = Domain.DLS.get in_worker_key
+
+type 'a outcome =
+  | Absent
+  | Value of 'a
+  | Raised of exn * Printexc.raw_backtrace
+
+type queue = {
+  m : Mutex.t;
+  nonempty : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable closed : bool;
+}
+
+let pop q =
+  Mutex.lock q.m;
+  let rec take () =
+    match Queue.take_opt q.tasks with
+    | Some t -> Some t
+    | None ->
+        if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.m;
+          take ()
+        end
+  in
+  let t = take () in
+  Mutex.unlock q.m;
+  t
+
+let run ~jobs tasks =
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then Array.to_list (Array.map (fun f -> f ()) tasks)
+  else begin
+    if in_worker () then raise Nested_parallelism;
+    let results = Array.make n Absent in
+    let q =
+      { m = Mutex.create (); nonempty = Condition.create (); tasks = Queue.create (); closed = false }
+    in
+    Mutex.lock q.m;
+    Array.iteri
+      (fun i f ->
+        Queue.add
+          (fun () ->
+            results.(i) <-
+              (match f () with
+              | v -> Value v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())))
+          q.tasks)
+      tasks;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.m;
+    let worker () =
+      Domain.DLS.set in_worker_key true;
+      let rec loop () =
+        match pop q with
+        | Some t ->
+            t ();
+            loop ()
+        | None -> ()
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    (* join: surface the lowest-index failure, like a sequential run *)
+    Array.iter
+      (function Raised (e, bt) -> Printexc.raise_with_backtrace e bt | _ -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Value v -> v
+           | Absent | Raised _ -> invalid_arg "Par.run: worker left a result slot empty")
+         results)
+  end
+
+let map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)

@@ -1,0 +1,41 @@
+(** A small dependency-free Domain-based task pool (docs/PARALLELISM.md).
+
+    [run ~jobs tasks] executes the thunks on a fixed set of worker
+    domains fed from a mutex/condition work queue and returns the
+    results {e in task order} — the caller cannot observe scheduling:
+    output ordering, and which exception surfaces, are deterministic.
+
+    Exceptions raised by tasks are captured per task (with their
+    backtraces) and re-raised at the join point; when several tasks
+    fail, the {e lowest-index} failure is re-raised, so error reporting
+    matches what a sequential left-to-right run would have surfaced
+    first.
+
+    Nested parallel regions are rejected: calling {!run} with
+    [jobs > 1] from inside a worker raises {!Nested_parallelism}
+    (blocking a fixed-size pool on its own join is a deadlock by
+    construction). [jobs <= 1] always executes inline on the calling
+    domain — including inside a worker — so sequential fallbacks
+    compose freely. *)
+
+exception Nested_parallelism
+(** Raised when a parallel [run ~jobs:(>1)] is started from inside a
+    worker domain of another parallel region. *)
+
+val available_workers : unit -> int
+(** The host's recommended domain count — the natural upper bound for
+    [jobs] ([Domain.recommended_domain_count]). *)
+
+val in_worker : unit -> bool
+(** [true] while executing inside a pool worker (used by callers that
+    must choose a sequential fallback rather than trip
+    {!Nested_parallelism}). *)
+
+val run : jobs:int -> (unit -> 'a) list -> 'a list
+(** [run ~jobs tasks] runs every thunk and returns the results in task
+    order. [jobs] is clamped to [1 .. length tasks]; with an effective
+    worker count of 1 (or an empty / singleton task list) everything
+    runs inline on the calling domain and no domain is spawned. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs = run ~jobs (List.map (fun x () -> f x) xs)]. *)
