@@ -264,7 +264,7 @@ let perf () =
    The span trees are validated (no empty or non-finite metrics) before
    anything is written, so a corrupted run exits nonzero and CI fails. *)
 
-let profile_one (core : Scaiev.Datasheet.t) (e : Isax.Registry.entry) =
+let profile_one ?(verify_each = false) (core : Scaiev.Datasheet.t) (e : Isax.Registry.entry) =
   let obs = Obs.create ~name:"compile" () in
   (* a fresh session per target: the baseline measures the cold path, and
      every target carries the identical (all-miss) cache-counter schema *)
@@ -289,7 +289,7 @@ let profile_one (core : Scaiev.Datasheet.t) (e : Isax.Registry.entry) =
   in
   (* through the batch driver (one target, jobs=1) so the baseline schema
      matches the CLI's --profile output: parallel_compile + target:* spans *)
-  let request = Longnail.Flow.Request.make ~session:psession ~obs () in
+  let request = Longnail.Flow.Request.make ~session:psession ~obs ~verify_each () in
   ignore (Longnail.Flow.compile_many ~request [ (core, tu) ]);
   Obs.finish obs;
   let sp = Obs.root obs in
@@ -351,7 +351,7 @@ let dse_sweep_json () =
    always present — CI greps for it — but only meaningful when the host
    actually has spare cores; [--assert-par-equal] turns a byte
    divergence into a fatal error. *)
-let par_json ~jobs ~assert_equal () =
+let par_json ~jobs ?(verify_each = false) ~assert_equal () =
   let targets =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
@@ -361,7 +361,7 @@ let par_json ~jobs ~assert_equal () =
   in
   let compile_all jobs =
     let psession = Longnail.Flow.create_session () in
-    let request = Longnail.Flow.Request.make ~session:psession ~jobs () in
+    let request = Longnail.Flow.Request.make ~session:psession ~jobs ~verify_each () in
     let t0 = Unix.gettimeofday () in
     let cs = Longnail.Flow.compile_many ~request targets in
     ((Unix.gettimeofday () -. t0) *. 1000.0, cs)
@@ -385,14 +385,38 @@ let par_json ~jobs ~assert_equal () =
     "\"par\":{\"jobs\":%d,\"host_cores\":%d,\"targets\":%d,\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.2f,\"bytes_equal\":%b}"
     jobs (Par.available_workers ()) (List.length targets) seq_ms par_ms speedup bytes_equal
 
-let perf_json ~jobs ~assert_par_equal ~json_path ~schema_path () =
+(* Static-analysis timing: run the W1xxx linter over every bundled ISAX
+   and report per-unit wall time and warning counts. The total count is
+   the same figure the CI lint gate pins via docs/LINT_GOLDEN.txt. *)
+let lint_json () =
+  let entries =
+    List.map
+      (fun (e : Isax.Registry.entry) ->
+        let tu = Isax.Registry.compile e in
+        let t0 = Unix.gettimeofday () in
+        let warnings = Analysis.Lint.lint_unit tu in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        (e.name, List.length warnings, ms))
+      Isax.Registry.all
+  in
+  let total = List.fold_left (fun n (_, w, _) -> n + w) 0 entries in
+  let total_ms = List.fold_left (fun t (_, _, ms) -> t +. ms) 0.0 entries in
+  Printf.sprintf "\"lint\":{\"units\":[%s],\"warnings\":%d,\"total_ms\":%.3f}"
+    (String.concat ","
+       (List.map
+          (fun (name, w, ms) ->
+            Printf.sprintf "{\"isax\":\"%s\",\"warnings\":%d,\"ms\":%.3f}" name w ms)
+          entries))
+    total total_ms
+
+let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_path () =
   let results =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
         List.map
           (fun (e : Isax.Registry.entry) ->
             Printf.eprintf "profiling %s on %s...\n%!" e.name core.core_name;
-            (e.name, core.core_name, profile_one core e))
+            (e.name, core.core_name, profile_one ~verify_each core e))
           Isax.Registry.all)
       Scaiev.Datasheet.all_cores
   in
@@ -415,12 +439,15 @@ let perf_json ~jobs ~assert_par_equal ~json_path ~schema_path () =
   Printf.eprintf "running warm-vs-cold DSE sweep...\n%!";
   let sweep_json = dse_sweep_json () in
   Printf.eprintf "running parallel-vs-sequential grid (jobs=%d)...\n%!" jobs;
-  let parallel_json = par_json ~jobs ~assert_equal:assert_par_equal () in
+  let parallel_json = par_json ~jobs ~verify_each ~assert_equal:assert_par_equal () in
+  Printf.eprintf "linting bundled ISAXes...\n%!";
+  let linting_json = lint_json () in
   let b = Buffer.create (64 * 1024) in
   Buffer.add_string b "{\"schema_version\":1,";
   Buffer.add_string b "\"tool\":\"bench/main.exe perf --json\",";
   Buffer.add_string b (sweep_json ^ ",");
   Buffer.add_string b (parallel_json ^ ",");
+  Buffer.add_string b (linting_json ^ ",");
   Buffer.add_string b "\"targets\":[";
   List.iteri
     (fun i (isax, core, sp) ->
@@ -719,7 +746,8 @@ let main () =
         (fun n ->
           match (n, json) with
           | "perf", Some json_path ->
-              perf_json ~jobs:kf.Longnail.Knob_flags.jobs ~assert_par_equal ~json_path
+              perf_json ~jobs:kf.Longnail.Knob_flags.jobs
+                ~verify_each:kf.Longnail.Knob_flags.verify_each ~assert_par_equal ~json_path
                 ~schema_path:schema ()
           | _ -> (List.assoc n all_targets) ())
         names);

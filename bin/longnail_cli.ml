@@ -393,6 +393,96 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(ret (const run $ error_format_arg $ core_arg $ name_arg $ out_arg))
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let input =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"CoreDSL input file to lint (requires $(b,--target)).")
+  in
+  let target =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "target" ] ~docv:"NAME" ~doc:"InstructionSet or Core to elaborate.")
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "n"; "name" ] ~docv:"ISAX" ~doc:"Lint one bundled ISAX.")
+  in
+  let all_bundled =
+    Arg.(
+      value & flag
+      & info [ "all-bundled" ] ~doc:"Lint every bundled ISAX (the CI lint gate runs this).")
+  in
+  let werror =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Treat warnings as errors: exit 1 when any warning fires.")
+  in
+  let run efmt input target name all werror =
+    error_format := efmt;
+    let compile_file file tgt =
+      let src = read_file file in
+      match
+        Coredsl.compile_result ~provider:Isax.Registry.provider ~file ~target:tgt src
+      with
+      | Ok tu -> tu
+      | Error ds -> raise (Diag.Fatal ds)
+    in
+    let units =
+      match (all, name, input) with
+      | true, None, None ->
+          List.map
+            (fun (e : Isax.Registry.entry) -> (e.name, Isax.Registry.compile e))
+            Isax.Registry.all
+      | false, Some n, None -> (
+          match Isax.Registry.find n with
+          | Some e -> [ (e.name, Isax.Registry.compile e) ]
+          | None -> Diag.fatalf ~code:"E0202" "unknown ISAX '%s'" n)
+      | false, None, Some file -> (
+          match target with
+          | Some tgt -> [ (Filename.basename file, compile_file file tgt) ]
+          | None -> Diag.fatalf ~code:"E0902" "lint FILE requires --target NAME")
+      | false, None, None ->
+          Diag.fatalf ~code:"E0902" "nothing to lint: give FILE --target, --name, or --all-bundled"
+      | _ ->
+          Diag.fatalf ~code:"E0902"
+            "conflicting lint inputs: FILE, --name and --all-bundled are mutually exclusive"
+    in
+    let results =
+      List.map
+        (fun (label, tu) ->
+          let ds = Analysis.Lint.lint_unit tu in
+          (label, if werror then Analysis.Lint.promote ds else ds))
+        units
+    in
+    let total = List.fold_left (fun n (_, ds) -> n + List.length ds) 0 results in
+    (match !error_format with
+    | `Json -> print_endline (Diag.to_json (List.concat_map snd results))
+    | `Text ->
+        List.iter
+          (fun (label, ds) ->
+            Printf.printf "== lint %s: %d warning%s ==\n" label (List.length ds)
+              (if List.length ds = 1 then "" else "s");
+            if ds <> [] then Format.printf "%a@." Diag.render_all ds)
+          results);
+    if werror && total > 0 then exit 1;
+    `Ok ()
+  in
+  let doc =
+    "Lint CoreDSL descriptions: dataflow-based W1xxx warnings (dead assignments, unused \
+     fields/registers, provably-constant conditions, oversized shifts, uninitialized reads, \
+     state-free instructions)."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      ret (const run $ error_format_arg $ input $ target $ name_arg $ all_bundled $ werror))
+
 (* ---- diag: diagnostics utilities ---- *)
 
 let diag_cmd =
@@ -427,7 +517,7 @@ let () =
   let info = Cmd.info "longnail" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd; diag_cmd ]
+      [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd; lint_cmd; diag_cmd ]
   in
   match Cmd.eval_value ~catch:false group with
   | Ok (`Ok () | `Version | `Help) -> exit 0

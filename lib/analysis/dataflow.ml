@@ -1,0 +1,379 @@
+(* Fixed-point dataflow over MIR graphs (see the .mli).
+
+   The engine indexes the graph once (value -> defining op, value -> using
+   ops), seeds the worklist with every op, and applies the transfer
+   function until no fact changes. Facts default to [df_init] until first
+   written, so sparse analyses pay only for the values they touch. *)
+
+open Ir.Mir
+module Bn = Bitvec.Bn
+
+type direction = Forward | Backward
+
+type 'f spec = {
+  df_name : string;
+  df_direction : direction;
+  df_init : value -> 'f;
+  df_transfer : op -> fact:(value -> 'f) -> (value * 'f) list;
+  df_join : 'f -> 'f -> 'f;
+  df_equal : 'f -> 'f -> bool;
+}
+
+type 'f result = { fact_of : value -> 'f; iterations : int }
+
+exception Diverged of string
+
+let run (spec : 'f spec) (g : graph) : 'f result =
+  let ops = Array.of_list (all_ops g) in
+  let n = Array.length ops in
+  let facts : (int, 'f) Hashtbl.t = Hashtbl.create (2 * n) in
+  let fact (v : value) =
+    match Hashtbl.find_opt facts v.vid with Some f -> f | None -> spec.df_init v
+  in
+  (* dependency indices: which op defines / which ops use each value *)
+  let def_idx : (int, int) Hashtbl.t = Hashtbl.create n in
+  let use_idx : (int, int list) Hashtbl.t = Hashtbl.create n in
+  Array.iteri
+    (fun i (o : op) ->
+      List.iter (fun r -> Hashtbl.replace def_idx r.vid i) o.results;
+      List.iter
+        (fun v ->
+          Hashtbl.replace use_idx v.vid
+            (i :: Option.value ~default:[] (Hashtbl.find_opt use_idx v.vid)))
+        o.operands)
+    ops;
+  let in_queue = Array.make (max n 1) false in
+  let q = Queue.create () in
+  let enqueue i =
+    if not in_queue.(i) then begin
+      in_queue.(i) <- true;
+      Queue.add i q
+    end
+  in
+  (match spec.df_direction with
+  | Forward -> for i = 0 to n - 1 do enqueue i done
+  | Backward -> for i = n - 1 downto 0 do enqueue i done);
+  (* any monotone analysis on these lattices converges well within
+     O(ops * values); beyond that the transfer function is broken *)
+  let budget = 64 * (n + 1) * (n + 1) in
+  let iterations = ref 0 in
+  while not (Queue.is_empty q) do
+    let i = Queue.take q in
+    in_queue.(i) <- false;
+    incr iterations;
+    if !iterations > budget then
+      raise
+        (Diverged
+           (Printf.sprintf "%s did not converge on %s after %d transfers" spec.df_name
+              g.gname !iterations));
+    List.iter
+      (fun ((v : value), f) ->
+        let old = fact v in
+        let joined = spec.df_join old f in
+        if not (spec.df_equal old joined) then begin
+          Hashtbl.replace facts v.vid joined;
+          match spec.df_direction with
+          | Forward ->
+              List.iter enqueue (Option.value ~default:[] (Hashtbl.find_opt use_idx v.vid))
+          | Backward -> (
+              match Hashtbl.find_opt def_idx v.vid with Some d -> enqueue d | None -> ())
+        end)
+      (spec.df_transfer ops.(i) ~fact)
+  done;
+  { fact_of = fact; iterations = !iterations }
+
+(* ---- constant ranges ---- *)
+
+type range = { lo : Bn.t; hi : Bn.t }
+
+let bn_min a b = if Bn.compare a b <= 0 then a else b
+let bn_max a b = if Bn.compare a b >= 0 then a else b
+
+let range_of_ty (t : Bitvec.ty) = { lo = Bitvec.min_value_bn t; hi = Bitvec.max_value_bn t }
+
+let range_exact r = if Bn.equal r.lo r.hi then Some r.lo else None
+
+(* clamp a computed interval into what the result type can represent *)
+let clamp (t : Bitvec.ty) r =
+  let full = range_of_ty t in
+  let lo = bn_max r.lo full.lo and hi = bn_min r.hi full.hi in
+  if Bn.compare lo hi > 0 then full else { lo; hi }
+
+let rjoin a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some { lo = bn_min a.lo b.lo; hi = bn_max a.hi b.hi }
+
+let requal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Bn.equal a.lo b.lo && Bn.equal a.hi b.hi
+  | _ -> false
+
+let exact v = Some { lo = v; hi = v }
+
+(* decide a comparison from two intervals; [None] when undecidable *)
+let decide_cmp pred a b =
+  let lt_always = Bn.compare a.hi b.lo < 0 in
+  let ge_always = Bn.compare a.lo b.hi >= 0 in
+  let le_always = Bn.compare a.hi b.lo <= 0 in
+  let gt_always = Bn.compare a.lo b.hi > 0 in
+  let disjoint = Bn.compare a.hi b.lo < 0 || Bn.compare b.hi a.lo < 0 in
+  let same_singleton =
+    Bn.equal a.lo a.hi && Bn.equal b.lo b.hi && Bn.equal a.lo b.lo
+  in
+  match pred with
+  | `Eq -> if same_singleton then Some true else if disjoint then Some false else None
+  | `Ne -> if same_singleton then Some false else if disjoint then Some true else None
+  | `Lt -> if lt_always then Some true else if ge_always then Some false else None
+  | `Le -> if le_always then Some true else if gt_always then Some false else None
+  | `Gt -> if gt_always then Some true else if le_always then Some false else None
+  | `Ge -> if ge_always then Some true else if lt_always then Some false else None
+
+let bool_range = function
+  | Some true -> exact Bn.one
+  | Some false -> exact Bn.zero
+  | None -> Some { lo = Bn.zero; hi = Bn.one }
+
+(* interval arithmetic helpers (exact on math integers) *)
+let radd a b = { lo = Bn.add a.lo b.lo; hi = Bn.add a.hi b.hi }
+let rsub a b = { lo = Bn.sub a.lo b.hi; hi = Bn.sub a.hi b.lo }
+
+let rmul a b =
+  let ps = [ Bn.mul a.lo b.lo; Bn.mul a.lo b.hi; Bn.mul a.hi b.lo; Bn.mul a.hi b.hi ] in
+  {
+    lo = List.fold_left bn_min (List.hd ps) (List.tl ps);
+    hi = List.fold_left bn_max (List.hd ps) (List.tl ps);
+  }
+
+let nonneg r = Bn.compare r.lo Bn.zero >= 0
+
+(* shift amounts: a sane clamp — any amount beyond 4096 behaves like 4096
+   for interval purposes (the operand width is far smaller) *)
+let amt_int bn = match Bn.to_int_opt bn with Some k when k >= 0 -> min k 4096 | _ -> 4096
+
+let rshl a b =
+  if nonneg a && nonneg b then
+    Some { lo = Bn.shift_left a.lo (amt_int b.lo); hi = Bn.shift_left a.hi (amt_int b.hi) }
+  else None
+
+let rshr a b =
+  if nonneg a && nonneg b then
+    Some { lo = Bn.shift_right a.lo (amt_int b.hi); hi = Bn.shift_right a.hi (amt_int b.lo) }
+  else None
+
+(* wrap-checking: comb ops truncate; only keep the math interval when it
+   already fits the unsigned result type *)
+let comb_fit (t : Bitvec.ty) r =
+  let full = range_of_ty t in
+  if Bn.compare r.lo full.lo >= 0 && Bn.compare r.hi full.hi <= 0 then r else full
+
+let icmp_pred = function
+  | "eq" -> Some `Eq
+  | "ne" -> Some `Ne
+  | "lt" -> Some `Lt
+  | "le" -> Some `Le
+  | "gt" -> Some `Gt
+  | "ge" -> Some `Ge
+  | _ -> None
+
+let comb_icmp_pred name ~signed_ok =
+  (* s-variants compare patterns reinterpreted as signed: only decidable
+     from pattern intervals when both sign bits are provably clear *)
+  match name with
+  | "comb.icmp_eq" -> Some `Eq
+  | "comb.icmp_ne" -> Some `Ne
+  | "comb.icmp_ult" -> Some `Lt
+  | "comb.icmp_ule" -> Some `Le
+  | "comb.icmp_ugt" -> Some `Gt
+  | "comb.icmp_uge" -> Some `Ge
+  | "comb.icmp_slt" when signed_ok -> Some `Lt
+  | "comb.icmp_sle" when signed_ok -> Some `Le
+  | "comb.icmp_sgt" when signed_ok -> Some `Gt
+  | "comb.icmp_sge" when signed_ok -> Some `Ge
+  | _ -> None
+
+let ranges_compute (op : op) ~(fact : value -> range option) (r : value) : range option =
+  let ty = r.vty in
+  let top = Some (range_of_ty ty) in
+  let operand i = List.nth op.operands i in
+  let f i = fact (operand i) in
+  let lift2 k =
+    match (f 0, f 1) with
+    | Some a, Some b -> Some (clamp ty (k a b))
+    | _ -> None  (* bottom in, bottom out *)
+  in
+  let lift2_opt k =
+    match (f 0, f 1) with
+    | Some a, Some b -> (
+        match k a b with Some r -> Some (clamp ty r) | None -> top)
+    | _ -> None
+  in
+  let comb2 k =
+    match (f 0, f 1) with
+    | Some a, Some b -> Some (comb_fit ty (k a b))
+    | _ -> None
+  in
+  match op.opname with
+  | "hw.constant" -> (
+      match attr_bv op "value" with Some c -> exact (Bitvec.to_bn c) | None -> top)
+  (* hwarith: the CoreDSL algebra never wraps, so interval math is exact *)
+  | "hwarith.add" -> lift2 radd
+  | "hwarith.sub" -> lift2 rsub
+  | "hwarith.mul" -> lift2 rmul
+  | "hwarith.band" ->
+      lift2_opt (fun a b ->
+          if nonneg a && nonneg b then Some { lo = Bn.zero; hi = bn_min a.hi b.hi }
+          else None)
+  | "hwarith.shl" -> lift2_opt rshl
+  | "hwarith.shr" -> lift2_opt rshr
+  | "hwarith.cast" -> (
+      match f 0 with
+      | None -> None
+      | Some a ->
+          let full = range_of_ty ty in
+          if Bn.compare a.lo full.lo >= 0 && Bn.compare a.hi full.hi <= 0 then Some a
+          else top)
+  | "hwarith.mux" -> (
+      match (fact (operand 1), fact (operand 2)) with
+      | Some _, Some _ | Some _, None | None, Some _ ->
+          Option.map (clamp ty) (rjoin (fact (operand 1)) (fact (operand 2)))
+      | None, None -> None)
+  | "hwarith.icmp" -> (
+      match (attr_str op "predicate", f 0, f 1) with
+      | Some p, Some a, Some b -> (
+          match icmp_pred p with
+          | Some pred -> bool_range (decide_cmp pred a b)
+          | None -> bool_range None)
+      | Some _, _, _ -> None
+      | None, _, _ -> bool_range None)
+  | "hwarith.and" -> (
+      match (f 0, f 1) with
+      | Some a, Some b ->
+          if Bn.equal a.lo Bn.one && Bn.equal b.lo Bn.one then exact Bn.one
+          else if Bn.is_zero a.hi || Bn.is_zero b.hi then exact Bn.zero
+          else bool_range None
+      | _ -> None)
+  | "hwarith.or" -> (
+      match (f 0, f 1) with
+      | Some a, Some b ->
+          if Bn.equal a.lo Bn.one || Bn.equal b.lo Bn.one then exact Bn.one
+          else if Bn.is_zero a.hi && Bn.is_zero b.hi then exact Bn.zero
+          else bool_range None
+      | _ -> None)
+  (* comb: signless and wrapping — keep math intervals only when they fit *)
+  | "comb.add" -> comb2 radd
+  | "comb.mul" -> comb2 rmul
+  | "comb.sub" -> comb2 rsub
+  | "comb.and" ->
+      comb2 (fun a b ->
+          if nonneg a && nonneg b then { lo = Bn.zero; hi = bn_min a.hi b.hi }
+          else range_of_ty ty)
+  | "comb.or" -> comb2 (fun a b -> { lo = bn_max a.lo b.lo; hi = (range_of_ty ty).hi })
+  | "comb.shl" -> (
+      match (f 0, f 1) with
+      | Some a, Some b -> (
+          match rshl a b with Some r -> Some (comb_fit ty r) | None -> top)
+      | _ -> None)
+  | "comb.shru" -> (
+      match (f 0, f 1) with
+      | Some a, Some b -> (
+          match rshr a b with Some r -> Some (comb_fit ty r) | None -> top)
+      | _ -> None)
+  | "comb.mux" -> (
+      match (fact (operand 1), fact (operand 2)) with
+      | None, None -> None
+      | t, fl -> Option.map (clamp ty) (rjoin t fl))
+  | "comb.extract" -> (
+      match (f 0, attr_int op "lowBit") with
+      | None, _ -> None
+      | Some a, Some 0 -> Some (comb_fit ty a)
+      | Some a, Some lb -> (
+          match range_exact a with
+          | Some v when Bn.compare v Bn.zero >= 0 ->
+              exact (Bn.mod_pow2 (Bn.shift_right v lb) ty.Bitvec.width)
+          | _ -> top)
+      | Some _, None -> top)
+  | "comb.concat" ->
+      let ofacts = List.map fact op.operands in
+      if List.exists (fun f -> f = None) ofacts then None
+      else
+        let exacts =
+          List.map2
+            (fun f (v : value) ->
+              match Option.map range_exact f |> Option.join with
+              | Some e when Bn.compare e Bn.zero >= 0 -> Some (e, v.vty.Bitvec.width)
+              | _ -> None)
+            ofacts op.operands
+        in
+        if List.for_all Option.is_some exacts then
+          exact
+            (List.fold_left
+               (fun acc p ->
+                 let e, w = Option.get p in
+                 Bn.add (Bn.shift_left acc w) e)
+               Bn.zero exacts)
+        else top
+  | name when String.length name > 10 && String.sub name 0 10 = "comb.icmp_" -> (
+      match (f 0, f 1) with
+      | Some a, Some b ->
+          (* unsigned comparisons on pattern intervals are plain math;
+             signed ones additionally need provably-clear sign bits *)
+          let half = Bn.pow2 ((operand 0).vty.Bitvec.width - 1) in
+          let signed_ok =
+            nonneg a && nonneg b && Bn.compare a.hi half < 0 && Bn.compare b.hi half < 0
+          in
+          (match comb_icmp_pred name ~signed_ok with
+          | Some pred -> bool_range (decide_cmp pred a b)
+          | None -> bool_range None)
+      | _ -> None)
+  | _ ->
+      (* unmodeled op (division, xor, replicate, interface reads, ...):
+         all we know is the type range *)
+      top
+
+let ranges : range option spec =
+  {
+    df_name = "ranges";
+    df_direction = Forward;
+    df_init = (fun _ -> None);
+    df_transfer =
+      (fun op ~fact ->
+        List.map (fun (r : value) -> (r, ranges_compute op ~fact r)) op.results);
+    df_join = rjoin;
+    df_equal = requal;
+  }
+
+(* ---- liveness ---- *)
+
+let liveness : bool spec =
+  {
+    df_name = "liveness";
+    df_direction = Backward;
+    df_init = (fun _ -> false);
+    df_transfer =
+      (fun op ~fact ->
+        let live =
+          Ir.Passes.has_side_effect op || List.exists (fun r -> fact r) op.results
+        in
+        if live then List.map (fun v -> (v, true)) op.operands else []);
+    df_join = ( || );
+    df_equal = Bool.equal;
+  }
+
+(* ---- reaching writes ---- *)
+
+let reaching_writes (g : graph) : (string * op) list =
+  List.filter_map
+    (fun (op : op) ->
+      let state default = Option.value ~default (attr_str op "state") in
+      let space default = Option.value ~default (attr_str op "space") in
+      match op.opname with
+      | "coredsl.set" -> Some (state "?", op)
+      | "coredsl.store" -> Some (space "?", op)
+      | "lil.write_rd" -> Some ("X", op)
+      | "lil.write_pc" -> Some ("PC", op)
+      | "lil.write_custreg" -> Some (Option.value ~default:"?" (attr_str op "reg"), op)
+      | "lil.write_mem" -> Some (space "?", op)
+      | _ -> None)
+    (all_ops g)

@@ -1,0 +1,69 @@
+(** Fixed-point dataflow framework over MIR graphs.
+
+    A worklist engine computing one fact per SSA value. An analysis is a
+    {!spec}: the lattice (join/equal, with [init] as the per-value starting
+    element) plus a transfer function mapping one op's surrounding facts to
+    updated facts. Forward analyses re-enqueue the users of a changed
+    value; backward analyses re-enqueue its definer. The engine raises on
+    divergence (a transfer-count budget quadratic in the graph size), and
+    reports the number of transfer applications so tests can assert
+    convergence bounds.
+
+    Instances used by the linter (docs/ANALYSIS.md):
+    - {!ranges}: forward constant-range/known-bits intervals over both the
+      [hwarith] (non-wrapping) and [comb] (wrapping) algebras;
+    - {!liveness}: backward liveness seeded at side-effecting ops;
+    - {!reaching_writes}: the architectural-state writes a (straight-line)
+      graph performs, in op order. *)
+
+type direction = Forward | Backward
+
+type 'f spec = {
+  df_name : string;
+  df_direction : direction;
+  df_init : Ir.Mir.value -> 'f;  (** lattice bottom for this value *)
+  df_transfer :
+    Ir.Mir.op -> fact:(Ir.Mir.value -> 'f) -> (Ir.Mir.value * 'f) list;
+      (** new facts implied by one op under the current assignment *)
+  df_join : 'f -> 'f -> 'f;
+  df_equal : 'f -> 'f -> bool;
+}
+
+type 'f result = {
+  fact_of : Ir.Mir.value -> 'f;
+  iterations : int;  (** transfer-function applications until the fixpoint *)
+}
+
+exception Diverged of string
+(** Raised when the worklist exceeds its budget — a non-monotone or
+    ever-growing lattice. *)
+
+val run : 'f spec -> Ir.Mir.graph -> 'f result
+
+(** {2 Constant ranges} *)
+
+(** Inclusive numeric interval over math integers. *)
+type range = { lo : Bitvec.Bn.t; hi : Bitvec.Bn.t }
+
+val range_of_ty : Bitvec.ty -> range
+(** The full representable range of a type. *)
+
+val range_exact : range -> Bitvec.Bn.t option
+(** [Some v] when the interval pins a single value. *)
+
+val ranges : range option spec
+(** Forward interval analysis; [None] is bottom (no executions seen). *)
+
+(** {2 Liveness} *)
+
+val liveness : bool spec
+(** Backward: a value is live iff some transitive user has a side effect. *)
+
+(** {2 Reaching writes} *)
+
+val reaching_writes : Ir.Mir.graph -> (string * Ir.Mir.op) list
+(** The architectural-state writes of the graph in op order, as
+    [(state-or-space name, op)] — the degenerate straight-line form of a
+    reaching-definitions analysis (MIR graphs have no control flow).
+    Covers [coredsl.set]/[coredsl.store] at the HLIR level and the
+    [lil.write_*] interface ops at the LIL level. *)

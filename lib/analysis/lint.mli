@@ -1,0 +1,30 @@
+(** The CoreDSL linter: dataflow-backed W1xxx warnings over a typed unit.
+
+    Lints run per ISAX instruction / always-block (base RV32I instructions
+    are skipped unless [include_base] is set): the behavior is lowered to
+    HLIR and analyzed with the {!Dataflow} instances, plus a few direct
+    walks of the typed AST for properties the IR no longer exposes.
+
+    Catalog (docs/ANALYSIS.md):
+    - W1001 dead assignment — a computed value is never used;
+    - W1002 unused encoding field;
+    - W1003 unused architectural register;
+    - W1004 branch condition provably constant (range analysis);
+    - W1005 shift amount provably >= the operand width (range analysis);
+    - W1006 local read before any assignment;
+    - W1007 instruction writes no architectural state.
+
+    All diagnostics carry {!Diag.severity} [Warning]; [--werror] promotion
+    is the caller's business (see {!promote}). *)
+
+val lint_codes : (string * string) list
+(** Code/description pairs of every warning the linter can emit (the
+    [W1xxx] rows of {!Diag.all_codes}). *)
+
+val lint_unit : ?include_base:bool -> Coredsl.Tast.tunit -> Diag.t list
+(** All warnings for a unit, deterministically ordered: instructions in
+    declaration order (then ops in graph order), then always-blocks,
+    then functions, then unit-level register lints. *)
+
+val promote : Diag.t list -> Diag.t list
+(** Turn warnings into errors ([--werror]). *)

@@ -1,0 +1,36 @@
+(** Structural checks on an RTL netlist before SystemVerilog emission.
+
+    Complements [Rtl.Netlist.validate] (which raises stringly
+    [Netlist_error]s) with structured diagnostics carrying originating
+    CoreDSL provenance when available:
+    - E0520: a signal driven more than once (duplicate node outputs, or a
+      node shadowing an input port);
+    - E0521: a combinational cycle, reported with the full signal path;
+    - E0522: a referenced signal no node or input port defines.
+
+    Provenance maps a netlist signal name back to a source span; use
+    {!signal_provenance} over the LIL graph the hardware was generated
+    from (hwgen names signals ["v<id>"] / ["v<id>_s<stage>"] after the
+    defining SSA value). *)
+
+exception Netcheck_error of Diag.t
+
+val signal_provenance : Ir.Mir.graph -> string -> Diag.span option
+(** Resolve a hwgen signal name to the source span of the LIL op defining
+    the underlying SSA value, when the op recorded one. *)
+
+val check :
+  ?what:string ->
+  ?provenance:(string -> Diag.span option) ->
+  Rtl.Netlist.t ->
+  Diag.t list
+(** All structural violations, deterministically ordered (driver checks in
+    node order, then undefined signals, then cycles). [what] names the
+    functionality for the message (defaults to the module name). *)
+
+val verify :
+  ?what:string ->
+  ?provenance:(string -> Diag.span option) ->
+  Rtl.Netlist.t ->
+  unit
+(** Raise {!Netcheck_error} with the first violation of {!check}. *)

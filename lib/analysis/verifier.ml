@@ -1,0 +1,330 @@
+(* Dialect-aware structural verifier (see the .mli).
+
+   One signature per registered op describes its shape; [check] walks the
+   graph once for the SSA discipline and once per op for the shape rules.
+   The registry is deliberately exhaustive over the ops the lowerings can
+   emit: an op missing here is reported as unknown, which is exactly what
+   we want from a sanitizer that guards aggressive pass rewrites. *)
+
+open Ir.Mir
+
+type level = [ `Hlir | `Lil | `Any ]
+
+exception Verify_error of Diag.t
+
+let w (v : value) = v.vty.Bitvec.width
+
+let describe_op (op : op) =
+  let tys vs = String.concat ", " (List.map (fun v -> Bitvec.ty_to_string v.vty) vs) in
+  Printf.sprintf "op %d: %s : (%s) -> (%s)" op.oid op.opname (tys op.operands)
+    (tys op.results)
+
+(* ---- op signatures ---- *)
+
+type arity = Exact of int | Between of int * int | At_least of int
+
+let arity_ok a n =
+  match a with
+  | Exact k -> n = k
+  | Between (lo, hi) -> n >= lo && n <= hi
+  | At_least k -> n >= k
+
+let arity_to_string = function
+  | Exact k -> string_of_int k
+  | Between (lo, hi) -> Printf.sprintf "%d..%d" lo hi
+  | At_least k -> Printf.sprintf "at least %d" k
+
+(* required attribute kinds *)
+type akind = K_int | K_str | K_bv
+
+let akind_name = function K_int -> "integer" | K_str -> "string" | K_bv -> "bit-vector"
+
+let has_attr_kind op name = function
+  | K_int -> attr_int op name <> None
+  | K_str -> attr_str op name <> None
+  | K_bv -> attr_bv op name <> None
+
+type opsig = {
+  os_operands : arity;
+  os_results : int;
+  os_attrs : (string * akind) list;  (* required attributes *)
+  os_check : op -> string option;  (* extra width/value rules *)
+}
+
+let ok (_ : op) = None
+
+let sg ?(attrs = []) ?(check = ok) operands results =
+  { os_operands = operands; os_results = results; os_attrs = attrs; os_check = check }
+
+let sum_widths vs = List.fold_left (fun a v -> a + w v) 0 vs
+
+(* widths of both operands equal the result width (signless comb ops) *)
+let bin_same op =
+  match (op.operands, op.results) with
+  | [ a; b ], [ r ] when w a = w r && w b = w r -> None
+  | [ a; b ], [ r ] ->
+      Some
+        (Printf.sprintf "operand widths %d/%d must equal the result width %d" (w a) (w b)
+           (w r))
+  | _ -> None
+
+(* comparison: equal operand widths, 1-bit result *)
+let cmp_same op =
+  match (op.operands, op.results) with
+  | [ a; b ], [ r ] ->
+      if w a <> w b then
+        Some (Printf.sprintf "comparison operand widths %d and %d differ" (w a) (w b))
+      else if w r <> 1 then
+        Some (Printf.sprintf "comparison result must be 1 bit, not %d" (w r))
+      else None
+  | _ -> None
+
+let const_check op =
+  match (attr_bv op "value", op.results) with
+  | Some v, [ r ] when Bitvec.width v <> w r ->
+      Some
+        (Printf.sprintf "constant value width %d does not match result width %d"
+           (Bitvec.width v) (w r))
+  | _ -> None
+
+let icmp_predicates = [ "eq"; "ne"; "lt"; "le"; "gt"; "ge" ]
+
+let hl_icmp_check op =
+  match (attr_str op "predicate", op.results) with
+  | Some p, _ when not (List.mem p icmp_predicates) ->
+      Some (Printf.sprintf "unknown icmp predicate '%s'" p)
+  | _, [ r ] when w r <> 1 -> Some "icmp result must be 1 bit"
+  | _ -> None
+
+let bool_ops_check op =
+  match List.find_opt (fun v -> w v <> 1) (op.operands @ op.results) with
+  | Some v -> Some (Printf.sprintf "boolean op on a %d-bit value" (w v))
+  | None -> None
+
+let mux_check op =
+  match op.operands with
+  | c :: _ when w c <> 1 -> Some (Printf.sprintf "mux condition must be 1 bit, not %d" (w c))
+  | _ -> None
+
+let comb_mux_check op =
+  match (op.operands, op.results) with
+  | [ c; t; f ], [ r ] ->
+      if w c <> 1 then Some (Printf.sprintf "mux condition must be 1 bit, not %d" (w c))
+      else if w t <> w r || w f <> w r then
+        Some
+          (Printf.sprintf "mux arm widths %d/%d must equal the result width %d" (w t) (w f)
+             (w r))
+      else None
+  | _ -> None
+
+let concat_check op =
+  match op.results with
+  | [ r ] when sum_widths op.operands <> w r ->
+      Some
+        (Printf.sprintf "concatenated operand widths sum to %d, result is %d bits"
+           (sum_widths op.operands) (w r))
+  | _ -> None
+
+let hl_extract_check op =
+  match (attr_int op "width", op.results) with
+  | Some wd, [ r ] when wd <> w r ->
+      Some (Printf.sprintf "width attribute %d does not match result width %d" wd (w r))
+  | _ -> None
+
+let comb_extract_check op =
+  match (attr_int op "lowBit", op.operands, op.results) with
+  | Some lb, [ a ], [ r ] when lb < 0 || lb + w r > w a ->
+      Some
+        (Printf.sprintf "extract of bits [%d..%d] out of a %d-bit operand" lb
+           (lb + w r - 1) (w a))
+  | _ -> None
+
+let replicate_check op =
+  match (op.operands, op.results) with
+  | [ a ], [ r ] when w r = 0 || w r mod w a <> 0 ->
+      Some
+        (Printf.sprintf "replication result width %d is not a multiple of the operand \
+                         width %d" (w r) (w a))
+  | _ -> None
+
+let registry : (string * opsig) list =
+  let c2 = sg (Exact 2) 1 ~check:bin_same in
+  let cmp = sg (Exact 2) 1 ~check:cmp_same in
+  [
+    (* constants (shared by both levels) *)
+    ("hw.constant", sg (Exact 0) 1 ~attrs:[ ("value", K_bv) ] ~check:const_check);
+    (* hwarith: bitwidth-aware arithmetic (HLIR) *)
+    ("hwarith.add", sg (Exact 2) 1);
+    ("hwarith.sub", sg (Exact 2) 1);
+    ("hwarith.mul", sg (Exact 2) 1);
+    ("hwarith.div", sg (Exact 2) 1);
+    ("hwarith.rem", sg (Exact 2) 1);
+    ("hwarith.band", sg (Exact 2) 1);
+    ("hwarith.bor", sg (Exact 2) 1);
+    ("hwarith.bxor", sg (Exact 2) 1);
+    ("hwarith.shl", sg (Exact 2) 1);
+    ("hwarith.shr", sg (Exact 2) 1);
+    ("hwarith.not", sg (Exact 1) 1);
+    ("hwarith.cast", sg (Exact 1) 1);
+    ("hwarith.icmp", sg (Exact 2) 1 ~attrs:[ ("predicate", K_str) ] ~check:hl_icmp_check);
+    ("hwarith.and", sg (Exact 2) 1 ~check:bool_ops_check);
+    ("hwarith.or", sg (Exact 2) 1 ~check:bool_ops_check);
+    ("hwarith.mux", sg (Exact 3) 1 ~check:mux_check);
+    (* coredsl: architectural state and bit manipulation (HLIR) *)
+    ("coredsl.field", sg (Exact 0) 1 ~attrs:[ ("name", K_str) ]);
+    ("coredsl.get", sg (Between (0, 1)) 1 ~attrs:[ ("state", K_str) ]);
+    ("coredsl.set", sg (Between (1, 3)) 0 ~attrs:[ ("state", K_str) ]);
+    ("coredsl.load", sg (Between (1, 2)) 1 ~attrs:[ ("space", K_str); ("elems", K_int) ]);
+    ("coredsl.store", sg (Between (2, 3)) 0 ~attrs:[ ("space", K_str); ("elems", K_int) ]);
+    ("coredsl.rom", sg (Exact 1) 1 ~attrs:[ ("state", K_str) ]);
+    ("coredsl.concat", sg (Exact 2) 1 ~check:concat_check);
+    ("coredsl.extract", sg (Exact 2) 1 ~attrs:[ ("width", K_int) ] ~check:hl_extract_check);
+    (* comb: signless combinational logic (LIL) *)
+    ("comb.add", c2);
+    ("comb.sub", c2);
+    ("comb.mul", c2);
+    ("comb.and", c2);
+    ("comb.or", c2);
+    ("comb.xor", c2);
+    ("comb.divs", c2);
+    ("comb.divu", c2);
+    ("comb.mods", c2);
+    ("comb.modu", c2);
+    ("comb.shl", c2);
+    ("comb.shru", c2);
+    ("comb.shrs", c2);
+    ("comb.icmp_eq", cmp);
+    ("comb.icmp_ne", cmp);
+    ("comb.icmp_slt", cmp);
+    ("comb.icmp_ult", cmp);
+    ("comb.icmp_sle", cmp);
+    ("comb.icmp_ule", cmp);
+    ("comb.icmp_sgt", cmp);
+    ("comb.icmp_ugt", cmp);
+    ("comb.icmp_sge", cmp);
+    ("comb.icmp_uge", cmp);
+    ("comb.mux", sg (Exact 3) 1 ~check:comb_mux_check);
+    ("comb.extract", sg (Exact 1) 1 ~attrs:[ ("lowBit", K_int) ] ~check:comb_extract_check);
+    ("comb.replicate", sg (Exact 1) 1 ~check:replicate_check);
+    ("comb.concat", sg (At_least 1) 1 ~check:concat_check);
+    (* lil: explicit SCAIE-V sub-interface operations (LIL) *)
+    ("lil.instr_word", sg (Exact 0) 1);
+    ("lil.read_rs1", sg (Exact 0) 1);
+    ("lil.read_rs2", sg (Exact 0) 1);
+    ("lil.read_pc", sg (Exact 0) 1);
+    ("lil.read_custreg", sg (Exact 1) 1 ~attrs:[ ("reg", K_str) ]);
+    ("lil.rom", sg (Exact 1) 1 ~attrs:[ ("rom", K_str) ]);
+    ("lil.read_mem", sg (Between (1, 2)) 1 ~attrs:[ ("space", K_str); ("elems", K_int) ]);
+    ("lil.write_rd", sg (Between (1, 2)) 0);
+    ("lil.write_pc", sg (Between (1, 2)) 0);
+    ("lil.write_custreg", sg (Between (2, 3)) 0 ~attrs:[ ("reg", K_str) ]);
+    ("lil.write_mem", sg (Between (2, 3)) 0 ~attrs:[ ("space", K_str); ("elems", K_int) ]);
+    ("lil.sink", sg (Exact 0) 0);
+  ]
+
+(* ---- dialect levels ---- *)
+
+let dialect_of_opname name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let level_allows level dialect =
+  match level with
+  | `Hlir -> List.mem dialect [ "coredsl"; "hwarith"; "hw" ]
+  | `Lil -> List.mem dialect [ "lil"; "comb"; "hw" ]
+
+let level_name = function `Hlir -> "HLIR" | `Lil -> "LIL"
+
+let infer_level g =
+  let is_lil (op : op) =
+    match dialect_of_opname op.opname with "lil" | "comb" -> true | _ -> false
+  in
+  if List.exists is_lil (all_ops g) then `Lil else `Hlir
+
+(* ---- the check itself ---- *)
+
+let check ?(level = `Any) (g : graph) : Diag.t list =
+  let level = match level with `Any -> infer_level g | (`Hlir | `Lil) as l -> l in
+  let out = ref [] in
+  let violation ~code (op : op) fmt =
+    Format.kasprintf
+      (fun msg ->
+        out :=
+          Diag.make ~code ?span:op.oloc
+            (Printf.sprintf "IR verifier: %s in %s: %s" op.opname g.gname msg)
+            ~notes:[ "offending " ^ describe_op op ]
+          :: !out)
+      fmt
+  in
+  let shape op fmt = violation ~code:"E0510" op fmt in
+  let ssa op fmt = violation ~code:"E0511" op fmt in
+  (* SSA discipline: single def, def before use, operand type = def type *)
+  let defined : (int, value) Hashtbl.t = Hashtbl.create 64 in
+  let rec ssa_walk body =
+    List.iter
+      (fun (op : op) ->
+        List.iter
+          (fun v ->
+            match Hashtbl.find_opt defined v.vid with
+            | None -> ssa op "uses value %%%d before (or without) its definition" v.vid
+            | Some def ->
+                if not (Bitvec.ty_equal def.vty v.vty) then
+                  ssa op "operand %%%d has type %s but was defined with type %s" v.vid
+                    (Bitvec.ty_to_string v.vty) (Bitvec.ty_to_string def.vty))
+          op.operands;
+        List.iter
+          (fun r ->
+            if Hashtbl.mem defined r.vid then ssa op "value %%%d is defined twice" r.vid
+            else Hashtbl.replace defined r.vid r)
+          op.results;
+        List.iter ssa_walk op.regions)
+      body
+  in
+  ssa_walk g.body;
+  (* per-op shape rules *)
+  List.iter
+    (fun (op : op) ->
+      let dialect = dialect_of_opname op.opname in
+      if not (level_allows level dialect) then
+        shape op "dialect '%s' is not allowed at the %s level" dialect (level_name level)
+      else
+        match List.assoc_opt op.opname registry with
+        | None -> shape op "unknown operation"
+        | Some s ->
+            if not (arity_ok s.os_operands (List.length op.operands)) then
+              shape op "expects %s operand(s), got %d" (arity_to_string s.os_operands)
+                (List.length op.operands);
+            if List.length op.results <> s.os_results then
+              shape op "expects %d result(s), got %d" s.os_results (List.length op.results);
+            if op.regions <> [] then shape op "unexpected nested region";
+            List.iter
+              (fun (name, kind) ->
+                if not (has_attr_kind op name kind) then
+                  shape op "missing required %s attribute '%s'" (akind_name kind) name)
+              s.os_attrs;
+            if
+              arity_ok s.os_operands (List.length op.operands)
+              && List.length op.results = s.os_results
+            then Option.iter (fun m -> shape op "%s" m) (s.os_check op))
+    (all_ops g);
+  (* LIL terminator invariant: exactly one lil.sink, last in the body *)
+  (if level = `Lil then
+     let sinks = List.filter (fun (o : op) -> o.opname = "lil.sink") (all_ops g) in
+     match List.rev g.body with
+     | [] ->
+         out :=
+           Diag.make ~code:"E0510"
+             (Printf.sprintf "IR verifier: lil graph %s is empty (missing lil.sink \
+                              terminator)" g.gname)
+           :: !out
+     | last :: _ ->
+         if last.opname <> "lil.sink" then
+           shape last "lil graph must end with the lil.sink terminator";
+         if List.length sinks <> 1 then
+           shape last "lil graph must contain exactly one lil.sink, found %d"
+             (List.length sinks));
+  List.rev !out
+
+let verify ?level g =
+  match check ?level g with [] -> () | d :: _ -> raise (Verify_error d)

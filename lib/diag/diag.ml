@@ -92,9 +92,23 @@ let all_codes =
     ("E0402", "core lacks required interface");
     ("E0501", "hardware generation error");
     ("E0502", "SCAIE-V integration error");
+    ("E0510", "malformed IR operation");
+    ("E0511", "SSA structure violation");
+    ("E0512", "pass produced invalid IR");
+    ("E0520", "netlist: multiple drivers");
+    ("E0521", "netlist: combinational cycle");
+    ("E0522", "netlist: undefined signal");
     ("E0601", "assembly error");
     ("E0901", "internal error");
     ("E0902", "conflicting compile options");
+    ("E0903", "lowering invariant violation");
+    ("W1001", "dead assignment: computed value is never used");
+    ("W1002", "unused encoding field");
+    ("W1003", "unused architectural register");
+    ("W1004", "branch condition is provably constant");
+    ("W1005", "shift amount provably >= operand width");
+    ("W1006", "local read before any assignment");
+    ("W1007", "instruction writes no architectural state");
   ]
 
 let describe code = List.assoc_opt code all_codes

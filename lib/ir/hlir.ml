@@ -24,6 +24,20 @@ exception Lower_error of Diag.t
 let lower_error ?span fmt =
   Format.kasprintf (fun m -> raise (Lower_error (Diag.make ?span ~code:"E0301" m))) fmt
 
+(* A lowering invariant the typechecker should have made unreachable was
+   violated: report which construct broke it instead of [assert false]. *)
+let internal_error ?span fmt =
+  Format.kasprintf
+    (fun m ->
+      raise
+        (Lower_error
+           (Diag.make ?span ~code:"E0903"
+              ~notes:
+                [ "this is a bug in the HLIR lowering, not in the source \
+                   program" ]
+              m)))
+    fmt
+
 let u w = Bitvec.unsigned_ty w
 let bool_ty = Bitvec.bool_ty
 
@@ -251,7 +265,10 @@ and lower_binop env (e : texpr) op a b =
       let pred =
         match op with
         | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Gt -> "gt" | Ge -> "ge"
-        | _ -> assert false
+        | _ ->
+            internal_error ?span:env.b.cur_loc
+              "no icmp predicate for binary operator '%s'"
+              (Coredsl.Tast.binop_name op)
       in
       add_op1 env.b "hwarith.icmp" [ va; vb ] bool_ty ~attrs:[ ("predicate", A_str pred) ]
   | Shl | Shr ->
@@ -265,7 +282,10 @@ and lower_binop env (e : texpr) op a b =
         | Add -> "hwarith.add" | Sub -> "hwarith.sub" | Mul -> "hwarith.mul"
         | Div -> "hwarith.div" | Rem -> "hwarith.rem"
         | And -> "hwarith.band" | Or -> "hwarith.bor" | Xor -> "hwarith.bxor"
-        | _ -> assert false
+        | _ ->
+            internal_error ?span:env.b.cur_loc
+              "no hwarith op for binary operator '%s'"
+              (Coredsl.Tast.binop_name op)
       in
       add_op1 env.b name [ va; vb ] e.tty
 

@@ -330,11 +330,13 @@ let graphs_equal a b =
    pass execution appears as a "pass:*" child span of the caller's scope,
    and the number of fold/cse rounds actually taken is recorded as the
    "fold_rounds" metric. *)
-let optimize_with_stats ?obs ?(fold_rounds = 4) (g : graph) : graph * pass_stat list =
+let optimize_with_stats ?obs ?verify_each ?(fold_rounds = 4) (g : graph) :
+    graph * pass_stat list =
   let stats = ref [] in
   let run name g =
     let g', st = run_pass ?obs (find_pass name) g in
     stats := st :: !stats;
+    (match verify_each with Some f -> f ~pass_name:name g' | None -> ());
     g'
   in
   let g = run "fold_constants" g in
@@ -360,5 +362,5 @@ let optimize_with_stats ?obs ?(fold_rounds = 4) (g : graph) : graph * pass_stat 
   | None -> ());
   (!g, List.rev !stats)
 
-let optimize ?obs ?fold_rounds (g : graph) : graph =
-  fst (optimize_with_stats ?obs ?fold_rounds g)
+let optimize ?obs ?verify_each ?fold_rounds (g : graph) : graph =
+  fst (optimize_with_stats ?obs ?verify_each ?fold_rounds g)

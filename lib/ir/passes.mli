@@ -42,10 +42,22 @@ val run_pass : ?obs:Obs.scope -> pass -> Mir.graph -> Mir.graph * pass_stat
     before/after op- and edge-counts. *)
 
 val optimize_with_stats :
-  ?obs:Obs.scope -> ?fold_rounds:int -> Mir.graph -> Mir.graph * pass_stat list
+  ?obs:Obs.scope ->
+  ?verify_each:(pass_name:string -> Mir.graph -> unit) ->
+  ?fold_rounds:int ->
+  Mir.graph ->
+  Mir.graph * pass_stat list
 (** The standard pipeline (fold + shift lowering, fold/cse to fixpoint
     bounded by [fold_rounds], then DCE), returning the per-pass trace in
     execution order. With [obs] set, also records ["pass:*"] spans plus a
-    ["fold_rounds"] rounds-to-fixpoint metric on the enclosing span. *)
+    ["fold_rounds"] rounds-to-fixpoint metric on the enclosing span. With
+    [verify_each] set, the callback runs on the result of every pass
+    execution (the [--verify-each] sanitizer hook) and may raise to abort
+    the pipeline, naming the offending pass. *)
 
-val optimize : ?obs:Obs.scope -> ?fold_rounds:int -> Mir.graph -> Mir.graph
+val optimize :
+  ?obs:Obs.scope ->
+  ?verify_each:(pass_name:string -> Mir.graph -> unit) ->
+  ?fold_rounds:int ->
+  Mir.graph ->
+  Mir.graph

@@ -42,6 +42,7 @@ let diag_of_stage_exn = function
       Some d
   | Ir.Mir.Verify_error m ->
       Some (Diag.make ~code:"E0901" ("internal: IR verification failed: " ^ m))
+  | Analysis.Verifier.Verify_error d | Analysis.Netcheck.Netcheck_error d -> Some d
   | Sched.Problem.Problem_error m -> Some (Diag.make ~code:"E0901" ("internal: " ^ m))
   | _ -> None
 
@@ -235,14 +236,16 @@ module Request = struct
     session : session option;
     obs : Obs.scope option;
     jobs : int;
+    verify_each : bool;
   }
 
-  let default = { knobs = default_knobs; session = None; obs = None; jobs = 1 }
+  let default =
+    { knobs = default_knobs; session = None; obs = None; jobs = 1; verify_each = false }
 
-  let make ?(knobs = default_knobs) ?session ?obs ?(jobs = 1) () =
+  let make ?(knobs = default_knobs) ?session ?obs ?(jobs = 1) ?(verify_each = false) () =
     if jobs < 1 then
       Diag.fatalf ~code:"E0902" "invalid compile request: jobs must be >= 1 (got %d)" jobs;
-    { knobs; session; obs; jobs }
+    { knobs; session; obs; jobs; verify_each }
 end
 
 let request_conflict msg =
@@ -299,7 +302,7 @@ let resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?sessi
               k_hazard_handling = Option.value hazard_handling ~default:true;
             }
       in
-      { Request.knobs; session; obs; jobs = 1 }
+      { Request.knobs; session; obs; jobs = 1; verify_each = false }
 
 (* ---- per-functionality stages ---------------------------------------- *)
 
@@ -309,9 +312,24 @@ let resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?sessi
    spans); tests and the CI schema check rely on this list staying in sync
    with [compile_functionality]. Cache hits skip the stage spans entirely
    — only the boundary span with its cache counters remains. *)
-let stage_names = [ "hlir"; "lil"; "optimize"; "schedule"; "hwgen"; "sv_emit" ]
+let stage_names =
+  [ "hlir"; "lil"; "optimize"; "verify"; "schedule"; "hwgen"; "netcheck"; "sv_emit" ]
 
-let build_func_ir (tu : Coredsl.Tast.tunit) obs fn =
+(* [--verify-each] sanitizer: re-check the graph after every pass and blame
+   the pass (E0512) rather than reporting a bare verifier failure. *)
+let pass_sanitizer ~pass_name g =
+  match Analysis.Verifier.check ~level:`Lil g with
+  | [] -> ()
+  | (d : Diag.t) :: _ ->
+      Diag.fatal
+        {
+          d with
+          Diag.code = "E0512";
+          message =
+            Printf.sprintf "pass '%s' produced invalid IR: %s" pass_name d.Diag.message;
+        }
+
+let build_func_ir ?(verify_each = false) (tu : Coredsl.Tast.tunit) obs fn =
   let hlir, fields =
     Obs.span_opt obs "hlir" (fun sobs ->
         let hlir, fields =
@@ -319,7 +337,7 @@ let build_func_ir (tu : Coredsl.Tast.tunit) obs fn =
           | `Instr (ti : Coredsl.Tast.tinstr) -> (Ir.Hlir.lower_instruction tu ti, ti.fields)
           | `Always ta -> (Ir.Hlir.lower_always tu ta, [])
         in
-        Ir.Mir.verify hlir;
+        Analysis.Verifier.verify ~level:`Hlir hlir;
         Obs.metric_int_opt sobs "ops" (Ir.Passes.op_count hlir);
         Obs.metric_int_opt sobs "edges" (Ir.Passes.edge_count hlir);
         (hlir, fields))
@@ -333,9 +351,14 @@ let build_func_ir (tu : Coredsl.Tast.tunit) obs fn =
   in
   let lil =
     Obs.span_opt obs "optimize" (fun sobs ->
-        let lil = Ir.Passes.optimize ?obs:sobs lil in
-        Ir.Mir.verify lil;
+        let sanitizer = if verify_each then Some pass_sanitizer else None in
+        Ir.Passes.optimize ?obs:sobs ?verify_each:sanitizer lil)
+  in
+  let lil =
+    Obs.span_opt obs "verify" (fun sobs ->
+        Analysis.Verifier.verify ~level:`Lil lil;
         Ir.Lil.validate_single_use lil;
+        Obs.metric_int_opt sobs "ops" (Ir.Passes.op_count lil);
         lil)
   in
   { fi_hlir = hlir; fi_lil = lil }
@@ -394,6 +417,14 @@ let build_func_hw (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name 
         Obs.metric_int_opt sobs "pipe_reg_bits" hw.Hwgen.pipe_reg_bits;
         hw)
   in
+  let () =
+    Obs.span_opt obs "netcheck" (fun sobs ->
+        Analysis.Netcheck.verify ~what:name
+          ~provenance:(Analysis.Netcheck.signal_provenance lil)
+          hw.Hwgen.netlist;
+        Obs.metric_int_opt sobs "signals"
+          (List.length hw.Hwgen.netlist.Rtl.Netlist.nodes))
+  in
   let sv =
     Obs.span_opt obs "sv_emit" (fun sobs ->
         let sv = Rtl.Sv_emit.emit hw.netlist in
@@ -411,7 +442,8 @@ let build_func_hw (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name 
     cf_mode = dominant_mode hw ~kind;
   }
 
-let compile_functionality_in session k ?obs (core : Scaiev.Datasheet.t)
+let compile_functionality_in session k ?obs ?(verify_each = false)
+    (core : Scaiev.Datasheet.t)
     (tu : Coredsl.Tast.tunit)
     (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
     compiled_functionality =
@@ -427,7 +459,7 @@ let compile_functionality_in session k ?obs (core : Scaiev.Datasheet.t)
   let fir =
     Obs.span_opt obs "ir_artifact" @@ fun sobs ->
     Cache.Store.find_or_add session.s_ir ?obs:sobs (ir_key session tu ~kind ~name)
-      (fun () -> build_func_ir tu sobs fn)
+      (fun () -> build_func_ir ~verify_each tu sobs fn)
   in
   Obs.span_opt obs "sched_artifact" @@ fun sobs ->
   Cache.Store.find_or_add session.s_func ?obs:sobs (func_key session k core tu ~kind ~name)
@@ -439,17 +471,22 @@ let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) 
     compiled_functionality =
   let r = resolve_request ?scheduler ?delay ?cycle_time ?knobs ?session ?obs ?request () in
   let session = match r.Request.session with Some s -> s | None -> throwaway () in
-  compile_functionality_in session r.Request.knobs ?obs:r.Request.obs core tu fn
+  compile_functionality_in session r.Request.knobs ?obs:r.Request.obs
+    ~verify_each:r.Request.verify_each core tu fn
 
 let mask_of (ti : Coredsl.Tast.tinstr) =
   Scaiev.Config.mask_string ~width:ti.enc_width ~mask:ti.mask ~match_bits:ti.match_bits
 
-let build_target session k ?obs (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) :
-    compiled =
+let build_target session k ?obs ?verify_each (core : Scaiev.Datasheet.t)
+    (tu : Coredsl.Tast.tunit) : compiled =
   let instrs = List.filter is_isax_instruction tu.tinstrs in
   let funcs =
-    List.map (fun ti -> compile_functionality_in session k ?obs core tu (`Instr ti)) instrs
-    @ List.map (fun ta -> compile_functionality_in session k ?obs core tu (`Always ta)) tu.talways
+    List.map
+      (fun ti -> compile_functionality_in session k ?obs ?verify_each core tu (`Instr ti))
+      instrs
+    @ List.map
+        (fun ta -> compile_functionality_in session k ?obs ?verify_each core tu (`Always ta))
+        tu.talways
   in
   Obs.metric_int_opt obs "n_funcs" (List.length funcs);
   let config =
@@ -496,7 +533,7 @@ let compile_request (r : Request.t) (core : Scaiev.Datasheet.t) (tu : Coredsl.Ta
   let obs = r.Request.obs in
   Obs.metric_str_opt obs "core" core.core_name;
   Cache.Store.find_or_add session.s_target ?obs (target_key session k core tu) (fun () ->
-      build_target session k ?obs core tu)
+      build_target session k ?obs ~verify_each:r.Request.verify_each core tu)
 
 let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs ?request
     (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
@@ -509,12 +546,12 @@ let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs 
    calling domain. The parallel driver runs this before fanning out, so
    the frontend/IR half is computed once and shared read-only — worker
    domains then run only the per-target sched/hwgen/SV/integration tail. *)
-let warm_ir session (tu : Coredsl.Tast.tunit) =
+let warm_ir ?(verify_each = false) session (tu : Coredsl.Tast.tunit) =
   let warm ~kind ~name fn =
     with_stage_diags name (fun () ->
         ignore
           (Cache.Store.find_or_add session.s_ir (ir_key session tu ~kind ~name) (fun () ->
-               build_func_ir tu None fn)))
+               build_func_ir ~verify_each tu None fn)))
   in
   List.iter
     (fun (ti : Coredsl.Tast.tinstr) -> warm ~kind:`Instruction ~name:ti.ti_name (`Instr ti))
@@ -546,7 +583,7 @@ let compile_many ?knobs ?session ?obs ?request targets =
       (fun ((_ : Scaiev.Datasheet.t), tu) ->
         if not (List.memq tu !seen) then begin
           seen := tu :: !seen;
-          warm_ir session tu
+          warm_ir ~verify_each:r.Request.verify_each session tu
         end)
       targets
   end;

@@ -141,12 +141,24 @@ module Request : sig
     session : session option;  (** [None] = a throwaway non-retaining session *)
     obs : Obs.scope option;
     jobs : int;  (** worker domains for batch entry points; [1] = sequential *)
+    verify_each : bool;
+        (** re-verify the IR after every optimization pass (the
+            [--verify-each] sanitizer); purely a checking knob — it never
+            changes the produced artifacts, so it is deliberately not part
+            of the cache keys *)
   }
 
   val default : t
-  (** [default_knobs], no session, no profiling, one job. *)
+  (** [default_knobs], no session, no profiling, one job, no sanitizer. *)
 
-  val make : ?knobs:knobs -> ?session:session -> ?obs:Obs.scope -> ?jobs:int -> unit -> t
+  val make :
+    ?knobs:knobs ->
+    ?session:session ->
+    ?obs:Obs.scope ->
+    ?jobs:int ->
+    ?verify_each:bool ->
+    unit ->
+    t
   (** Raises {!Diag.Fatal} (E0902) when [jobs < 1]. *)
 end
 
@@ -168,8 +180,11 @@ val target_key : session -> knobs -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit ->
 (** The per-functionality Figure-9 stage names, in pipeline order. With a
     profiling scope, a {e cold} {!compile_functionality} records one child
     span named ["func:NAME"] containing one span per stage in this list,
-    nested under the ["ir_artifact"] (hlir/lil/optimize) and
-    ["sched_artifact"] (schedule/hwgen/sv_emit) cache-boundary spans. A
+    nested under the ["ir_artifact"] (hlir/lil/optimize/verify) and
+    ["sched_artifact"] (schedule/hwgen/netcheck/sv_emit) cache-boundary
+    spans. The ["verify"] stage runs the dialect-aware
+    {!Analysis.Verifier} over the optimized LIL, and ["netcheck"] runs
+    {!Analysis.Netcheck} over the generated netlist before SV emission. A
     cache hit skips the stage spans: only the boundary span with its
     [cache.hit]/[cache.miss]/[cache.store] counters remains. *)
 val stage_names : string list
@@ -224,7 +239,7 @@ val compile :
   Coredsl.Tast.tunit ->
   compiled
 
-val warm_ir : session -> Coredsl.Tast.tunit -> unit
+val warm_ir : ?verify_each:bool -> session -> Coredsl.Tast.tunit -> unit
 (** Populate the session's core-independent IR artifacts (hlir + optimized
     lil per ISAX functionality) on the calling domain. {!compile_many}
     calls this before fanning out worker domains, so the frontend/IR half

@@ -30,6 +30,11 @@ let specs =
     };
     { name = "no-cache"; arg = None; doc = "Disable artifact retention: every compile runs cold." };
     {
+      name = "verify-each";
+      arg = None;
+      doc = "Re-verify the IR after every optimization pass (sanitizer; E0512 on failure).";
+    };
+    {
       name = "cache-capacity";
       arg = Some "N";
       doc = "Maximum entries per artifact store (default 512, LRU beyond).";
@@ -44,6 +49,7 @@ type t = {
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;
+  verify_each : bool;
 }
 
 let default =
@@ -55,6 +61,7 @@ let default =
     jobs = 1;
     cache_enabled = true;
     cache_capacity = None;
+    verify_each = false;
   }
 
 let err fmt = Printf.ksprintf (fun m -> Error m) fmt
@@ -82,6 +89,7 @@ let set t name value =
       | Some n when n >= 1 -> Ok { t with jobs = n }
       | _ -> err "--jobs expects an integer >= 1, got '%s'" v)
   | "no-cache", None -> Ok { t with cache_enabled = false }
+  | "verify-each", None -> Ok { t with verify_each = true }
   | "cache-capacity", Some v -> (
       match int_of_string_opt v with
       | Some n when n >= 0 -> Ok { t with cache_capacity = Some n }
@@ -137,4 +145,4 @@ let session t = Flow.create_session ?capacity:t.cache_capacity ~enabled:t.cache_
 
 let request ?session:s ?obs t =
   let session = match s with Some s -> s | None -> session t in
-  Flow.Request.make ~knobs:(knobs t) ~session ?obs ~jobs:t.jobs ()
+  Flow.Request.make ~knobs:(knobs t) ~session ?obs ~jobs:t.jobs ~verify_each:t.verify_each ()

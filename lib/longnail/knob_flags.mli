@@ -12,6 +12,7 @@
     --no-hazard-handling    drop the decoupled-mode scoreboard
     --jobs N                worker domains for batch compiles (default 1)
     --no-cache              disable artifact retention
+    --verify-each           re-verify the IR after every optimization pass
     --cache-capacity N      max entries per artifact store
     v} *)
 
@@ -29,6 +30,7 @@ type t = {
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;
+  verify_each : bool;
 }
 
 val default : t

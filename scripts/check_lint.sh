@@ -1,0 +1,40 @@
+#!/bin/sh
+# CI gate: the linter's verdict on the bundled ISAXes is a checked-in
+# contract.
+#
+# Runs `longnail lint --all-bundled` and diffs the output against
+# docs/LINT_GOLDEN.txt. A new or disappearing warning must come with an
+# update to that file (regenerate with
+#   longnail lint --all-bundled > docs/LINT_GOLDEN.txt).
+# Also asserts the --werror contract: the golden set is nonempty, so the
+# same run with --werror must exit 1.
+#
+# Usage: scripts/check_lint.sh   (from the repository root)
+set -eu
+
+CLI=_build/default/bin/longnail_cli.exe
+GOLDEN=docs/LINT_GOLDEN.txt
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+dune build bin/longnail_cli.exe
+
+"$CLI" lint --all-bundled > "$TMP/lint.txt"
+
+if ! diff -u "$GOLDEN" "$TMP/lint.txt"; then
+    echo "error: lint output diverges from $GOLDEN" >&2
+    echo "       (if the change is deliberate, update the checked-in file)" >&2
+    exit 1
+fi
+
+if ! grep -q 'warning\[W' "$TMP/lint.txt"; then
+    echo "error: golden lint run produced no warnings; the --werror gate is vacuous" >&2
+    exit 1
+fi
+
+if "$CLI" lint --all-bundled --werror > /dev/null; then
+    echo "error: lint --werror exited 0 despite a nonempty warning set" >&2
+    exit 1
+fi
+
+echo "lint output matches $GOLDEN (and --werror exits nonzero)"

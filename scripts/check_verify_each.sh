@@ -1,0 +1,37 @@
+#!/bin/sh
+# CI gate: --verify-each is a pure sanitizer.
+#
+# Compiles a couple of bundled ISAX x core combinations twice — once
+# plainly, once with --verify-each — and byte-compares every produced
+# artifact (SystemVerilog modules + SCAIE-V YAML). The sanitizer must
+# never change the output; it may only reject invalid IR. The full
+# ISAX x core grid is covered in-process by test/test_analysis.ml.
+#
+# Usage: scripts/check_verify_each.sh   (from the repository root)
+set -eu
+
+CLI=_build/default/bin/longnail_cli.exe
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+dune build bin/longnail_cli.exe
+
+check() {
+    isax="$1" target="$2" core="$3"
+    "$CLI" bundled -n "$isax" > "$TMP/$isax.core_desc"
+    "$CLI" compile -c "$core" -t "$target" "$TMP/$isax.core_desc" \
+        -o "$TMP/$isax-plain" > /dev/null
+    "$CLI" compile -c "$core" -t "$target" "$TMP/$isax.core_desc" \
+        -o "$TMP/$isax-ve" --verify-each > /dev/null
+    if ! diff -r "$TMP/$isax-plain" "$TMP/$isax-ve"; then
+        echo "error: --verify-each changed the artifacts of $isax on $core" >&2
+        exit 1
+    fi
+    echo "verify-each: $isax on $core byte-identical"
+}
+
+check dotprod X_DOTP vexriscv
+check sparkle X_SPARKLE orca
+check zol X_ZOL piccolo
+
+echo "--verify-each output is byte-identical"

@@ -1,0 +1,532 @@
+(* Tests for lib/analysis: the dialect-aware IR verifier, the dataflow
+   framework, the CoreDSL linter and the netlist structural checks, plus
+   the --verify-each sanitizer's no-observable-effect contract. *)
+
+module M = Ir.Mir
+module V = Analysis.Verifier
+module D = Analysis.Dataflow
+module L = Analysis.Lint
+module N = Analysis.Netcheck
+module Bn = Bitvec.Bn
+
+let u = Bitvec.unsigned_ty
+
+let codes ds = List.map (fun (d : Diag.t) -> d.Diag.code) ds
+
+let has_code c ds = List.mem c (codes ds)
+
+(* ---- helpers: hand-built graphs ---- *)
+
+(* a well-formed straight-line HLIR graph: r = (a + b), set into X *)
+let good_hlir () =
+  let b = M.builder () in
+  let a = M.add_op1 b "coredsl.get" [] (u 32) ~attrs:[ ("state", M.A_str "X") ] in
+  let c = M.add_op1 b "hw.constant" [] (u 32) ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) 7)) ] in
+  let s = M.add_op1 b "hwarith.add" [ a; c ] (u 33) in
+  ignore (M.add_op b "coredsl.set" [ s ] [] ~attrs:[ ("state", M.A_str "ACC") ]);
+  M.finish b ~name:"good" ~kind:`Instruction ()
+
+let mk_graph body = { M.gname = "hand"; gkind = `Instruction; gattrs = []; body }
+
+let mk_val vid ty = { M.vid; vty = ty; vhint = "" }
+
+let mk_op ?(oid = 0) ?(attrs = []) ?(regions = []) opname operands results =
+  { M.oid; opname; operands; results; attrs; regions; oloc = None }
+
+(* ---- verifier: accepts every bundled graph at both levels ---- *)
+
+let test_verifier_accepts_bundled () =
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      let tu = Isax.Registry.compile e in
+      List.iter
+        (fun ti ->
+          if Longnail.Flow.is_isax_instruction ti then begin
+            let hlir = Ir.Hlir.lower_instruction tu ti in
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s/%s hlir clean" e.name ti.Coredsl.Tast.ti_name)
+              [] (codes (V.check ~level:`Hlir hlir))
+          end)
+        tu.Coredsl.Tast.tinstrs;
+      let c = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
+      List.iter
+        (fun (f : Longnail.Flow.compiled_functionality) ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s lil clean" e.name f.cf_name)
+            [] (codes (V.check ~level:`Lil f.cf_lil));
+          (* `Any infers the right level for both forms *)
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s any clean" e.name f.cf_name)
+            []
+            (codes (V.check f.cf_hlir) @ codes (V.check f.cf_lil)))
+        c.Longnail.Flow.funcs)
+    Isax.Registry.all
+
+(* ---- verifier: rejects curated malformed graphs ---- *)
+
+let expect_codes name expected g level =
+  let got = codes (V.check ?level g) in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (Printf.sprintf "%s reports %s" name c) true (List.mem c got))
+    expected
+
+let test_verifier_rejects () =
+  let v32 i = mk_val i (u 32) in
+  (* unknown operation *)
+  expect_codes "unknown op" [ "E0510" ]
+    (mk_graph [ mk_op "hwarith.bogus" [] [ v32 0 ] ])
+    (Some `Hlir);
+  (* wrong arity: hwarith.add with one operand *)
+  expect_codes "bad arity" [ "E0510" ]
+    (mk_graph
+       [
+         mk_op "hw.constant" [] [ v32 0 ]
+           ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) 1)) ];
+         mk_op ~oid:1 "hwarith.add" [ v32 0 ] [ v32 1 ];
+       ])
+    (Some `Hlir);
+  (* missing required attribute on hw.constant *)
+  expect_codes "missing attr" [ "E0510" ]
+    (mk_graph [ mk_op "hw.constant" [] [ v32 0 ] ])
+    (Some `Hlir);
+  (* comb width rule: operand widths must equal the result width *)
+  expect_codes "comb width" [ "E0510" ]
+    (mk_graph
+       [
+         mk_op "lil.read_rs1" [] [ v32 0 ];
+         mk_op ~oid:1 "lil.read_rs2" [] [ mk_val 1 (u 16) ];
+         mk_op ~oid:2 "comb.add" [ v32 0; mk_val 1 (u 16) ] [ v32 2 ];
+         mk_op ~oid:3 "lil.write_rd" [ v32 2 ] [];
+         mk_op ~oid:4 "lil.sink" [] [];
+       ])
+    (Some `Lil);
+  (* unknown icmp predicate *)
+  expect_codes "bad predicate" [ "E0510" ]
+    (mk_graph
+       [
+         mk_op "coredsl.get" [] [ v32 0 ] ~attrs:[ ("state", M.A_str "X") ];
+         mk_op ~oid:1 "hwarith.icmp" [ v32 0; v32 0 ]
+           [ mk_val 1 (u 1) ]
+           ~attrs:[ ("predicate", M.A_str "spaceship") ];
+       ])
+    (Some `Hlir);
+  (* use before (or without) definition *)
+  expect_codes "use before def" [ "E0511" ]
+    (mk_graph [ mk_op "hwarith.not" [ v32 99 ] [ v32 0 ] ])
+    (Some `Hlir);
+  (* double definition *)
+  expect_codes "double def" [ "E0511" ]
+    (mk_graph
+       [
+         mk_op "coredsl.get" [] [ v32 0 ] ~attrs:[ ("state", M.A_str "X") ];
+         mk_op ~oid:1 "coredsl.get" [] [ v32 0 ] ~attrs:[ ("state", M.A_str "X") ];
+       ])
+    (Some `Hlir);
+  (* operand type disagrees with the defining result type *)
+  expect_codes "type mismatch" [ "E0511" ]
+    (mk_graph
+       [
+         mk_op "coredsl.get" [] [ v32 0 ] ~attrs:[ ("state", M.A_str "X") ];
+         mk_op ~oid:1 "hwarith.not" [ mk_val 0 (u 8) ] [ mk_val 1 (u 8) ];
+       ])
+    (Some `Hlir);
+  (* lil graph without the lil.sink terminator *)
+  expect_codes "missing sink" [ "E0510" ]
+    (mk_graph
+       [ mk_op "lil.read_rs1" [] [ v32 0 ]; mk_op ~oid:1 "lil.write_rd" [ v32 0 ] [] ])
+    (Some `Lil);
+  (* dialect mixing: a hwarith op in a lil graph *)
+  expect_codes "dialect mixing" [ "E0510" ]
+    (mk_graph
+       [
+         mk_op "lil.read_rs1" [] [ v32 0 ];
+         mk_op ~oid:1 "hwarith.not" [ v32 0 ] [ v32 1 ];
+         mk_op ~oid:2 "lil.write_rd" [ v32 1 ] [];
+         mk_op ~oid:3 "lil.sink" [] [];
+       ])
+    (Some `Lil);
+  (* a good graph reports nothing *)
+  Alcotest.(check (list string)) "good graph clean" [] (codes (V.check (good_hlir ())))
+
+(* corrupting an optimized LIL graph must be caught at the `Lil level —
+   the property the --verify-each sanitizer (E0512) relies on *)
+let test_verifier_catches_corruption () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let c = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
+  let f = List.hd c.Longnail.Flow.funcs in
+  let lil = f.Longnail.Flow.cf_lil in
+  (* drop the terminator *)
+  let no_sink =
+    { lil with M.body = List.filter (fun (o : M.op) -> o.M.opname <> "lil.sink") lil.M.body }
+  in
+  Alcotest.(check bool) "dropped sink caught" true (has_code "E0510" (V.check ~level:`Lil no_sink));
+  (* drop a mid-graph definition: its users now use an undefined value *)
+  let dropped =
+    let def =
+      List.find (fun (o : M.op) -> o.M.results <> [] && o.M.opname <> "lil.sink") lil.M.body
+    in
+    { lil with M.body = List.filter (fun (o : M.op) -> o.M.oid <> def.M.oid) lil.M.body }
+  in
+  Alcotest.(check bool) "dangling use caught" true
+    (V.check ~level:`Lil dropped <> [])
+
+(* ---- dataflow ---- *)
+
+(* ranges: on a constant-only graph the interval analysis is exact and
+   must agree with native arithmetic *)
+let prop_ranges_exact =
+  QCheck.Test.make ~name:"range analysis is exact on constant graphs" ~count:100
+    (QCheck.triple (QCheck.int_bound 0xFFFF) (QCheck.int_bound 0xFFFF) (QCheck.int_bound 2))
+    (fun (a, b, sel) ->
+      let bld = M.builder () in
+      let ca =
+        M.add_op1 bld "hw.constant" [] (u 32) ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) a)) ]
+      in
+      let cb =
+        M.add_op1 bld "hw.constant" [] (u 32) ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) b)) ]
+      in
+      let opname = List.nth [ "hwarith.add"; "hwarith.sub"; "hwarith.mul" ] sel in
+      (* signed result type: hwarith subtraction of unsigned operands can
+         go negative, and the interval is clamped to the result type *)
+      let r = M.add_op1 bld opname [ ca; cb ] (Bitvec.signed_ty 40) in
+      ignore (M.add_op bld "coredsl.set" [ r ] [] ~attrs:[ ("state", M.A_str "ACC") ]);
+      let g = M.finish bld ~name:"const" ~kind:`Instruction () in
+      let res = D.run D.ranges g in
+      let expect =
+        match sel with 0 -> a + b | 1 -> a - b | _ -> a * b
+      in
+      match res.D.fact_of r with
+      | Some rng -> (
+          match D.range_exact rng with
+          | Some v -> Bn.equal v (Bn.of_int expect)
+          | None -> false)
+      | None -> false)
+
+let test_range_of_ty () =
+  let r = D.range_of_ty (u 8) in
+  Alcotest.(check string) "u8 lo" "0" (Bn.to_string r.D.lo);
+  Alcotest.(check string) "u8 hi" "255" (Bn.to_string r.D.hi);
+  let s = D.range_of_ty (Bitvec.signed_ty 8) in
+  Alcotest.(check string) "s8 lo" "-128" (Bn.to_string s.D.lo);
+  Alcotest.(check string) "s8 hi" "127" (Bn.to_string s.D.hi)
+
+let test_liveness () =
+  let bld = M.builder () in
+  let a = M.add_op1 bld "coredsl.get" [] (u 32) ~attrs:[ ("state", M.A_str "ACC") ] in
+  let live = M.add_op1 bld "hwarith.not" [ a ] (u 32) in
+  let dead = M.add_op1 bld "hwarith.add" [ a; a ] (u 33) in
+  ignore (M.add_op bld "coredsl.set" [ live ] [] ~attrs:[ ("state", M.A_str "ACC") ]);
+  let g = M.finish bld ~name:"live" ~kind:`Instruction () in
+  let res = D.run D.liveness g in
+  Alcotest.(check bool) "feeds a set: live" true (res.D.fact_of live);
+  Alcotest.(check bool) "transitively live" true (res.D.fact_of a);
+  Alcotest.(check bool) "unused compute: dead" false (res.D.fact_of dead)
+
+(* convergence: the engine's transfer count stays within a small multiple
+   of the graph size on every bundled HLIR graph *)
+let test_dataflow_converges () =
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      let tu = Isax.Registry.compile e in
+      List.iter
+        (fun ti ->
+          if Longnail.Flow.is_isax_instruction ti then begin
+            let g = Ir.Hlir.lower_instruction tu ti in
+            let n = List.length (M.all_ops g) in
+            let check_spec name spec =
+              let res = D.run spec g in
+              if res.D.iterations > 8 * (n + 1) then
+                Alcotest.failf "%s/%s: %s took %d transfers for %d ops" e.name
+                  ti.Coredsl.Tast.ti_name name res.D.iterations n
+            in
+            check_spec "ranges" D.ranges;
+            check_spec "liveness" D.liveness
+          end)
+        tu.Coredsl.Tast.tinstrs)
+    Isax.Registry.all
+
+let test_reaching_writes () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let ti =
+    List.find (fun t -> Longnail.Flow.is_isax_instruction t) tu.Coredsl.Tast.tinstrs
+  in
+  let g = Ir.Hlir.lower_instruction tu ti in
+  let writes = D.reaching_writes g in
+  Alcotest.(check bool) "dotprod writes state" true (writes <> []);
+  List.iter
+    (fun (state, (op : M.op)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "write op %s is a set/store" op.M.opname)
+        true
+        (List.mem op.M.opname [ "coredsl.set"; "coredsl.store" ]);
+      Alcotest.(check bool) "state name nonempty" true (state <> ""))
+    writes
+
+(* ---- linter ---- *)
+
+(* a one-instruction unit around [behavior], in the fuzz-harness shape *)
+let lint_src behavior =
+  Printf.sprintf
+    {|
+import "RV32I.core_desc"
+InstructionSet LINTME extends RV32I {
+  instructions {
+    LT {
+      encoding: 7'd9 :: rs2[4:0] :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b1111011;
+      behavior: {
+%s
+      }
+    }
+  }
+}
+|}
+    behavior
+
+let lint_of behavior =
+  L.lint_unit (Coredsl.compile ~target:"LINTME" (lint_src behavior))
+
+let expect_warning name behavior code =
+  let ds = lint_of behavior in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s emits %s (got: %s)" name code (String.concat "," (codes ds)))
+    true (has_code code ds);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool) "severity is Warning" true (d.Diag.severity = Diag.Warning);
+      Alcotest.(check bool) "code registered" true (Diag.is_registered d.Diag.code))
+    ds
+
+let test_lint_catalog () =
+  (* W1001: a computed value never used *)
+  expect_warning "dead assignment"
+    {|unsigned<32> a = X[rs1];
+      unsigned<32> t = (unsigned<32>)(a * a);
+      if (rd != 0) X[rd] = a;|}
+    "W1001";
+  (* W1002: rs2 appears in the encoding but never in the behavior *)
+  expect_warning "unused field" {|if (rd != 0) X[rd] = X[rs1];|} "W1002";
+  (* W1004: a provably constant branch condition (literal comparisons are
+     folded by the front end, so compare a 5-bit field against 100 —
+     only the range analysis can see that rd <= 31) *)
+  expect_warning "constant condition"
+    {|unsigned<32> a = X[rs1];
+      if (rd > 100) { a = (unsigned<32>)(a + X[rs2]); }
+      if (rd != 0) X[rd] = a;|}
+    "W1004";
+  (* W1005: shift amount provably >= the operand width *)
+  expect_warning "oversized shift"
+    {|unsigned<32> a = X[rs1];
+      if (rd != 0) X[rd] = (unsigned<32>)((a << 40) + X[rs2]);|}
+    "W1005";
+  (* W1006: a local read before any assignment *)
+  expect_warning "read before assign"
+    {|unsigned<32> t;
+      unsigned<32> a = (unsigned<32>)(t + X[rs1]);
+      if (rd != 0) X[rd] = (unsigned<32>)(a + X[rs2]);|}
+    "W1006";
+  (* W1007: the instruction writes no architectural state at all *)
+  expect_warning "writes nothing" {|unsigned<32> a = (unsigned<32>)(X[rs1] + X[rs2]);|}
+    "W1007"
+
+(* the bundled ISAXes have a small, known warning set (the checked-in
+   docs/LINT_GOLDEN.txt contract, asserted here in-process) *)
+let test_lint_bundled () =
+  let expect = [ ("sparkle", 2); ("sqrt_tightly", 1); ("sqrt_decoupled", 1) ] in
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      let ds = L.lint_unit (Isax.Registry.compile e) in
+      let n = match List.assoc_opt e.name expect with Some n -> n | None -> 0 in
+      Alcotest.(check int)
+        (Printf.sprintf "%s warning count (got: %s)" e.name (String.concat "," (codes ds)))
+        n (List.length ds);
+      List.iter
+        (fun (d : Diag.t) ->
+          Alcotest.(check bool) "is W1001" true (d.Diag.code = "W1001");
+          Alcotest.(check bool) "has span" true (d.Diag.span <> None))
+        ds)
+    Isax.Registry.all
+
+let test_lint_promote () =
+  let ds = L.lint_unit (Isax.Registry.compile_by_name "sparkle") in
+  Alcotest.(check bool) "sparkle warns" true (ds <> []);
+  List.iter
+    (fun (d : Diag.t) ->
+      Alcotest.(check bool) "promoted to Error" true (d.Diag.severity = Diag.Error))
+    (L.promote ds)
+
+let test_w_codes_registered () =
+  List.iter
+    (fun (code, _) ->
+      Alcotest.(check bool) (code ^ " registered") true (Diag.is_registered code))
+    L.lint_codes;
+  Alcotest.(check bool) "catalog covers W1001..W1007" true
+    (List.for_all
+       (fun c -> List.mem_assoc c L.lint_codes)
+       [ "W1001"; "W1002"; "W1003"; "W1004"; "W1005"; "W1006"; "W1007" ])
+
+(* ---- netlist checks ---- *)
+
+let comb ~out ~width ~op inputs = Rtl.Netlist.Comb { out; width; op; attrs = []; inputs }
+
+let port name width = { Rtl.Netlist.port_name = name; port_width = width; port_signal = name }
+
+let test_netcheck () =
+  let base ~nodes ~outputs =
+    { Rtl.Netlist.mod_name = "T"; inputs = [ port "i" 8 ]; outputs; nodes }
+  in
+  (* clean: i -> not -> o *)
+  let clean =
+    base
+      ~nodes:[ comb ~out:"n" ~width:8 ~op:"comb.xor" [ "i"; "i" ] ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "n" } ]
+  in
+  Alcotest.(check (list string)) "clean netlist" [] (codes (N.check clean));
+  (* multiple drivers: two nodes share an output name *)
+  let multi =
+    base
+      ~nodes:
+        [
+          comb ~out:"n" ~width:8 ~op:"comb.xor" [ "i"; "i" ];
+          comb ~out:"n" ~width:8 ~op:"comb.and" [ "i"; "i" ];
+        ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "n" } ]
+  in
+  Alcotest.(check bool) "multiple drivers" true (has_code "E0520" (N.check multi));
+  (* a node shadowing an input port is also a double drive *)
+  let shadow =
+    base
+      ~nodes:[ comb ~out:"i" ~width:8 ~op:"comb.xor" [ "i"; "i" ] ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "i" } ]
+  in
+  Alcotest.(check bool) "input shadowed" true (has_code "E0520" (N.check shadow));
+  (* undefined signal *)
+  let undef =
+    base
+      ~nodes:[ comb ~out:"n" ~width:8 ~op:"comb.xor" [ "i"; "ghost" ] ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "n" } ]
+  in
+  Alcotest.(check bool) "undefined signal" true (has_code "E0522" (N.check undef));
+  (* combinational cycle a -> b -> a, with the path in the message *)
+  let cyc =
+    base
+      ~nodes:
+        [
+          comb ~out:"a" ~width:8 ~op:"comb.xor" [ "b"; "i" ];
+          comb ~out:"b" ~width:8 ~op:"comb.xor" [ "a"; "i" ];
+        ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "a" } ]
+  in
+  let ds = N.check cyc in
+  Alcotest.(check bool) "cycle found" true (has_code "E0521" ds);
+  let d = List.find (fun (d : Diag.t) -> d.Diag.code = "E0521") ds in
+  let mentions s =
+    let msg = d.Diag.message in
+    let nl = String.length s and hl = String.length msg in
+    let rec go i = i + nl <= hl && (String.sub msg i nl = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "path names the signals" true (mentions "a" && mentions "b");
+  (* the same loop broken by a register is not a combinational cycle *)
+  let through_reg =
+    base
+      ~nodes:
+        [
+          comb ~out:"a" ~width:8 ~op:"comb.xor" [ "r"; "i" ];
+          Rtl.Netlist.Reg { out = "r"; width = 8; next = "a"; enable = None; init = None };
+        ]
+      ~outputs:[ { Rtl.Netlist.port_name = "o"; port_width = 8; port_signal = "a" } ]
+  in
+  Alcotest.(check (list string)) "register breaks the cycle" [] (codes (N.check through_reg));
+  (* verify raises on the first violation *)
+  (match N.check multi with
+  | d0 :: _ -> (
+      try
+        N.verify multi;
+        Alcotest.fail "verify did not raise"
+      with N.Netcheck_error d -> Alcotest.(check string) "first violation" d0.Diag.code d.Diag.code)
+  | [] -> Alcotest.fail "expected violations")
+
+let test_signal_provenance () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let c = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
+  let f = List.hd c.Longnail.Flow.funcs in
+  let lil = f.Longnail.Flow.cf_lil in
+  (* every hwgen signal named after an SSA value with a recorded span
+     resolves; unknown names do not *)
+  let resolved = ref 0 in
+  List.iter
+    (fun node ->
+      match N.signal_provenance lil (Rtl.Netlist.node_out node) with
+      | Some sp ->
+          incr resolved;
+          Alcotest.(check bool) "span valid" true (Diag.span_is_valid sp)
+      | None -> ())
+    f.Longnail.Flow.cf_hw.Longnail.Hwgen.netlist.Rtl.Netlist.nodes;
+  Alcotest.(check bool) "some signals have provenance" true (!resolved > 0);
+  Alcotest.(check bool) "unknown name has none" true (N.signal_provenance lil "clk" = None)
+
+(* ---- the --verify-each sanitizer ---- *)
+
+(* byte-identical SV and YAML with and without the sanitizer, over the
+   full bundled ISAX x core grid (the acceptance contract; three combos
+   are re-checked from the CLI by scripts/check_verify_each.sh) *)
+let test_verify_each_equivalent () =
+  List.iter
+    (fun (core : Scaiev.Datasheet.t) ->
+      List.iter
+        (fun (e : Isax.Registry.entry) ->
+          let tu = Isax.Registry.compile e in
+          let plain =
+            Longnail.Flow.compile_request (Longnail.Flow.Request.make ()) core tu
+          in
+          let checked =
+            Longnail.Flow.compile_request
+              (Longnail.Flow.Request.make ~verify_each:true ())
+              core tu
+          in
+          let what = Printf.sprintf "%s on %s" e.name core.Scaiev.Datasheet.core_name in
+          Alcotest.(check string) (what ^ ": yaml equal")
+            plain.Longnail.Flow.config_yaml checked.Longnail.Flow.config_yaml;
+          List.iter2
+            (fun (a : Longnail.Flow.compiled_functionality)
+                 (b : Longnail.Flow.compiled_functionality) ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s: sv equal" what a.cf_name)
+                a.cf_sv b.cf_sv)
+            plain.Longnail.Flow.funcs checked.Longnail.Flow.funcs)
+        Isax.Registry.all)
+    Scaiev.Datasheet.all_cores
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts all bundled graphs" `Slow test_verifier_accepts_bundled;
+          Alcotest.test_case "rejects malformed graphs" `Quick test_verifier_rejects;
+          Alcotest.test_case "catches pass corruption" `Quick test_verifier_catches_corruption;
+        ] );
+      ( "dataflow",
+        [
+          QCheck_alcotest.to_alcotest prop_ranges_exact;
+          Alcotest.test_case "range_of_ty" `Quick test_range_of_ty;
+          Alcotest.test_case "liveness" `Quick test_liveness;
+          Alcotest.test_case "convergence bound" `Slow test_dataflow_converges;
+          Alcotest.test_case "reaching writes" `Quick test_reaching_writes;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "catalog W1001..W1007" `Quick test_lint_catalog;
+          Alcotest.test_case "bundled golden set" `Slow test_lint_bundled;
+          Alcotest.test_case "werror promotion" `Quick test_lint_promote;
+          Alcotest.test_case "codes registered" `Quick test_w_codes_registered;
+        ] );
+      ( "netcheck",
+        [
+          Alcotest.test_case "structural violations" `Quick test_netcheck;
+          Alcotest.test_case "signal provenance" `Quick test_signal_provenance;
+        ] );
+      ( "verify-each",
+        [ Alcotest.test_case "byte-identical grid" `Slow test_verify_each_equivalent ] );
+    ]

@@ -106,7 +106,9 @@ let test_registry () =
   List.iter
     (fun c ->
       check_bool (c ^ " shaped") true
-        (String.length c = 5 && c.[0] = 'E' && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub c 1 4)))
+        (String.length c = 5
+        && (c.[0] = 'E' || c.[0] = 'W')
+        && String.for_all (fun ch -> ch >= '0' && ch <= '9') (String.sub c 1 4)))
     codes
 
 (* ---- collector ordering ---- *)

@@ -185,11 +185,14 @@ let prop_flow_matches_interp =
       rd_ok && cr_ok)
 
 (* the generated sources also exercise the SystemVerilog emitter: emitted
-   text must at least be non-empty and free of internal op names *)
+   text must at least be non-empty and free of internal op names. Compiled
+   with --verify-each, so the dialect-aware verifier also vets the IR
+   after every optimization pass on every random behavior. *)
 let prop_sv_clean =
   QCheck.Test.make ~name:"random behaviors emit clean SV" ~count:30 QCheck.small_nat (fun seed ->
       let tu = compile_fuzz seed in
-      let c = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
+      let request = Longnail.Flow.Request.make ~verify_each:true () in
+      let c = Longnail.Flow.compile_request request Scaiev.Datasheet.vexriscv tu in
       let f = Option.get (Longnail.Flow.find_func c "FZ") in
       let sv = f.cf_sv in
       let contains needle =
@@ -265,9 +268,12 @@ let prop_mutations_yield_diagnostics =
       | Ok tu -> (
           (* the mutation survived the front end: the back end must still
              either succeed or fail with a structured diagnostic — any
-             bare Failure/Invalid_argument fails the property *)
+             bare Failure/Invalid_argument fails the property. Compiled
+             with --verify-each so malformed IR out of any pass surfaces
+             as E0512 rather than a downstream crash. *)
           try
-            ignore (Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu);
+            let request = Longnail.Flow.Request.make ~verify_each:true () in
+            ignore (Longnail.Flow.compile_request request Scaiev.Datasheet.vexriscv tu);
             true
           with Diag.Fatal ds -> structured ds))
 
