@@ -385,6 +385,145 @@ let par_json ~jobs ?(verify_each = false) ~assert_equal () =
     "\"par\":{\"jobs\":%d,\"host_cores\":%d,\"targets\":%d,\"seq_ms\":%.3f,\"par_ms\":%.3f,\"speedup\":%.2f,\"bytes_equal\":%b}"
     jobs (Par.available_workers ()) (List.length targets) seq_ms par_ms speedup bytes_equal
 
+(* Cross-process warm compile via the on-disk artifact store, simulated
+   by two fresh in-memory sessions sharing one store directory: the
+   "cold process" populates the store, the "warm process" must answer
+   every target from disk — zero misses, no netlists rebuilt — with
+   byte-identical artifacts (they *are* the cold run's bytes). *)
+let disk_cache_json () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "longnail-bench-disk-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  if Sys.file_exists dir then rm dir;
+  let targets =
+    List.map
+      (fun (e : Isax.Registry.entry) ->
+        (Scaiev.Datasheet.vexriscv, Isax.Registry.compile e))
+      Isax.Registry.all
+  in
+  let run_process () =
+    let disk = Cache.Disk.open_store dir in
+    let psession = Longnail.Flow.create_session ~disk () in
+    let request = Longnail.Flow.Request.make ~session:psession () in
+    let t0 = Unix.gettimeofday () in
+    let outs = Longnail.Flow.compile_many_outputs ~request targets in
+    ((Unix.gettimeofday () -. t0) *. 1000.0, outs, Cache.Disk.stats disk)
+  in
+  let cold_ms, cold, cold_st = run_process () in
+  let warm_ms, warm, warm_st = run_process () in
+  let outputs_bytes (o : Longnail.Flow.outputs) =
+    String.concat "\x00"
+      (List.map (fun (f : Longnail.Flow.output_func) -> f.of_sv) o.o_funcs)
+    ^ "\x01" ^ o.o_yaml
+  in
+  let bytes_equal =
+    List.length cold = List.length warm
+    && List.for_all2 (fun a b -> outputs_bytes a = outputs_bytes b) cold warm
+  in
+  if not bytes_equal then
+    Diag.fatalf ~code:"E0901"
+      "internal: disk-warm compile produced different artifact bytes than the cold run";
+  if warm_st.Cache.Disk.hits = 0 || warm_st.Cache.Disk.misses > 0 then
+    Diag.fatalf ~code:"E0901"
+      "internal: warm process expected all-hit disk reload, got %d hits / %d misses"
+      warm_st.Cache.Disk.hits warm_st.Cache.Disk.misses;
+  let speedup = cold_ms /. Float.max warm_ms 1e-6 in
+  if speedup < 2.0 then
+    Diag.fatalf ~code:"E0901"
+      "internal: disk-warm speedup %.2fx < 2x (cold %.1f ms, warm %.1f ms)" speedup cold_ms
+      warm_ms;
+  rm dir;
+  let stats_json (st : Cache.Disk.stats) =
+    Printf.sprintf
+      "{\"hits\":%d,\"misses\":%d,\"stores\":%d,\"evictions\":%d,\"corrupt\":%d,\"bytes\":%d}"
+      st.hits st.misses st.stores st.evictions st.corrupt st.bytes
+  in
+  Printf.sprintf
+    "\"disk_cache\":{\"targets\":%d,\"cold_ms\":%.3f,\"warm_ms\":%.3f,\"warm_speedup\":%.2f,\"bytes_equal\":%b,\"cold\":%s,\"warm\":%s}"
+    (List.length targets) cold_ms warm_ms speedup bytes_equal (stats_json cold_st)
+    (stats_json warm_st)
+
+(* Serve-daemon throughput: run the daemon on a spawned domain against a
+   temp socket, sweep every bundled ISAX through one client twice (cold
+   session, then warm), then hit the warm daemon from several concurrent
+   client domains. A malformed request is thrown in at the end to prove
+   per-request isolation before the clean shutdown. *)
+let serve_json () =
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "longnail-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists socket then Sys.remove socket;
+  let srv = Server.create ~session:(Longnail.Flow.create_session ()) ~socket () in
+  let daemon = Domain.spawn (fun () -> Server.serve srv) in
+  let req id isax =
+    Printf.sprintf {|{"id":%d,"op":"compile","isax":"%s","core":"vexriscv"}|} id isax
+  in
+  let isaxes = List.map (fun (e : Isax.Registry.entry) -> e.name) Isax.Registry.all in
+  let ok_done events =
+    match List.rev events with
+    | last :: _ -> Server.Json.get_bool (Server.Json.member "ok" last) = Some true
+    | [] -> false
+  in
+  let sweep c tag =
+    List.iteri
+      (fun i name ->
+        if not (ok_done (Server.Client.request c (req i name))) then
+          Diag.fatalf ~code:"E0901" "internal: %s serve request for %s failed" tag name)
+      isaxes
+  in
+  let c = Server.Client.connect ~retries:50 socket in
+  let t0 = Unix.gettimeofday () in
+  sweep c "cold";
+  let t1 = Unix.gettimeofday () in
+  sweep c "warm";
+  let t2 = Unix.gettimeofday () in
+  Server.Client.close c;
+  let cold_ms = (t1 -. t0) *. 1000.0 and warm_ms = (t2 -. t1) *. 1000.0 in
+  let n_clients = 4 in
+  let t3 = Unix.gettimeofday () in
+  let workers =
+    List.init n_clients (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Server.Client.connect ~retries:50 socket in
+            let ok =
+              List.for_all
+                (fun name -> ok_done (Server.Client.request c (req 0 name)))
+                isaxes
+            in
+            Server.Client.close c;
+            ok))
+  in
+  let oks = List.map Domain.join workers in
+  let concurrent_ms = (Unix.gettimeofday () -. t3) *. 1000.0 in
+  if not (List.for_all Fun.id oks) then
+    Diag.fatalf ~code:"E0901" "internal: a concurrent serve client failed";
+  let c = Server.Client.connect socket in
+  (match Server.Client.request c {|{"op":|} with
+  | [ j ] when Server.Json.get_bool (Server.Json.member "ok" j) = Some false -> ()
+  | _ ->
+      Diag.fatalf ~code:"E0901"
+        "internal: a malformed request did not produce a single error done event");
+  sweep c "post-error";
+  ignore (Server.Client.request c {|{"op":"shutdown"}|});
+  Server.Client.close c;
+  Domain.join daemon;
+  let n = List.length isaxes in
+  let rps ms reqs = float_of_int reqs /. Float.max (ms /. 1000.0) 1e-9 in
+  Printf.sprintf
+    "\"serve\":{\"targets\":%d,\"clients\":%d,\"cold_ms\":%.3f,\"warm_ms\":%.3f,\"warm_rps\":%.1f,\"concurrent_ms\":%.3f,\"concurrent_rps\":%.1f,\"requests\":%d}"
+    n n_clients cold_ms warm_ms (rps warm_ms n) concurrent_ms
+    (rps concurrent_ms (n_clients * n))
+    (Server.requests_served srv)
+
 (* Static-analysis timing: run the W1xxx linter over every bundled ISAX
    and report per-unit wall time and warning counts. The total count is
    the same figure the CI lint gate pins via docs/LINT_GOLDEN.txt. *)
@@ -440,6 +579,10 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_
   let sweep_json = dse_sweep_json () in
   Printf.eprintf "running parallel-vs-sequential grid (jobs=%d)...\n%!" jobs;
   let parallel_json = par_json ~jobs ~verify_each ~assert_equal:assert_par_equal () in
+  Printf.eprintf "running cold-vs-warm disk store...\n%!";
+  let disk_json = disk_cache_json () in
+  Printf.eprintf "running serve-daemon throughput...\n%!";
+  let serving_json = serve_json () in
   Printf.eprintf "linting bundled ISAXes...\n%!";
   let linting_json = lint_json () in
   let b = Buffer.create (64 * 1024) in
@@ -447,6 +590,8 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_
   Buffer.add_string b "\"tool\":\"bench/main.exe perf --json\",";
   Buffer.add_string b (sweep_json ^ ",");
   Buffer.add_string b (parallel_json ^ ",");
+  Buffer.add_string b (disk_json ^ ",");
+  Buffer.add_string b (serving_json ^ ",");
   Buffer.add_string b (linting_json ^ ",");
   Buffer.add_string b "\"targets\":[";
   List.iteri
@@ -694,8 +839,9 @@ let usage_error fmt =
   Printf.ksprintf
     (fun m ->
       Printf.eprintf
-        "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --assert-cache-hits,\n\
-        \       --assert-par-equal, plus the shared knob flags (--jobs N, --scheduler KIND, ...)\n"
+        "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --repeat N,\n\
+        \       --assert-cache-hits, --assert-par-equal, plus the shared knob flags\n\
+        \       (--jobs N, --scheduler KIND, ...)\n"
         m
         (String.concat " " (List.map fst all_targets));
       exit 2)
@@ -706,9 +852,10 @@ let main () =
      Longnail.Knob_flags) are stripped first; the bench's own parser gets
      the leftovers. Flags first, then target names; every name is
      validated before any target runs, and errors exit nonzero (code 2
-     for usage) — CI depends on the exit codes. Target names may repeat:
-     `perf perf --assert-cache-hits` runs the case study twice in one
-     process to prove the session stays warm. *)
+     for usage) — CI depends on the exit codes. Target names may repeat,
+     and `--repeat N` repeats the whole target list: the CI cache gate
+     runs `perf --repeat 2 --assert-cache-hits` so the second pass must
+     be served from the shared session. *)
   let kf, rest =
     match
       Longnail.Knob_flags.parse Longnail.Knob_flags.default (List.tl (Array.to_list Sys.argv))
@@ -716,23 +863,33 @@ let main () =
     | Ok r -> r
     | Error m -> usage_error "%s" m
   in
-  let rec parse (targets, json, schema, assert_hits, assert_par) = function
-    | [] -> (List.rev targets, json, schema, assert_hits, assert_par)
-    | "--json" :: path :: rest -> parse (targets, Some path, schema, assert_hits, assert_par) rest
-    | "--schema" :: path :: rest -> parse (targets, json, Some path, assert_hits, assert_par) rest
-    | "--assert-cache-hits" :: rest -> parse (targets, json, schema, true, assert_par) rest
-    | "--assert-par-equal" :: rest -> parse (targets, json, schema, assert_hits, true) rest
-    | ("--json" | "--schema") :: [] -> usage_error "missing file argument"
+  let rec parse (targets, json, schema, repeat, assert_hits, assert_par) = function
+    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par)
+    | "--json" :: path :: rest ->
+        parse (targets, Some path, schema, repeat, assert_hits, assert_par) rest
+    | "--schema" :: path :: rest ->
+        parse (targets, json, Some path, repeat, assert_hits, assert_par) rest
+    | "--repeat" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k when k >= 1 -> parse (targets, json, schema, k, assert_hits, assert_par) rest
+        | _ -> usage_error "--repeat expects an integer >= 1, got '%s'" n)
+    | "--assert-cache-hits" :: rest ->
+        parse (targets, json, schema, repeat, true, assert_par) rest
+    | "--assert-par-equal" :: rest ->
+        parse (targets, json, schema, repeat, assert_hits, true) rest
+    | ("--json" | "--schema" | "--repeat") :: [] -> usage_error "missing flag argument"
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
         usage_error "unknown flag '%s'" a
-    | a :: rest -> parse (a :: targets, json, schema, assert_hits, assert_par) rest
+    | a :: rest -> parse (a :: targets, json, schema, repeat, assert_hits, assert_par) rest
   in
-  let names, json, schema, assert_hits, assert_par_equal =
-    parse ([], None, None, false, false) rest
+  let names, json, schema, repeat, assert_hits, assert_par_equal =
+    parse ([], None, None, 1, false, false) rest
   in
   List.iter
     (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
     names;
+  if repeat > 1 && names = [] then usage_error "--repeat needs explicit target names";
+  let names = List.concat (List.init repeat (fun _ -> names)) in
   (match (json, schema) with
   | (Some _, _ | _, Some _) when not (List.mem "perf" names) ->
       usage_error "--json/--schema require the 'perf' target"

@@ -10,7 +10,12 @@
      longnail bundled [-n dotprod]
          list (or print) the bundled benchmark ISAXes
      longnail asic -c vexriscv -n dotprod
-         run the ASIC flow model on a bundled ISAX *)
+         run the ASIC flow model on a bundled ISAX
+     longnail serve --socket PATH [--store DIR]
+         long-running compile daemon: line-delimited JSON requests over
+         a Unix socket against one warm session (docs/SERVE.md)
+     longnail client --socket PATH [REQUEST | --ping | --shutdown]
+         send one request (or stdin lines) to a serve daemon *)
 
 open Cmdliner
 
@@ -164,35 +169,64 @@ let compile_cmd =
          target, so the profile schema (parallel_compile / target:* spans)
          is identical at any --jobs value *)
       let request = Longnail.Knob_flags.request ~session ?obs kf in
-      let c =
-        match Longnail.Flow.compile_many ~request [ (core, tu) ] with
-        | [ c ] -> c
-        | _ -> Diag.fatalf ~code:"E0901" "internal: compile_many lost the target"
-      in
-      if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
-      List.iter
-        (fun (f : Longnail.Flow.compiled_functionality) ->
-          let path = Filename.concat outdir (f.cf_name ^ ".sv") in
-          write_file path f.cf_sv;
-          note "wrote %s (%s, last stage %d)\n" path
-            (Scaiev.Config.mode_to_string f.cf_mode)
-            f.cf_hw.Longnail.Hwgen.max_stage;
-          if dot then begin
-            let dpath = Filename.concat outdir (f.cf_name ^ ".dot") in
-            let time_of oid =
-              try
-                Some
-                  (Longnail.Sched_build.start_time f.cf_built
-                     (List.find (fun (o : Ir.Mir.op) -> o.oid = oid) (Ir.Mir.all_ops f.cf_lil)))
-              with _ -> None
-            in
-            write_file dpath (Ir.Dot.of_graph ~time_of f.cf_lil);
-            note "wrote %s\n" dpath
-          end)
-        c.funcs;
-      let cfg_path = Filename.concat outdir "scaiev_config.yaml" in
-      write_file cfg_path c.config_yaml;
-      note "wrote %s\n" cfg_path;
+      (match Longnail.Flow.session_disk session with
+      | Some disk ->
+          (* disk-backed path: compile (or reload) the portable output
+             projection; a warm hit never rebuilds netlists, so the full
+             artifacts --dot needs do not exist here *)
+          if dot then
+            Diag.fatalf ~code:"E0902"
+              "--dot needs the full compile artifacts and cannot be combined with --store";
+          let o =
+            match Longnail.Flow.compile_many_outputs ~request [ (core, tu) ] with
+            | [ o ] -> o
+            | _ -> Diag.fatalf ~code:"E0901" "internal: compile_many_outputs lost the target"
+          in
+          if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+          List.iter
+            (fun (f : Longnail.Flow.output_func) ->
+              let path = Filename.concat outdir (f.of_name ^ ".sv") in
+              write_file path f.of_sv;
+              note "wrote %s (%s, last stage %d)\n" path f.of_mode f.of_max_stage)
+            o.o_funcs;
+          let cfg_path = Filename.concat outdir "scaiev_config.yaml" in
+          write_file cfg_path o.o_yaml;
+          note "wrote %s\n" cfg_path;
+          let st = Cache.Disk.stats disk in
+          note "disk-store: hits=%d misses=%d stores=%d evictions=%d corrupt=%d\n"
+            st.Cache.Disk.hits st.misses st.stores st.evictions st.corrupt
+      | None ->
+          let c =
+            match Longnail.Flow.compile_many ~request [ (core, tu) ] with
+            | [ c ] -> c
+            | _ -> Diag.fatalf ~code:"E0901" "internal: compile_many lost the target"
+          in
+          if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
+          List.iter
+            (fun (f : Longnail.Flow.compiled_functionality) ->
+              let path = Filename.concat outdir (f.cf_name ^ ".sv") in
+              write_file path f.cf_sv;
+              note "wrote %s (%s, last stage %d)\n" path
+                (Scaiev.Config.mode_to_string f.cf_mode)
+                f.cf_hw.Longnail.Hwgen.max_stage;
+              if dot then begin
+                let dpath = Filename.concat outdir (f.cf_name ^ ".dot") in
+                let time_of oid =
+                  try
+                    Some
+                      (Longnail.Sched_build.start_time f.cf_built
+                         (List.find
+                            (fun (o : Ir.Mir.op) -> o.oid = oid)
+                            (Ir.Mir.all_ops f.cf_lil)))
+                  with _ -> None
+                in
+                write_file dpath (Ir.Dot.of_graph ~time_of f.cf_lil);
+                note "wrote %s\n" dpath
+              end)
+            c.funcs;
+          let cfg_path = Filename.concat outdir "scaiev_config.yaml" in
+          write_file cfg_path c.config_yaml;
+          note "wrote %s\n" cfg_path);
       Option.iter Obs.finish obs;
       (match (profile, obs) with
       | Some `Pretty, Some s ->
@@ -502,6 +536,102 @@ let diag_cmd =
   let doc = "Inspect the diagnostics engine (error-code registry)." in
   Cmd.v (Cmd.info "diag" ~doc) Term.(ret (const run $ list_codes))
 
+(* ---- serve: the long-running compile daemon ---- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path of the daemon.")
+
+let serve_cmd =
+  let run efmt socket knob_settings =
+    error_format := efmt;
+    match resolve_knob_flags knob_settings with
+    | Error msg -> `Error (true, msg)
+    | Ok kf ->
+        (* one session for the daemon's whole lifetime: every request
+           shares the in-memory stores and (with --store) the disk store *)
+        let session = Longnail.Knob_flags.session kf in
+        let srv = Server.create ~jobs:kf.Longnail.Knob_flags.jobs ~session ~socket () in
+        Printf.eprintf "longnail serve: listening on %s (pid %d)\n%!" socket (Unix.getpid ());
+        let stop _ = Server.stop srv in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop) with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop) with Invalid_argument _ -> ());
+        Server.serve srv;
+        Printf.eprintf "longnail serve: %d request(s) served, exiting\n%!"
+          (Server.requests_served srv);
+        `Ok ()
+  in
+  let doc =
+    "Serve compile/lint/DSE requests over a Unix-domain socket (line-delimited JSON, \
+     docs/SERVE.md). The session — and with $(b,--store), the on-disk artifact store — stays \
+     warm across requests; $(b,--jobs) sets the default worker-domain count."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(ret (const run $ error_format_arg $ socket_arg $ knob_flags_term))
+
+(* ---- client: talk to a running daemon ---- *)
+
+let client_cmd =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra connection attempts (0.1 s apart) while the daemon starts up.")
+  in
+  let ping_arg = Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping request.") in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to exit.")
+  in
+  let req_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "One JSON request line to send; '-' (or no request) reads request lines from              stdin instead.")
+  in
+  let run efmt socket retries ping shutdown req =
+    error_format := efmt;
+    let c = Server.Client.connect ~retries socket in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+    (* print every response line; the final done event's ok decides the
+       exit code (1 = the daemon reported diagnostics) *)
+    let do_one line =
+      let events = Server.Client.request c line in
+      List.iter (fun j -> print_endline (Server.Json.to_string j)) events;
+      match List.rev events with
+      | last :: _ -> Server.Json.get_bool (Server.Json.member "ok" last) = Some true
+      | [] -> false
+    in
+    let ok =
+      match (ping, shutdown, req) with
+      | true, false, None -> do_one {|{"op":"ping"}|}
+      | false, true, None -> do_one {|{"op":"shutdown"}|}
+      | false, false, Some line when line <> "-" -> do_one line
+      | false, false, (None | Some "-") ->
+          let rec go acc =
+            match input_line stdin with
+            | line ->
+                let ok = if String.trim line = "" then true else do_one line in
+                go (acc && ok)
+            | exception End_of_file -> acc
+          in
+          go true
+      | _ ->
+          Diag.fatalf ~code:"E0902"
+            "conflicting client inputs: --ping, --shutdown and REQUEST are mutually exclusive"
+    in
+    if ok then `Ok () else exit 1
+  in
+  let doc =
+    "Send requests to a running $(b,longnail serve) daemon and print its JSON responses (one \
+     per line)."
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(ret (const run $ error_format_arg $ socket_arg $ retries_arg $ ping_arg $ shutdown_arg $ req_arg))
+
 (* ---- entry point ----
 
    Exit codes: 0 success; 1 user diagnostics (rendered per
@@ -517,7 +647,18 @@ let () =
   let info = Cmd.info "longnail" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ compile_cmd; cores_cmd; bundled_cmd; asic_cmd; report_cmd; run_cmd; lint_cmd; diag_cmd ]
+      [
+        compile_cmd;
+        cores_cmd;
+        bundled_cmd;
+        asic_cmd;
+        report_cmd;
+        run_cmd;
+        lint_cmd;
+        diag_cmd;
+        serve_cmd;
+        client_cmd;
+      ]
   in
   match Cmd.eval_value ~catch:false group with
   | Ok (`Ok () | `Version | `Help) -> exit 0

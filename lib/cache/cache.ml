@@ -330,6 +330,9 @@ module Fp = struct
         add_float b c.base_freq_mhz)
 end
 
+(* The persistent on-disk sibling of [Store]; implementation in disk.ml. *)
+module Disk = Disk
+
 module Store = struct
   type stats = { hits : int; misses : int; stores : int; evictions : int }
 

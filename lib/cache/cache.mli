@@ -67,6 +67,76 @@ module Fp : sig
       plus the ASIC baselines. *)
 end
 
+module Disk : sig
+  (** Content-addressed {e on-disk} artifact store: the persistent
+      sibling of {!Store}, shared across processes so a fresh process —
+      or the [longnail serve] daemon after a restart — is served warm.
+      One self-describing file per artifact under a versioned root
+      ([DIR/v{!format_version}/<md5(key)>.art]); writes are published
+      with an atomic rename; corrupted, truncated or wrong-version
+      entries are evicted and recomputed, never fatal. Eviction is LRU
+      by file mtime against a byte budget. Safe for concurrent use from
+      multiple domains and (thanks to atomic publication of
+      content-addressed keys) from multiple processes. See
+      docs/CACHING.md for the file format. *)
+
+  type stats = {
+    hits : int;
+    misses : int;
+    stores : int;
+    evictions : int;
+    corrupt : int;  (** entries rejected (and evicted) as invalid *)
+    bytes : int;  (** bytes currently on disk (entry files, incl. headers) *)
+  }
+
+  type t
+
+  val format_version : int
+  (** Version stamp of the store layout {e and} entry encoding. Bumping
+      it moves the root to a fresh [v<N>] directory, so incompatible old
+      entries are never misread. *)
+
+  val default_budget_bytes : int
+  (** 256 MiB. *)
+
+  val open_store : ?budget_bytes:int -> string -> t
+  (** [open_store dir] opens (creating if needed) the store rooted at
+      [dir/v{!format_version}] and scans existing entries into the size
+      accounting. Opening never validates payloads — corruption is
+      detected (and healed) lazily on lookup. *)
+
+  val dir : t -> string
+  (** The versioned root directory. *)
+
+  val find : t -> ?obs:Obs.scope -> string -> string option
+  (** [find t key] returns the stored payload, or [None] on a miss. A
+      hit bumps the entry's LRU clock. An invalid entry (truncated,
+      corrupted, wrong format version, checksum mismatch) counts as
+      [corrupt], is deleted, and reads as a miss. With [obs], records
+      [disk.hit] / [disk.miss] / [disk.store] counters on that span (all
+      three always present, like {!Store.find_or_add}). *)
+
+  val store : t -> ?obs:Obs.scope -> string -> string -> unit
+  (** [store t key payload] atomically publishes [key -> payload]
+      (write-temp-then-rename) and then evicts least-recently-used
+      entries until the store fits its byte budget. The entry just
+      written always survives its own store. *)
+
+  val find_or_add : t -> ?obs:Obs.scope -> string -> (unit -> string) -> string
+
+  val remove : t -> string -> unit
+
+  val length : t -> int
+  (** Number of entries currently on disk. *)
+
+  val stats : t -> stats
+
+  val record_stats : t -> name:string -> Obs.scope -> unit
+  (** Write cumulative [NAME.hits] / [NAME.misses] / [NAME.stores] /
+      [NAME.evictions] / [NAME.corrupt] / [NAME.bytes] metrics onto a
+      span. *)
+end
+
 module Store : sig
   type stats = { hits : int; misses : int; stores : int; evictions : int }
 

@@ -1,0 +1,322 @@
+(* Content-addressed on-disk artifact store (docs/CACHING.md).
+
+   The persistent sibling of [Store]: a byte store keyed by the same
+   content-addressed strings the compilation sessions use, surviving
+   process restarts so a second process (or the [longnail serve] daemon
+   after a restart) is served warm.
+
+   Layout: one file per artifact under a versioned root,
+
+     DIR/v<format_version>/<md5(key)>.art
+
+   so a store-format change bumps [format_version] and old entries are
+   simply never looked at again (the old vN directory is inert, not
+   misread). Each entry file is fully self-describing:
+
+     longnail-artifact <format_version>\n
+     key <byte-length>\n
+     <key bytes>\n
+     payload <byte-length> md5 <hex digest of payload>\n
+     <payload bytes>
+
+   Writes go to a temp file in the same directory and are published with
+   an atomic [Sys.rename]: a reader (same process, another domain, or
+   another process) sees either the complete old entry, the complete new
+   entry, or nothing — never a torn write. Readers validate everything
+   (magic, version, lengths, stored key, payload checksum); any mismatch
+   — truncation, corruption, a foreign file, an md5 filename collision —
+   is treated as a miss, the offending file is evicted, and the caller
+   recomputes. Corruption is never fatal.
+
+   Eviction is LRU by file mtime against a byte budget: hits bump the
+   entry's mtime, stores evict oldest-first until the store fits. All
+   in-process state is guarded by one mutex, so a store can be shared
+   across the worker domains of docs/PARALLELISM.md; cross-process
+   mutual exclusion is not needed because publication is atomic and the
+   last writer of a key wins with an identical artifact (keys are
+   content-addressed). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;  (* entries rejected (and evicted) as invalid *)
+  bytes : int;  (* payload+header bytes currently on disk *)
+}
+
+let format_version = 1
+let magic = "longnail-artifact"
+let default_budget_bytes = 256 * 1024 * 1024
+
+type t = {
+  root : string;  (* the versioned root: DIR/v<format_version> *)
+  budget_bytes : int;
+  lock : Mutex.t;
+  (* entry-file basename -> size in bytes, mirrors the directory; kept
+     in sync under [lock] so eviction never has to re-scan *)
+  sizes : (string, int) Hashtbl.t;
+  mutable total_bytes : int;
+  mutable tmp_counter : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+}
+
+let entry_suffix = ".art"
+
+let is_entry name =
+  let n = String.length name and m = String.length entry_suffix in
+  n > m && String.sub name (n - m) m = entry_suffix
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_store ?(budget_bytes = default_budget_bytes) dir =
+  let root = Filename.concat dir (Printf.sprintf "v%d" format_version) in
+  mkdir_p root;
+  let sizes = Hashtbl.create 64 in
+  let total = ref 0 in
+  Array.iter
+    (fun name ->
+      if is_entry name then begin
+        match Unix.stat (Filename.concat root name) with
+        | { Unix.st_kind = Unix.S_REG; st_size; _ } ->
+            Hashtbl.replace sizes name st_size;
+            total := !total + st_size
+        | _ | (exception Unix.Unix_error _) -> ()
+      end)
+    (Sys.readdir root);
+  {
+    root;
+    budget_bytes = max 0 budget_bytes;
+    lock = Mutex.create ();
+    sizes;
+    total_bytes = !total;
+    tmp_counter = 0;
+    hits = 0;
+    misses = 0;
+    stores = 0;
+    evictions = 0;
+    corrupt = 0;
+  }
+
+let dir t = t.root
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        stores = t.stores;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+        bytes = t.total_bytes;
+      })
+
+let length t = Mutex.protect t.lock (fun () -> Hashtbl.length t.sizes)
+
+let basename_of_key key = Digest.to_hex (Digest.string key) ^ entry_suffix
+let path_of_basename t base = Filename.concat t.root base
+
+(* drop an entry from disk and the size mirror; caller holds [lock] *)
+let drop_locked t base =
+  (try Sys.remove (path_of_basename t base) with Sys_error _ -> ());
+  match Hashtbl.find_opt t.sizes base with
+  | Some sz ->
+      Hashtbl.remove t.sizes base;
+      t.total_bytes <- t.total_bytes - sz
+  | None -> ()
+
+(* ---- entry encoding ---- *)
+
+let encode_entry key payload =
+  let b = Buffer.create (String.length payload + String.length key + 128) in
+  Buffer.add_string b (Printf.sprintf "%s %d\n" magic format_version);
+  Buffer.add_string b (Printf.sprintf "key %d\n" (String.length key));
+  Buffer.add_string b key;
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (Printf.sprintf "payload %d md5 %s\n" (String.length payload)
+       (Digest.to_hex (Digest.string payload)));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+exception Invalid_entry
+
+(* Decode and validate one entry file against [key]. Raises
+   [Invalid_entry] on any structural problem; returns [None] when the
+   file is a valid entry for a *different* key (md5 filename collision —
+   not corruption, just a miss). *)
+let decode_entry ~key contents =
+  let pos = ref 0 in
+  let line () =
+    match String.index_from_opt contents !pos '\n' with
+    | None -> raise Invalid_entry
+    | Some i ->
+        let l = String.sub contents !pos (i - !pos) in
+        pos := i + 1;
+        l
+  in
+  let take n =
+    if n < 0 || !pos + n > String.length contents then raise Invalid_entry;
+    let s = String.sub contents !pos n in
+    pos := !pos + n;
+    s
+  in
+  (match String.split_on_char ' ' (line ()) with
+  | [ m; v ] when m = magic && int_of_string_opt v = Some format_version -> ()
+  | _ -> raise Invalid_entry);
+  let key_len =
+    match String.split_on_char ' ' (line ()) with
+    | [ "key"; n ] -> (
+        match int_of_string_opt n with Some n when n >= 0 -> n | _ -> raise Invalid_entry)
+    | _ -> raise Invalid_entry
+  in
+  let stored_key = take key_len in
+  if take 1 <> "\n" then raise Invalid_entry;
+  let payload_len, digest =
+    match String.split_on_char ' ' (line ()) with
+    | [ "payload"; n; "md5"; d ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 0 && String.length d = 32 -> (n, d)
+        | _ -> raise Invalid_entry)
+    | _ -> raise Invalid_entry
+  in
+  let payload = take payload_len in
+  if !pos <> String.length contents then raise Invalid_entry;
+  if Digest.to_hex (Digest.string payload) <> digest then raise Invalid_entry;
+  if stored_key <> key then None else Some payload
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* ---- lookups ---- *)
+
+let touch path =
+  (* bump mtime so LRU eviction sees the access; best-effort *)
+  try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ()
+
+let find t ?obs key =
+  Obs.incr_opt obs "disk.hit" ~by:0 ();
+  Obs.incr_opt obs "disk.miss" ~by:0 ();
+  Obs.incr_opt obs "disk.store" ~by:0 ();
+  let base = basename_of_key key in
+  let path = path_of_basename t base in
+  let outcome =
+    Mutex.protect t.lock (fun () ->
+        if not (Sys.file_exists path) then begin
+          t.misses <- t.misses + 1;
+          `Miss
+        end
+        else
+          match decode_entry ~key (read_file path) with
+          | Some payload ->
+              t.hits <- t.hits + 1;
+              touch path;
+              `Hit payload
+          | None ->
+              (* valid entry for another key (md5 collision): plain miss *)
+              t.misses <- t.misses + 1;
+              `Miss
+          | exception (Invalid_entry | Sys_error _ | End_of_file) ->
+              (* truncated / corrupted / foreign: evict, recompute *)
+              t.corrupt <- t.corrupt + 1;
+              t.evictions <- t.evictions + 1;
+              t.misses <- t.misses + 1;
+              drop_locked t base;
+              `Miss)
+  in
+  match outcome with
+  | `Hit payload ->
+      Obs.incr_opt obs "disk.hit" ();
+      Some payload
+  | `Miss ->
+      Obs.incr_opt obs "disk.miss" ();
+      None
+
+(* evict least-recently-used entries until the store fits the budget;
+   caller holds [lock]. [keep] is never evicted (the entry just stored
+   must survive its own store, even when it alone exceeds the budget). *)
+let evict_to_budget_locked t ~keep =
+  if t.total_bytes > t.budget_bytes then begin
+    let by_age =
+      Hashtbl.fold
+        (fun base _ acc ->
+          if base = keep then acc
+          else
+            match Unix.stat (path_of_basename t base) with
+            | st -> (st.Unix.st_mtime, base) :: acc
+            | exception Unix.Unix_error _ ->
+                (* vanished underneath us (another process evicted it):
+                   just forget it *)
+                (neg_infinity, base) :: acc)
+        t.sizes []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (_, base) ->
+        if t.total_bytes > t.budget_bytes then begin
+          drop_locked t base;
+          t.evictions <- t.evictions + 1
+        end)
+      by_age
+  end
+
+let store t ?obs key payload =
+  let base = basename_of_key key in
+  let path = path_of_basename t base in
+  let entry = encode_entry key payload in
+  Mutex.protect t.lock (fun () ->
+      let tmp =
+        t.tmp_counter <- t.tmp_counter + 1;
+        Filename.concat t.root
+          (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) t.tmp_counter)
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc entry;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      (* atomic publication: readers see the old entry or the new one *)
+      Sys.rename tmp path;
+      (match Hashtbl.find_opt t.sizes base with
+      | Some old -> t.total_bytes <- t.total_bytes - old
+      | None -> ());
+      Hashtbl.replace t.sizes base (String.length entry);
+      t.total_bytes <- t.total_bytes + String.length entry;
+      t.stores <- t.stores + 1;
+      evict_to_budget_locked t ~keep:base);
+  Obs.incr_opt obs "disk.store" ()
+
+let find_or_add t ?obs key compute =
+  match find t ?obs key with
+  | Some payload -> payload
+  | None ->
+      let payload = compute () in
+      store t ?obs key payload;
+      payload
+
+let remove t key =
+  Mutex.protect t.lock (fun () -> drop_locked t (basename_of_key key))
+
+let record_stats t ~name (obs : Obs.scope) =
+  let s = stats t in
+  Obs.metric_int obs (name ^ ".hits") s.hits;
+  Obs.metric_int obs (name ^ ".misses") s.misses;
+  Obs.metric_int obs (name ^ ".stores") s.stores;
+  Obs.metric_int obs (name ^ ".evictions") s.evictions;
+  Obs.metric_int obs (name ^ ".corrupt") s.corrupt;
+  Obs.metric_int obs (name ^ ".bytes") s.bytes

@@ -102,6 +102,8 @@ let all_codes =
     ("E0901", "internal error");
     ("E0902", "conflicting compile options");
     ("E0903", "lowering invariant violation");
+    ("E0910", "malformed serve request");
+    ("E0911", "serve transport error");
     ("W1001", "dead assignment: computed value is never used");
     ("W1002", "unused encoding field");
     ("W1003", "unused architectural register");

@@ -155,6 +155,13 @@ type session = {
   s_ir : func_ir Cache.Store.t;
   s_func : compiled_functionality Cache.Store.t;
   s_target : compiled Cache.Store.t;
+  s_disk : Cache.Disk.t option;
+      (* persistent spill: whole-target output artifacts (SV + YAML +
+         integration facts) are additionally written to / served from a
+         content-addressed on-disk store, so a *fresh process* opening
+         the same store directory compiles warm. Only [compile_outputs]
+         / [compile_many_outputs] consult it: the full [compiled] value
+         (netlists, schedules, adapters) exists only on real compiles. *)
   (* fingerprint memos, keyed by physical identity: reusing the same
      tunit/datasheet value across lookups skips re-serialization. Guarded
      by [s_fp_lock]: sessions are shared across worker domains. *)
@@ -163,17 +170,20 @@ type session = {
   mutable s_core_fps : (Scaiev.Datasheet.t * Cache.Fp.t) list;
 }
 
-let create_session ?capacity ?(enabled = true) () =
+let create_session ?capacity ?(enabled = true) ?disk () =
   let capacity = if enabled then capacity else Some 0 in
   {
     s_frontend = Cache.Store.create ?capacity ~name:"frontend" ();
     s_ir = Cache.Store.create ?capacity ~name:"ir" ();
     s_func = Cache.Store.create ?capacity ~name:"sched" ();
     s_target = Cache.Store.create ?capacity ~name:"target" ();
+    s_disk = disk;
     s_fp_lock = Mutex.create ();
     s_unit_fps = [];
     s_core_fps = [];
   }
+
+let session_disk s = s.s_disk
 
 let session_stats s =
   [
@@ -608,3 +618,154 @@ let compile_many ?knobs ?session ?obs ?request targets =
   List.map fst results
 
 let find_func c name = List.find_opt (fun f -> f.cf_name = name) c.funcs
+
+(* ---- portable output artifacts (the disk-spilled projection) --------- *)
+
+(* The subset of a [compiled] target that client-facing front ends (the
+   CLI's output files, the serve daemon's responses) actually consume,
+   as plain strings/ints so it round-trips through the on-disk store.
+   Full [compiled] values — netlists, schedules, adapters — exist only
+   on real compiles; a disk-warm process never rebuilds them. *)
+
+type output_func = {
+  of_name : string;
+  of_kind : string;  (* "instruction" | "always" *)
+  of_mode : string;  (* Scaiev.Config.mode_to_string *)
+  of_max_stage : int;
+  of_sv : string;
+}
+
+type outputs = { o_core : string; o_funcs : output_func list; o_yaml : string }
+
+let outputs_of_compiled (c : compiled) =
+  {
+    o_core = c.core.Scaiev.Datasheet.core_name;
+    o_funcs =
+      List.map
+        (fun (f : compiled_functionality) ->
+          {
+            of_name = f.cf_name;
+            of_kind = (match f.cf_kind with `Instruction -> "instruction" | `Always -> "always");
+            of_mode = Scaiev.Config.mode_to_string f.cf_mode;
+            of_max_stage = f.cf_hw.Hwgen.max_stage;
+            of_sv = f.cf_sv;
+          })
+        c.funcs;
+    o_yaml = c.config_yaml;
+  }
+
+(* The outputs codec: length-prefixed fields, fully self-delimiting. Its
+   version is folded into the disk key (not the file header), so a codec
+   change simply misses every old entry instead of misreading it; the
+   store's own [Cache.Disk.format_version] guards the file layout. *)
+let outputs_codec_version = 1
+
+let outputs_key session k core tu =
+  Printf.sprintf "out%d/%s" outputs_codec_version (target_key session k core tu)
+
+let encode_outputs (o : outputs) =
+  let b = Buffer.create 4096 in
+  let put_int i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b '\n'
+  in
+  let put_str s =
+    put_int (String.length s);
+    Buffer.add_string b s
+  in
+  put_str o.o_core;
+  put_str o.o_yaml;
+  put_int (List.length o.o_funcs);
+  List.iter
+    (fun f ->
+      put_str f.of_name;
+      put_str f.of_kind;
+      put_str f.of_mode;
+      put_int f.of_max_stage;
+      put_str f.of_sv)
+    o.o_funcs;
+  Buffer.contents b
+
+let decode_outputs payload =
+  let pos = ref 0 in
+  let fail () = raise Exit in
+  let get_int () =
+    match String.index_from_opt payload !pos '\n' with
+    | None -> fail ()
+    | Some i -> (
+        let s = String.sub payload !pos (i - !pos) in
+        pos := i + 1;
+        match int_of_string_opt s with Some n -> n | None -> fail ())
+  in
+  let get_str () =
+    let n = get_int () in
+    if n < 0 || !pos + n > String.length payload then fail ();
+    let s = String.sub payload !pos n in
+    pos := !pos + n;
+    s
+  in
+  try
+    let o_core = get_str () in
+    let o_yaml = get_str () in
+    let n = get_int () in
+    if n < 0 then fail ();
+    let o_funcs =
+      List.init n (fun _ ->
+          let of_name = get_str () in
+          let of_kind = get_str () in
+          let of_mode = get_str () in
+          let of_max_stage = get_int () in
+          let of_sv = get_str () in
+          { of_name; of_kind; of_mode; of_max_stage; of_sv })
+    in
+    if !pos <> String.length payload then fail ();
+    Some { o_core; o_funcs; o_yaml }
+  with Exit -> None
+
+(* Batch compile to output artifacts, consulting the session's disk
+   store: disk hits skip compilation entirely (including IR lowering and
+   scheduling); misses run through [compile_many] — sharing the in-memory
+   session and the worker-domain fan-out — and are spilled back so the
+   next process starts warm. Result order matches [targets]. *)
+let compile_many_outputs ?request targets =
+  let r = match request with Some r -> r | None -> Request.default in
+  let session = match r.Request.session with Some s -> s | None -> create_session () in
+  let r = { r with Request.session = Some session } in
+  match session.s_disk with
+  | None -> List.map outputs_of_compiled (compile_many ~request:r targets)
+  | Some d ->
+      let obs = r.Request.obs in
+      let probed =
+        List.map
+          (fun (core, tu) ->
+            let key = outputs_key session r.Request.knobs core tu in
+            (key, Option.bind (Cache.Disk.find d ?obs key) decode_outputs))
+          targets
+      in
+      let missing =
+        List.filter_map
+          (fun (target, (_, found)) -> if found = None then Some target else None)
+          (List.combine targets probed)
+      in
+      let computed = if missing = [] then [] else compile_many ~request:r missing in
+      let rec stitch probed computed acc =
+        match probed with
+        | [] -> List.rev acc
+        | (_, Some outs) :: rest -> stitch rest computed (outs :: acc)
+        | (key, None) :: rest -> (
+            match computed with
+            | c :: computed' ->
+                let outs = outputs_of_compiled c in
+                Cache.Disk.store d ?obs key (encode_outputs outs);
+                stitch rest computed' (outs :: acc)
+            | [] -> Diag.fatalf ~code:"E0901" "internal: compile_many_outputs lost a target")
+      in
+      stitch probed computed []
+
+let compile_outputs (r : Request.t) core tu =
+  match compile_many_outputs ~request:r [ (core, tu) ] with
+  | [ o ] -> o
+  | _ -> Diag.fatalf ~code:"E0901" "internal: compile_outputs lost the target"
+
+let find_output_func (o : outputs) name =
+  List.find_opt (fun f -> f.of_name = name) o.o_funcs

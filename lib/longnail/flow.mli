@@ -113,10 +113,17 @@ val delay_model_for : Scaiev.Datasheet.t -> knobs -> Delay_model.t
     same inputs twice within a session is served entirely from cache. *)
 type session
 
-val create_session : ?capacity:int -> ?enabled:bool -> unit -> session
+val create_session : ?capacity:int -> ?enabled:bool -> ?disk:Cache.Disk.t -> unit -> session
 (** [capacity] bounds each store (default 512 entries, LRU beyond that).
     [enabled:false] creates a session whose stores never retain anything —
-    every compile is cold; used for deliberately un-cached baselines. *)
+    every compile is cold; used for deliberately un-cached baselines.
+    [disk] attaches a persistent {!Cache.Disk} store: whole-target output
+    artifacts are additionally spilled to / served from it by
+    {!compile_outputs} and {!compile_many_outputs}, so a {e fresh process}
+    opening the same store directory compiles warm. *)
+
+val session_disk : session -> Cache.Disk.t option
+(** The attached persistent store, if any. *)
 
 val session_stats : session -> (string * Cache.Store.stats) list
 (** Per-store cumulative hit/miss/store/eviction counters, in pipeline
@@ -264,3 +271,44 @@ val compile_many :
     (merged in task order, deterministic at any job count). *)
 
 val find_func : compiled -> string -> compiled_functionality option
+
+(** {1 Portable output artifacts}
+
+    The projection of a {!compiled} target that client-facing front ends
+    (the CLI's output files, the [longnail serve] daemon's responses)
+    actually consume — per-functionality SystemVerilog plus the SCAIE-V
+    YAML and a few integration facts, as plain strings and ints so it
+    round-trips through the persistent {!Cache.Disk} store. A disk-warm
+    compile returns {!outputs} without rebuilding netlists, schedules or
+    adapters; the bytes are identical to a cold compile by construction
+    (they {e are} the cold compile's bytes). *)
+
+type output_func = {
+  of_name : string;
+  of_kind : string;  (** ["instruction"] or ["always"] *)
+  of_mode : string;  (** {!Scaiev.Config.mode_to_string} of the dominant mode *)
+  of_max_stage : int;
+  of_sv : string;
+}
+
+type outputs = { o_core : string; o_funcs : output_func list; o_yaml : string }
+
+val outputs_of_compiled : compiled -> outputs
+
+val compile_outputs : Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> outputs
+(** Like {!compile_request}, but returns the portable projection and
+    consults the session's disk store first: a disk hit skips every
+    compile stage; a miss compiles, spills the encoded outputs, and
+    returns them. Without an attached disk store this is exactly
+    [outputs_of_compiled (compile_request ...)]. With a profiling scope,
+    disk lookups record [disk.hit] / [disk.miss] / [disk.store] counters. *)
+
+val compile_many_outputs :
+  ?request:Request.t ->
+  (Scaiev.Datasheet.t * Coredsl.Tast.tunit) list ->
+  outputs list
+(** Batch variant of {!compile_outputs}: disk misses fan out through
+    {!compile_many} (sharing the in-memory session and worker domains);
+    result order matches the input. *)
+
+val find_output_func : outputs -> string -> output_func option

@@ -39,6 +39,18 @@ let specs =
       arg = Some "N";
       doc = "Maximum entries per artifact store (default 512, LRU beyond).";
     };
+    {
+      name = "store";
+      arg = Some "DIR";
+      doc =
+        "Persistent on-disk artifact store: target outputs are spilled to DIR so a later \
+         process compiles warm.";
+    };
+    {
+      name = "store-budget-mb";
+      arg = Some "MB";
+      doc = "Size budget of the on-disk store in MiB (default 256, LRU eviction beyond).";
+    };
   ]
 
 type t = {
@@ -50,6 +62,8 @@ type t = {
   cache_enabled : bool;
   cache_capacity : int option;
   verify_each : bool;
+  store_dir : string option;
+  store_budget_mb : int option;
 }
 
 let default =
@@ -62,6 +76,8 @@ let default =
     cache_enabled = true;
     cache_capacity = None;
     verify_each = false;
+    store_dir = None;
+    store_budget_mb = None;
   }
 
 let err fmt = Printf.ksprintf (fun m -> Error m) fmt
@@ -94,6 +110,12 @@ let set t name value =
       match int_of_string_opt v with
       | Some n when n >= 0 -> Ok { t with cache_capacity = Some n }
       | _ -> err "--cache-capacity expects a non-negative integer, got '%s'" v)
+  | "store", Some dir when dir <> "" -> Ok { t with store_dir = Some dir }
+  | "store", Some _ -> err "--store expects a directory path"
+  | "store-budget-mb", Some v -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok { t with store_budget_mb = Some n }
+      | _ -> err "--store-budget-mb expects a non-negative integer, got '%s'" v)
   | name, Some _ -> err "--%s does not take a value" name
   | name, None -> err "--%s requires a value" name
 
@@ -141,7 +163,15 @@ let knobs t =
     k_hazard_handling = t.hazard_handling;
   }
 
-let session t = Flow.create_session ?capacity:t.cache_capacity ~enabled:t.cache_enabled ()
+let disk t =
+  Option.map
+    (fun dir ->
+      let budget_bytes = Option.map (fun mb -> mb * 1024 * 1024) t.store_budget_mb in
+      Cache.Disk.open_store ?budget_bytes dir)
+    t.store_dir
+
+let session t =
+  Flow.create_session ?capacity:t.cache_capacity ~enabled:t.cache_enabled ?disk:(disk t) ()
 
 let request ?session:s ?obs t =
   let session = match s with Some s -> s | None -> session t in

@@ -14,6 +14,8 @@
     --no-cache              disable artifact retention
     --verify-each           re-verify the IR after every optimization pass
     --cache-capacity N      max entries per artifact store
+    --store DIR             persistent on-disk artifact store directory
+    --store-budget-mb MB    size budget of the on-disk store (default 256)
     v} *)
 
 (** One flag: [arg = None] is a bare flag, [Some docv] takes a value. *)
@@ -31,6 +33,8 @@ type t = {
   cache_enabled : bool;
   cache_capacity : int option;
   verify_each : bool;
+  store_dir : string option;
+  store_budget_mb : int option;
 }
 
 val default : t
@@ -47,8 +51,14 @@ val parse : t -> string list -> (t * string list, string) result
     a recognized flag with a missing or malformed value is an [Error]. *)
 
 val knobs : t -> Flow.knobs
+
+val disk : t -> Cache.Disk.t option
+(** The persistent store named by [--store DIR] (opened with the
+    [--store-budget-mb] budget), or [None]. *)
+
 val session : t -> Flow.session
-(** A session honoring [--no-cache] / [--cache-capacity]. *)
+(** A session honoring [--no-cache] / [--cache-capacity] / [--store] /
+    [--store-budget-mb]. *)
 
 val request : ?session:Flow.session -> ?obs:Obs.scope -> t -> Flow.Request.t
 (** The {!Flow.Request.t} these settings describe; creates {!session}

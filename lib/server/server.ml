@@ -1,0 +1,881 @@
+(* The longnail serve daemon and its client helpers (see the .mli and
+   docs/SERVE.md). One process keeps one Flow.session warm; requests
+   arrive as single JSON lines on a Unix-domain socket and every request
+   line produces target events plus exactly one done event. The loop is
+   deliberately single-threaded: per-request parallelism comes from the
+   request's worker domains (Flow.Request.jobs), so two requests never
+   race on the shared session from the dispatch side. *)
+
+(* ---------------------------------------------------------------- *)
+(* JSON                                                             *)
+(* ---------------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string * int
+
+  let utf8_add buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (msg, !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+          advance ();
+          skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else fail (Printf.sprintf "invalid literal (expected '%s')" lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string";
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' ->
+            (if !pos >= n then fail "unterminated escape";
+             let e = s.[!pos] in
+             advance ();
+             match e with
+             | '"' -> Buffer.add_char buf '"'
+             | '\\' -> Buffer.add_char buf '\\'
+             | '/' -> Buffer.add_char buf '/'
+             | 'b' -> Buffer.add_char buf '\b'
+             | 'f' -> Buffer.add_char buf '\012'
+             | 'n' -> Buffer.add_char buf '\n'
+             | 'r' -> Buffer.add_char buf '\r'
+             | 't' -> Buffer.add_char buf '\t'
+             | 'u' -> (
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let hex = String.sub s !pos 4 in
+                 pos := !pos + 4;
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some code -> utf8_add buf code
+                 | None -> fail "invalid \\u escape")
+             | _ -> fail "invalid escape character");
+            go ()
+        | c ->
+            Buffer.add_char buf c;
+            go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num_char s.[!pos] do
+        advance ()
+      done;
+      let tok = String.sub s start (!pos - start) in
+      match float_of_string_opt tok with
+      | Some f -> Num f
+      | None -> fail (Printf.sprintf "invalid number '%s'" tok)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            Arr []
+          end
+          else
+            let rec elems acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elems (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  Arr (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            elems []
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing bytes after the JSON value";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error (msg, p) -> Error (Printf.sprintf "%s at byte %d" msg p)
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let quote s = "\"" ^ escape s ^ "\""
+
+  let number_to_string f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+
+  let rec to_string = function
+    | Null -> "null"
+    | Bool b -> if b then "true" else "false"
+    | Num f -> number_to_string f
+    | Str s -> quote s
+    | Arr l -> "[" ^ String.concat "," (List.map to_string l) ^ "]"
+    | Obj l ->
+        "{"
+        ^ String.concat ","
+            (List.map (fun (k, v) -> quote k ^ ":" ^ to_string v) l)
+        ^ "}"
+
+  let member k = function
+    | Obj l -> ( match List.assoc_opt k l with Some v -> v | None -> Null)
+    | _ -> Null
+
+  let get_string = function Str s -> Some s | _ -> None
+
+  let get_int = function
+    | Num f when Float.is_integer f && Float.abs f < 1e15 -> Some (int_of_float f)
+    | _ -> None
+
+  let get_float = function Num f -> Some f | _ -> None
+  let get_bool = function Bool b -> Some b | _ -> None
+  let get_list = function Arr l -> Some l | _ -> None
+end
+
+(* ---------------------------------------------------------------- *)
+(* Daemon state                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let protocol_version = 1
+
+type conn = { c_fd : Unix.file_descr; c_buf : Buffer.t }
+
+type t = {
+  s_socket : string;
+  s_listen : Unix.file_descr;
+  s_session : Longnail.Flow.session;
+  s_default_jobs : int;
+  s_started : float;
+  mutable s_conns : conn list;
+  mutable s_requests : int;
+  s_stop : bool Atomic.t;
+}
+
+let socket_path t = t.s_socket
+let session t = t.s_session
+let requests_served t = t.s_requests
+let stop t = Atomic.set t.s_stop true
+
+let create ?(jobs = 1) ~session ~socket () =
+  if jobs < 1 then Diag.fatalf ~code:"E0911" "serve: jobs must be >= 1, got %d" jobs;
+  (match Unix.stat socket with
+  | st when st.Unix.st_kind = Unix.S_SOCK ->
+      (* a socket file already exists: live daemon, or debris from a
+         crashed one? probe with a connect before reclaiming *)
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let live =
+        match Unix.connect probe (Unix.ADDR_UNIX socket) with
+        | () -> true
+        | exception Unix.Unix_error (_, _, _) -> false
+      in
+      (try Unix.close probe with Unix.Unix_error (_, _, _) -> ());
+      if live then
+        Diag.fatalf ~code:"E0911" "another daemon is already serving on %s" socket;
+      (try Unix.unlink socket with Unix.Unix_error (_, _, _) -> ())
+  | _ ->
+      Diag.fatalf ~code:"E0911" "refusing to replace existing non-socket file %s" socket
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let l = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind l (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close l with Unix.Unix_error (_, _, _) -> ());
+      Diag.fatalf ~code:"E0911" "cannot bind %s: %s" socket (Unix.error_message e));
+  Unix.listen l 64;
+  {
+    s_socket = socket;
+    s_listen = l;
+    s_session = session;
+    s_default_jobs = jobs;
+    s_started = Unix.gettimeofday ();
+    s_conns = [];
+    s_requests = 0;
+    s_stop = Atomic.make false;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Response assembly                                                *)
+(* ---------------------------------------------------------------- *)
+
+(* Response lines are assembled as raw JSON text so pre-rendered
+   fragments (Diag.to_json, Obs.to_json) embed without a re-parse. *)
+
+let quote = Json.quote
+
+let obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> quote k ^ ":" ^ v) fields) ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"
+let float_json f = Printf.sprintf "%.6g" f
+
+let done_error ~id ds =
+  obj [ ("id", id); ("event", quote "done"); ("ok", "false"); ("diag", Diag.to_json ds) ]
+
+let bad_request ?(id = "null") msg = done_error ~id [ Diag.make ~code:"E0910" msg ]
+
+(* ---------------------------------------------------------------- *)
+(* Request decoding                                                 *)
+(* ---------------------------------------------------------------- *)
+
+(* A request's "knobs" object reuses the Knob_flags table verbatim:
+   {"scheduler":"asap","cycle-time":3.5,"no-hazard-handling":true}.
+   Strings and numbers are flag values, [true] is a bare flag, [false]
+   and [null] mean absent. Cache/store flags are daemon-side
+   configuration and are rejected over the wire. *)
+let apply_knobs j =
+  match j with
+  | Json.Null -> Ok Longnail.Knob_flags.default
+  | Json.Obj fields ->
+      let folded =
+        List.fold_left
+          (fun acc (k, v) ->
+            Result.bind acc (fun kf ->
+                match v with
+                | Json.Bool false | Json.Null -> Ok kf
+                | Json.Str s -> Longnail.Knob_flags.set kf k (Some s)
+                | Json.Num f ->
+                    Longnail.Knob_flags.set kf k (Some (Json.number_to_string f))
+                | Json.Bool true -> Longnail.Knob_flags.set kf k None
+                | Json.Arr _ | Json.Obj _ ->
+                    Error
+                      (Printf.sprintf "knob \"%s\" must be a string, number or boolean" k)))
+          (Ok Longnail.Knob_flags.default) fields
+      in
+      Result.bind folded (fun kf ->
+          if
+            kf.Longnail.Knob_flags.store_dir <> None
+            || kf.store_budget_mb <> None || kf.cache_capacity <> None
+            || not kf.cache_enabled
+          then
+            Error
+              "cache/store knobs are daemon-side configuration; start the daemon with \
+               --store instead"
+          else Ok kf)
+  | _ -> Error "\"knobs\" must be an object of flag names to values"
+
+let jobs_of t kf req =
+  match Json.member "jobs" req with
+  | Json.Null ->
+      (* a "jobs" entry inside the knobs object also counts *)
+      Ok
+        (if kf.Longnail.Knob_flags.jobs <> 1 then kf.Longnail.Knob_flags.jobs
+         else t.s_default_jobs)
+  | j -> (
+      match Json.get_int j with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error "\"jobs\" must be an integer >= 1")
+
+let resolve_cores req =
+  let names =
+    match (Json.member "cores" req, Json.member "core" req) with
+    | Json.Arr l, _ ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | Json.Str s :: rest -> go (s :: acc) rest
+          | _ -> Error "\"cores\" must be an array of core-name strings"
+        in
+        go [] l
+    | Json.Null, Json.Str s -> Ok [ s ]
+    | Json.Null, Json.Null -> Error "request needs \"core\" or \"cores\""
+    | Json.Null, _ -> Error "\"core\" must be a core-name string"
+    | _, _ -> Error "\"cores\" must be an array of core-name strings"
+  in
+  Result.bind names (fun names ->
+      if names = [] then Error "\"cores\" must not be empty"
+      else
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | n :: rest -> (
+              match Scaiev.Datasheet.find_core n with
+              | Some c -> go (c :: acc) rest
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown core '%s' (available: %s)" n
+                       (String.concat ", "
+                          (List.map
+                             (fun (c : Scaiev.Datasheet.t) -> c.core_name)
+                             Scaiev.Datasheet.all_cores))))
+        in
+        go [] names)
+
+(* The compile unit: either a registry ISAX by name or inline CoreDSL
+   text with its elaboration target. Both funnel through the session's
+   memoized frontend, so repeated requests skip parse/typecheck. *)
+let resolve_unit t req =
+  match Json.member "isax" req with
+  | Json.Str name -> (
+      match Isax.Registry.find name with
+      | Some e -> (
+          let key =
+            Cache.Fp.digest (fun b ->
+                Cache.Fp.add_string b "isax";
+                Cache.Fp.add_string b e.Isax.Registry.name;
+                Cache.Fp.add_string b e.Isax.Registry.target;
+                Cache.Fp.add_string b e.Isax.Registry.source)
+          in
+          match
+            Longnail.Flow.frontend t.s_session ~key (fun () -> Isax.Registry.compile e)
+          with
+          | tu -> Ok (tu, name)
+          | exception Diag.Fatal ds -> Error (`Diags ds))
+      | None ->
+          Error
+            (`Bad
+               (Printf.sprintf "unknown ISAX '%s' (available: %s)" name
+                  (String.concat ", "
+                     (List.map (fun (e : Isax.Registry.entry) -> e.name) Isax.Registry.all)))))
+  | Json.Null -> (
+      match (Json.member "text" req, Json.member "target" req) with
+      | Json.Str src, Json.Str target -> (
+          let file =
+            match Json.get_string (Json.member "file" req) with
+            | Some f -> f
+            | None -> "<request>"
+          in
+          let key =
+            Cache.Fp.digest (fun b ->
+                Cache.Fp.add_string b file;
+                Cache.Fp.add_string b target;
+                Cache.Fp.add_string b src)
+          in
+          match
+            Longnail.Flow.frontend t.s_session ~key (fun () ->
+                match
+                  Coredsl.compile_result ~provider:Isax.Registry.provider ~file ~target src
+                with
+                | Ok tu -> tu
+                | Error ds -> raise (Diag.Fatal ds))
+          with
+          | tu -> Ok (tu, target)
+          | exception Diag.Fatal ds -> Error (`Diags ds))
+      | Json.Str _, _ -> Error (`Bad "\"text\" requires a \"target\" instruction-set name")
+      | _ -> Error (`Bad "request needs \"isax\" (a registry name) or \"text\" + \"target\""))
+  | _ -> Error (`Bad "\"isax\" must be a string")
+
+(* ---------------------------------------------------------------- *)
+(* Ops                                                              *)
+(* ---------------------------------------------------------------- *)
+
+let handle_ping id =
+  [
+    obj
+      [
+        ("id", id);
+        ("event", quote "done");
+        ("ok", "true");
+        ("op", quote "ping");
+        ("protocol", string_of_int protocol_version);
+        ("pid", string_of_int (Unix.getpid ()));
+      ];
+  ]
+
+let handle_stats t id =
+  let disk =
+    match Longnail.Flow.session_disk t.s_session with
+    | None -> "null"
+    | Some d ->
+        let st = Cache.Disk.stats d in
+        obj
+          [
+            ("dir", quote (Cache.Disk.dir d));
+            ("entries", string_of_int (Cache.Disk.length d));
+            ("hits", string_of_int st.Cache.Disk.hits);
+            ("misses", string_of_int st.Cache.Disk.misses);
+            ("stores", string_of_int st.Cache.Disk.stores);
+            ("evictions", string_of_int st.Cache.Disk.evictions);
+            ("corrupt", string_of_int st.Cache.Disk.corrupt);
+            ("bytes", string_of_int st.Cache.Disk.bytes);
+          ]
+  in
+  [
+    obj
+      [
+        ("id", id);
+        ("event", quote "done");
+        ("ok", "true");
+        ("op", quote "stats");
+        ("uptime_s", float_json (Unix.gettimeofday () -. t.s_started));
+        ("requests", string_of_int t.s_requests);
+        ("disk", disk);
+      ];
+  ]
+
+let func_json (f : Longnail.Flow.output_func) =
+  obj
+    [
+      ("name", quote f.Longnail.Flow.of_name);
+      ("kind", quote f.of_kind);
+      ("mode", quote f.of_mode);
+      ("max_stage", string_of_int f.of_max_stage);
+      ("sv", quote f.of_sv);
+    ]
+
+(* Batch-first with per-target isolation: the batch shares the warmed IR
+   and fans out worker domains, but one infeasible target poisons the
+   whole Flow.compile_many call — so on Fatal, retry each target alone
+   and report its own diagnostics while the healthy siblings answer. *)
+let compile_targets request targets =
+  match Longnail.Flow.compile_many_outputs ~request targets with
+  | outs -> List.map Result.ok outs
+  | exception Diag.Fatal _ ->
+      List.map
+        (fun ((core : Scaiev.Datasheet.t), tu) ->
+          match
+            Longnail.Flow.compile_outputs
+              { request with Longnail.Flow.Request.jobs = 1 }
+              core tu
+          with
+          | o -> Ok o
+          | exception Diag.Fatal ds -> Error (core.Scaiev.Datasheet.core_name, ds))
+        targets
+
+let handle_compile t id req =
+  match apply_knobs (Json.member "knobs" req) with
+  | Error m -> [ bad_request ~id m ]
+  | Ok kf -> (
+      match jobs_of t kf req with
+      | Error m -> [ bad_request ~id m ]
+      | Ok jobs -> (
+          match resolve_cores req with
+          | Error m -> [ bad_request ~id m ]
+          | Ok cores -> (
+              match resolve_unit t req with
+              | Error (`Bad m) -> [ bad_request ~id m ]
+              | Error (`Diags ds) -> [ done_error ~id ds ]
+              | Ok (tu, _label) ->
+                  let obs =
+                    if Json.get_bool (Json.member "profile" req) = Some true then
+                      Some (Obs.create ~name:"serve_request" ())
+                    else None
+                  in
+                  let request =
+                    Longnail.Knob_flags.request ~session:t.s_session ?obs
+                      { kf with Longnail.Knob_flags.jobs }
+                  in
+                  let targets = List.map (fun core -> (core, tu)) cores in
+                  let results = compile_targets request targets in
+                  Option.iter Obs.finish obs;
+                  let events =
+                    List.map
+                      (function
+                        | Ok (o : Longnail.Flow.outputs) ->
+                            obj
+                              [
+                                ("id", id);
+                                ("event", quote "target");
+                                ("ok", "true");
+                                ("core", quote o.Longnail.Flow.o_core);
+                                ("funcs", arr (List.map func_json o.o_funcs));
+                                ("yaml", quote o.o_yaml);
+                              ]
+                        | Error (core_name, ds) ->
+                            obj
+                              [
+                                ("id", id);
+                                ("event", quote "target");
+                                ("ok", "false");
+                                ("core", quote core_name);
+                                ("diag", Diag.to_json ds);
+                              ])
+                      results
+                  in
+                  let failed = List.length (List.filter Result.is_error results) in
+                  let profile_fields =
+                    match obs with
+                    | None -> []
+                    | Some o -> [ ("profile", Obs.to_json (Obs.root o)) ]
+                  in
+                  let done_ev =
+                    obj
+                      ([
+                         ("id", id);
+                         ("event", quote "done");
+                         ("ok", string_of_bool (failed = 0));
+                         ("op", quote "compile");
+                         ("targets", string_of_int (List.length results));
+                         ("failed", string_of_int failed);
+                       ]
+                      @ profile_fields)
+                  in
+                  events @ [ done_ev ])))
+
+let handle_lint t id req =
+  match resolve_unit t req with
+  | Error (`Bad m) -> [ bad_request ~id m ]
+  | Error (`Diags ds) -> [ done_error ~id ds ]
+  | Ok (tu, _label) ->
+      let include_base = Json.get_bool (Json.member "include-base" req) = Some true in
+      let werror = Json.get_bool (Json.member "werror" req) = Some true in
+      let ds = Analysis.Lint.lint_unit ~include_base tu in
+      let ds = if werror then Analysis.Lint.promote ds else ds in
+      let ok = not (List.exists (fun (d : Diag.t) -> d.severity = Diag.Error) ds) in
+      [
+        obj
+          [
+            ("id", id);
+            ("event", quote "done");
+            ("ok", string_of_bool ok);
+            ("op", quote "lint");
+            ("findings", string_of_int (List.length ds));
+            ("diag", Diag.to_json ds);
+          ];
+      ]
+
+let point_json (p : Longnail.Dse.point) =
+  obj
+    [
+      ("label", quote p.Longnail.Dse.dp_label);
+      ( "scheduler",
+        quote
+          (match p.dp_scheduler with
+          | Longnail.Sched_build.Ilp -> "ilp"
+          | Longnail.Sched_build.Asap -> "asap") );
+      ("cycle_factor", float_json p.dp_cycle_factor);
+      ("physical", string_of_bool p.dp_physical);
+      ("area_pct", float_json p.dp_area_pct);
+      ("freq_mhz", float_json p.dp_freq_mhz);
+      ("latency", string_of_int p.dp_latency);
+      ("pipe_bits", string_of_int p.dp_pipe_bits);
+      ("pareto", string_of_bool p.dp_pareto);
+    ]
+
+let handle_dse t id req =
+  match apply_knobs (Json.member "knobs" req) with
+  | Error m -> [ bad_request ~id m ]
+  | Ok kf -> (
+      match jobs_of t kf req with
+      | Error m -> [ bad_request ~id m ]
+      | Ok jobs -> (
+          match resolve_cores req with
+          | Error m -> [ bad_request ~id m ]
+          | Ok [ core ] -> (
+              match resolve_unit t req with
+              | Error (`Bad m) -> [ bad_request ~id m ]
+              | Error (`Diags ds) -> [ done_error ~id ds ]
+              | Ok (tu, label) ->
+                  let request =
+                    Longnail.Knob_flags.request ~session:t.s_session
+                      { kf with Longnail.Knob_flags.jobs }
+                  in
+                  let measure c =
+                    let r = Asic.Flow.run ~isax_name:label c in
+                    (r.Asic.Flow.area_overhead_pct, r.Asic.Flow.achieved_freq_mhz)
+                  in
+                  let points = Longnail.Dse.explore ~request ~measure core tu in
+                  [
+                    obj
+                      [
+                        ("id", id);
+                        ("event", quote "done");
+                        ("ok", "true");
+                        ("op", quote "dse");
+                        ("core", quote core.Scaiev.Datasheet.core_name);
+                        ("points", arr (List.map point_json points));
+                      ];
+                  ])
+          | Ok _ -> [ bad_request ~id "\"op\":\"dse\" takes exactly one core" ]))
+
+(* ---------------------------------------------------------------- *)
+(* Dispatch                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let handle_line t line =
+  let line = String.trim line in
+  if line = "" then []
+  else begin
+    t.s_requests <- t.s_requests + 1;
+    match Json.parse line with
+    | Error m -> [ bad_request (Printf.sprintf "malformed request JSON: %s" m) ]
+    | Ok req -> (
+        let id = Json.to_string (Json.member "id" req) in
+        match Json.get_string (Json.member "op" req) with
+        | None -> [ bad_request ~id "request needs an \"op\" string" ]
+        | Some op -> (
+            (* per-request isolation: nothing a request does may kill
+               the daemon; unexpected exceptions become E0901 replies *)
+            let run f =
+              try f () with
+              | Diag.Fatal ds -> [ done_error ~id ds ]
+              | e ->
+                  [
+                    done_error ~id
+                      [
+                        Diag.make ~code:"E0901"
+                          (Printf.sprintf "internal error handling '%s': %s" op
+                             (Printexc.to_string e));
+                      ];
+                  ]
+            in
+            match op with
+            | "ping" -> handle_ping id
+            | "stats" -> run (fun () -> handle_stats t id)
+            | "compile" -> run (fun () -> handle_compile t id req)
+            | "lint" -> run (fun () -> handle_lint t id req)
+            | "dse" -> run (fun () -> handle_dse t id req)
+            | "shutdown" ->
+                Atomic.set t.s_stop true;
+                [
+                  obj
+                    [
+                      ("id", id);
+                      ("event", quote "done");
+                      ("ok", "true");
+                      ("op", quote "shutdown");
+                    ];
+                ]
+            | op ->
+                [
+                  bad_request ~id
+                    (Printf.sprintf
+                       "unknown op '%s' (ops: ping, stats, compile, lint, dse, shutdown)" op);
+                ]))
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Transport                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+let send_lines fd lines =
+  List.iter
+    (fun l ->
+      write_all fd l 0 (String.length l);
+      write_all fd "\n" 0 1)
+    lines
+
+let close_conn t c =
+  t.s_conns <- List.filter (fun c' -> c'.c_fd <> c.c_fd) t.s_conns;
+  try Unix.close c.c_fd with Unix.Unix_error (_, _, _) -> ()
+
+(* Cut complete lines out of the connection's pending buffer and answer
+   each; a write failure (client went away) closes just that
+   connection. *)
+let process_buffered t c =
+  let data = Buffer.contents c.c_buf in
+  Buffer.clear c.c_buf;
+  let n = String.length data in
+  let pos = ref 0 in
+  let alive = ref true in
+  while !alive && !pos < n do
+    match String.index_from_opt data !pos '\n' with
+    | None ->
+        Buffer.add_substring c.c_buf data !pos (n - !pos);
+        pos := n
+    | Some nl -> (
+        let line = String.sub data !pos (nl - !pos) in
+        pos := nl + 1;
+        let replies = handle_line t line in
+        match send_lines c.c_fd replies with
+        | () -> ()
+        | exception Unix.Unix_error (_, _, _) ->
+            close_conn t c;
+            alive := false)
+  done
+
+let drain_conn t c =
+  let bytes = Bytes.create 65536 in
+  match Unix.read c.c_fd bytes 0 65536 with
+  | 0 -> close_conn t c
+  | k ->
+      Buffer.add_subbytes c.c_buf bytes 0 k;
+      process_buffered t c
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+
+let serve t =
+  let prev_sigpipe =
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let cleanup () =
+    (match prev_sigpipe with
+    | Some b -> ( try Sys.set_signal Sys.sigpipe b with Invalid_argument _ | Sys_error _ -> ())
+    | None -> ());
+    List.iter
+      (fun c -> try Unix.close c.c_fd with Unix.Unix_error (_, _, _) -> ())
+      t.s_conns;
+    t.s_conns <- [];
+    (try Unix.close t.s_listen with Unix.Unix_error (_, _, _) -> ());
+    try Unix.unlink t.s_socket with Unix.Unix_error (_, _, _) -> ()
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  while not (Atomic.get t.s_stop) do
+    let fds = t.s_listen :: List.map (fun c -> c.c_fd) t.s_conns in
+    match Unix.select fds [] [] 0.2 with
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.s_listen then (
+              match Unix.accept t.s_listen with
+              | cfd, _ ->
+                  t.s_conns <- { c_fd = cfd; c_buf = Buffer.create 256 } :: t.s_conns
+              | exception Unix.Unix_error (_, _, _) -> ())
+            else
+              match List.find_opt (fun c -> c.c_fd = fd) t.s_conns with
+              | Some c -> drain_conn t c
+              | None -> ())
+          readable
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* ---------------------------------------------------------------- *)
+(* Client                                                           *)
+(* ---------------------------------------------------------------- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect ?(retries = 0) ?(retry_delay = 0.1) path =
+    let rec go attempt =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () ->
+          { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+          if attempt < retries then begin
+            Unix.sleepf retry_delay;
+            go (attempt + 1)
+          end
+          else
+            Diag.fatalf ~code:"E0911" "cannot connect to %s: %s" path
+              (Unix.error_message e)
+    in
+    go 0
+
+  let close c =
+    (try flush c.oc with Sys_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+  let send c line =
+    try
+      output_string c.oc line;
+      output_char c.oc '\n';
+      flush c.oc
+    with Sys_error m -> Diag.fatalf ~code:"E0911" "send failed: %s" m
+
+  let recv c =
+    match input_line c.ic with
+    | l -> Some l
+    | exception End_of_file -> None
+    | exception Sys_error m -> Diag.fatalf ~code:"E0911" "receive failed: %s" m
+
+  let request c line =
+    send c line;
+    let rec collect acc =
+      match recv c with
+      | None ->
+          Diag.fatalf ~code:"E0911"
+            "server closed the connection before completing the response"
+      | Some l -> (
+          match Json.parse l with
+          | Error m -> Diag.fatalf ~code:"E0911" "malformed response line: %s" m
+          | Ok j ->
+              let acc = j :: acc in
+              if Json.get_string (Json.member "event" j) = Some "done" then List.rev acc
+              else collect acc)
+    in
+    collect []
+
+  let shutdown_server path =
+    let c = connect path in
+    Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+    ignore (request c {|{"op":"shutdown"}|})
+end

@@ -264,6 +264,159 @@ let test_frontend_memo () =
   ignore (Longnail.Flow.frontend session ~key:"k2" parse);
   check_int "new key parses" 2 !calls
 
+(* ---- the on-disk artifact store ---- *)
+
+let tmpdir () =
+  let d = Filename.temp_file "longnail-disk" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  d
+
+let art_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".art")
+
+let test_disk_roundtrip_across_processes () =
+  let root = tmpdir () in
+  let d1 = Cache.Disk.open_store root in
+  check_bool "cold miss" true (Cache.Disk.find d1 "k1" = None);
+  Cache.Disk.store d1 "k1" "payload-one";
+  check_bool "same handle hit" true (Cache.Disk.find d1 "k1" = Some "payload-one");
+  (* a second handle on the same directory models a fresh process *)
+  let d2 = Cache.Disk.open_store root in
+  check_bool "fresh process hit" true (Cache.Disk.find d2 "k1" = Some "payload-one");
+  check_int "fresh process entries" 1 (Cache.Disk.length d2);
+  let s = Cache.Disk.stats d2 in
+  check_int "fresh hits" 1 s.Cache.Disk.hits;
+  check_int "fresh misses" 0 s.Cache.Disk.misses
+
+let test_disk_eviction_respects_budget () =
+  let payload = String.make 1024 'x' in
+  (* room for roughly two 1 KiB entries plus headers *)
+  let root = tmpdir () in
+  let d = Cache.Disk.open_store ~budget_bytes:2600 root in
+  Cache.Disk.store d "a" payload;
+  Cache.Disk.store d "b" payload;
+  Cache.Disk.store d "c" payload;
+  let s = Cache.Disk.stats d in
+  check_bool "bytes within budget" true (s.Cache.Disk.bytes <= 2600);
+  check_bool "something evicted" true (s.Cache.Disk.evictions > 0);
+  (* the entry just written always survives its own store *)
+  check_bool "latest entry survives" true (Cache.Disk.find d "c" = Some payload);
+  (* a reopened store sees the same accounting *)
+  let d2 = Cache.Disk.open_store ~budget_bytes:2600 root in
+  check_int "reopen entries" (Cache.Disk.length d) (Cache.Disk.length d2)
+
+let test_disk_no_partial_files () =
+  let root = tmpdir () in
+  let d = Cache.Disk.open_store root in
+  for i = 0 to 19 do
+    Cache.Disk.store d (Printf.sprintf "key%d" i) (String.make 4096 (Char.chr (65 + i)))
+  done;
+  let stray =
+    Sys.readdir (Cache.Disk.dir d) |> Array.to_list
+    |> List.filter (fun f -> not (Filename.check_suffix f ".art"))
+  in
+  Alcotest.(check (list string)) "no temp/partial files" [] stray;
+  check_int "all entries published" 20 (List.length (art_files (Cache.Disk.dir d)))
+
+let rewrite_entry_file path f =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f contents);
+  close_out oc
+
+let test_disk_version_mismatch_invalidates () =
+  let root = tmpdir () in
+  let d = Cache.Disk.open_store root in
+  Cache.Disk.store d "vk" "vpayload";
+  let dir = Cache.Disk.dir d in
+  let file = Filename.concat dir (List.hd (art_files dir)) in
+  (* forge a future format version in the header: the entry must be
+     rejected and healed, never misread *)
+  rewrite_entry_file file (fun s ->
+      let nl = String.index s '\n' in
+      Printf.sprintf "longnail-artifact %d%s" (Cache.Disk.format_version + 1)
+        (String.sub s nl (String.length s - nl)));
+  check_bool "wrong version reads as miss" true (Cache.Disk.find d "vk" = None);
+  let s = Cache.Disk.stats d in
+  check_int "counted corrupt" 1 s.Cache.Disk.corrupt;
+  check_int "evicted from disk" 0 (List.length (art_files dir));
+  (* the store heals: a fresh write round-trips again *)
+  Cache.Disk.store d "vk" "vpayload2";
+  check_bool "healed" true (Cache.Disk.find d "vk" = Some "vpayload2")
+
+let test_disk_corrupt_payload_evicted () =
+  let root = tmpdir () in
+  let d = Cache.Disk.open_store root in
+  Cache.Disk.store d "ck" "corrupt-me-please";
+  let dir = Cache.Disk.dir d in
+  let file = Filename.concat dir (List.hd (art_files dir)) in
+  rewrite_entry_file file (fun s ->
+      let b = Bytes.of_string s in
+      let i = String.length s - 3 in
+      Bytes.set b i (if Bytes.get b i = 'z' then 'y' else 'z');
+      Bytes.to_string b);
+  check_bool "checksum mismatch reads as miss" true (Cache.Disk.find d "ck" = None);
+  check_int "counted corrupt" 1 (Cache.Disk.stats d).Cache.Disk.corrupt;
+  check_int "evicted" 0 (List.length (art_files dir));
+  (* truncation is also survived *)
+  Cache.Disk.store d "ck" "corrupt-me-please";
+  let file = Filename.concat dir (List.hd (art_files dir)) in
+  rewrite_entry_file file (fun s -> String.sub s 0 (String.length s / 2));
+  check_bool "truncated reads as miss" true (Cache.Disk.find d "ck" = None);
+  check_int "truncation counted corrupt" 2 (Cache.Disk.stats d).Cache.Disk.corrupt
+
+let test_disk_concurrent_writers () =
+  let root = tmpdir () in
+  let d = Cache.Disk.open_store root in
+  let n = 50 in
+  let writer salt () =
+    let d' = Cache.Disk.open_store root in
+    for i = 0 to n - 1 do
+      (* overlapping key space, identical content per key: the
+         cross-process reality of content-addressed artifacts *)
+      let key = Printf.sprintf "shared%d" i in
+      Cache.Disk.store d' key (Printf.sprintf "payload-%d" i);
+      ignore (Cache.Disk.find d' key);
+      ignore salt
+    done
+  in
+  let d1 = Domain.spawn (writer 1) and d2 = Domain.spawn (writer 2) in
+  Domain.join d1;
+  Domain.join d2;
+  (* every entry must read back valid — no torn writes *)
+  for i = 0 to n - 1 do
+    let key = Printf.sprintf "shared%d" i in
+    check_bool key true (Cache.Disk.find d key = Some (Printf.sprintf "payload-%d" i))
+  done;
+  check_int "no corruption seen" 0 (Cache.Disk.stats d).Cache.Disk.corrupt
+
+let test_disk_backed_session_outputs () =
+  let root = tmpdir () in
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let compile_with_fresh_session () =
+    let session = Longnail.Flow.create_session ~disk:(Cache.Disk.open_store root) () in
+    let request = Longnail.Flow.Request.make ~session () in
+    let o = Longnail.Flow.compile_outputs request Scaiev.Datasheet.vexriscv tu in
+    (o, Cache.Disk.stats (Option.get (Longnail.Flow.session_disk session)))
+  in
+  let cold, cold_st = compile_with_fresh_session () in
+  let warm, warm_st = compile_with_fresh_session () in
+  check_int "cold stores" 1 cold_st.Cache.Disk.stores;
+  check_int "warm disk hit" 1 warm_st.Cache.Disk.hits;
+  check_int "warm misses" 0 warm_st.Cache.Disk.misses;
+  check_bool "same yaml bytes" true (cold.Longnail.Flow.o_yaml = warm.Longnail.Flow.o_yaml);
+  check_bool "same sv bytes" true
+    (List.for_all2
+       (fun (a : Longnail.Flow.output_func) (b : Longnail.Flow.output_func) ->
+         a.of_name = b.of_name && a.of_sv = b.of_sv && a.of_mode = b.of_mode
+         && a.of_max_stage = b.of_max_stage)
+       cold.Longnail.Flow.o_funcs warm.Longnail.Flow.o_funcs)
+
 let () =
   Alcotest.run "cache"
     [
@@ -283,6 +436,20 @@ let () =
           Alcotest.test_case "golden digests" `Quick test_tunit_fp_golden;
           Alcotest.test_case "graph alpha-invariance" `Quick test_graph_fp_alpha_invariant;
           Alcotest.test_case "datasheets distinct" `Quick test_datasheet_fp_distinct;
+        ] );
+      ( "disk",
+        [
+          Alcotest.test_case "roundtrip across processes" `Quick
+            test_disk_roundtrip_across_processes;
+          Alcotest.test_case "eviction respects budget" `Quick
+            test_disk_eviction_respects_budget;
+          Alcotest.test_case "atomic publish, no partials" `Quick test_disk_no_partial_files;
+          Alcotest.test_case "version mismatch invalidates" `Quick
+            test_disk_version_mismatch_invalidates;
+          Alcotest.test_case "corrupt payload evicted" `Quick test_disk_corrupt_payload_evicted;
+          Alcotest.test_case "concurrent domain writers" `Quick test_disk_concurrent_writers;
+          Alcotest.test_case "disk-backed session outputs" `Quick
+            test_disk_backed_session_outputs;
         ] );
       ( "sessions",
         [
