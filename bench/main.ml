@@ -103,17 +103,20 @@ let paper_table4 =
 
 let table4 () =
   sep "Table 4: ASIC area and frequency overheads (measured vs. paper)";
+  (* pinned to the registry's paper cores: Table 4 has exactly these
+     four columns, in this order, with [paper_table4] paired by index *)
+  let paper_cores = Scaiev.Core_registry.paper_datasheets () in
   Printf.printf "Base cores (area excluding caches / reachable frequency):\n";
   List.iter
     (fun (c : Scaiev.Datasheet.t) ->
       Printf.printf "  %-9s %8.0f um^2  %5.0f MHz\n" c.core_name c.base_area_um2 c.base_freq_mhz)
-    Scaiev.Datasheet.all_cores;
+    paper_cores;
   Printf.printf "\n%-22s" "";
   List.iter
     (fun (c : Scaiev.Datasheet.t) -> Printf.printf "| %-21s " c.core_name)
-    Scaiev.Datasheet.all_cores;
+    paper_cores;
   Printf.printf "\n%-22s" "ISAX";
-  List.iter (fun _ -> Printf.printf "| %-10s %-10s " "area" "freq") Scaiev.Datasheet.all_cores;
+  List.iter (fun _ -> Printf.printf "| %-10s %-10s " "area" "freq") paper_cores;
   Printf.printf "\n%s\n" (String.make 118 '-');
   let row label results paper =
     Printf.printf "%-22s" label;
@@ -130,7 +133,7 @@ let table4 () =
       let results =
         List.map
           (fun core -> Asic.Flow.run ~isax_name:e.name (Longnail.Flow.compile ~session core tu))
-          Scaiev.Datasheet.all_cores
+          paper_cores
       in
       row e.name results (List.assoc e.name paper_table4);
       if e.name = "sqrt_decoupled" then begin
@@ -140,7 +143,7 @@ let table4 () =
             (fun core ->
               Asic.Flow.run ~isax_name:(e.name ^ "-nohazard")
                 (Longnail.Flow.compile ~hazard_handling:false ~session core tu))
-            Scaiev.Datasheet.all_cores
+            paper_cores
         in
         row "  w/o hazard handling" results (List.assoc "  w/o hazard handling" paper_table4)
       end)
@@ -357,7 +360,7 @@ let par_json ~jobs ?(verify_each = false) ~assert_equal () =
       (fun (core : Scaiev.Datasheet.t) ->
         List.map (fun (e : Isax.Registry.entry) -> (core, Isax.Registry.compile e))
           Isax.Registry.all)
-      Scaiev.Datasheet.all_cores
+      (Scaiev.Core_registry.datasheets ())
   in
   let compile_all jobs =
     let psession = Longnail.Flow.create_session () in
@@ -557,7 +560,7 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_
             Printf.eprintf "profiling %s on %s...\n%!" e.name core.core_name;
             (e.name, core.core_name, profile_one ~verify_each core e))
           Isax.Registry.all)
-      Scaiev.Datasheet.all_cores
+      (Scaiev.Core_registry.datasheets ())
   in
   if results = [] then Diag.fatalf ~code:"E0901" "internal: perf --json produced no targets";
   (* the schema must be identical for every target: same stages, same
@@ -673,7 +676,7 @@ let ablation () =
       in
       Printf.printf "%-10s with hazards: +%.0f%%   without: +%.0f%%\n"
         core.Scaiev.Datasheet.core_name w.Asic.Flow.area_overhead_pct wo.Asic.Flow.area_overhead_pct)
-    Scaiev.Datasheet.all_cores
+    (Scaiev.Core_registry.paper_datasheets ())
 
 (* ---- Section 7 outlook: application-class cores ---- *)
 
@@ -683,7 +686,7 @@ let outlook () =
   Printf.printf "%-15s" "ISAX";
   List.iter
     (fun (c : Scaiev.Datasheet.t) -> Printf.printf "| %-12s" c.core_name)
-    (Scaiev.Datasheet.all_cores @ Scaiev.Datasheet.outlook_cores);
+    (Scaiev.Core_registry.datasheets ~include_outlook:true ());
   print_newline ();
   Printf.printf "%s\n" (String.make 105 '-');
   List.iter
@@ -694,7 +697,7 @@ let outlook () =
         (fun core ->
           let r = Asic.Flow.run ~isax_name:name (Longnail.Flow.compile ~session core tu) in
           Printf.printf "| %+10.1f%% " r.Asic.Flow.area_overhead_pct)
-        (Scaiev.Datasheet.all_cores @ Scaiev.Datasheet.outlook_cores);
+        (Scaiev.Core_registry.datasheets ~include_outlook:true ());
       print_newline ())
     [ "dotprod"; "sparkle"; "sqrt_decoupled"; "zol" ]
 
@@ -749,7 +752,7 @@ let extra () =
   Printf.printf "%-10s" "ISAX";
   List.iter
     (fun (c : Scaiev.Datasheet.t) -> Printf.printf "| %-24s" c.core_name)
-    Scaiev.Datasheet.all_cores;
+    (Scaiev.Core_registry.datasheets ());
   print_newline ();
   Printf.printf "%s\n" (String.make 112 '-');
   List.iter
@@ -764,7 +767,7 @@ let extra () =
           Printf.printf "| +%4.1f%% %+3.0f%% %-10s" r.Asic.Flow.area_overhead_pct
             r.Asic.Flow.freq_delta_pct
             (Scaiev.Config.mode_to_string f.cf_mode))
-        Scaiev.Datasheet.all_cores;
+        (Scaiev.Core_registry.datasheets ());
       print_newline ())
     Isax.Extra.all
 

@@ -43,26 +43,27 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+(* --core parsing, the help text and the unknown-core suggestions all
+   come from the core registry, so none of them can drift from the set
+   of registered cores. *)
 let core_conv =
   let parse s =
-    match Scaiev.Datasheet.find_core s with
-    | Some c -> Ok c
-    | None ->
-        Error
-          (`Msg
-             (Printf.sprintf "unknown core '%s' (available: %s)" s
-                (String.concat ", "
-                   (List.map
-                      (fun (c : Scaiev.Datasheet.t) -> String.lowercase_ascii c.core_name)
-                      Scaiev.Datasheet.all_cores))))
+    match Scaiev.Core_registry.resolve s with
+    | Ok d -> Ok d.Scaiev.Core_registry.datasheet
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun fmt (c : Scaiev.Datasheet.t) -> Format.pp_print_string fmt c.core_name)
 
 let core_arg =
-  Arg.(
-    required
-    & opt (some core_conv) None
-    & info [ "c"; "core" ] ~docv:"CORE" ~doc:"Host core (orca, piccolo, picorv32, vexriscv).")
+  let doc =
+    Printf.sprintf "Host core (%s; outlook: %s)."
+      (String.concat ", " (Scaiev.Core_registry.slugs ()))
+      (String.concat ", "
+         (List.map
+            (fun (d : Scaiev.Core_registry.t) -> d.slug)
+            (Scaiev.Core_registry.outlook ())))
+  in
+  Arg.(required & opt (some core_conv) None & info [ "c"; "core" ] ~docv:"CORE" ~doc)
 
 (* ---- the shared knob/cache/parallelism flags ----
 
@@ -254,15 +255,34 @@ let compile_cmd =
 (* ---- cores ---- *)
 
 let cores_cmd =
-  let run () =
-    List.iter
-      (fun (c : Scaiev.Datasheet.t) ->
-        print_endline (Scaiev.Datasheet.to_yaml c);
-        Printf.printf "baseline: %.0f um^2, %.0f MHz\n\n" c.base_area_um2 c.base_freq_mhz)
-      Scaiev.Datasheet.all_cores
+  let outlook_arg =
+    Arg.(
+      value & flag
+      & info [ "outlook" ]
+          ~doc:"Also list the Section-7 application-class outlook prototypes (cva5, cva6).")
   in
-  let doc = "List the supported host cores and their virtual datasheets." in
-  Cmd.v (Cmd.info "cores" ~doc) Term.(const run $ const ())
+  let names_arg =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:
+            "Print one registered core slug per line instead of the datasheets (the              scripts/check_core_grid.sh CI gate diffs this against the full listing).")
+  in
+  let run include_outlook names =
+    let cores = Scaiev.Core_registry.all ~include_outlook () in
+    if names then
+      List.iter (fun (d : Scaiev.Core_registry.t) -> print_endline d.slug) cores
+    else
+      List.iter
+        (fun (d : Scaiev.Core_registry.t) ->
+          let c = d.datasheet in
+          Printf.printf "# %s\n" d.summary;
+          print_endline (Scaiev.Datasheet.to_yaml c);
+          Printf.printf "baseline: %.0f um^2, %.0f MHz\n\n" c.base_area_um2 c.base_freq_mhz)
+        cores
+  in
+  let doc = "List the registered host cores and their virtual datasheets." in
+  Cmd.v (Cmd.info "cores" ~doc) Term.(const run $ outlook_arg $ names_arg)
 
 (* ---- bundled ---- *)
 
@@ -357,6 +377,13 @@ let run_cmd =
         | None -> Coredsl.compile_rv32im ()
       in
       let c = Longnail.Flow.compile core tu in
+      (* execution defaults (reset PC, initial stack pointer) come from
+         the core's registry descriptor *)
+      let sim =
+        match Scaiev.Core_registry.of_datasheet core with
+        | Some d -> d.Scaiev.Core_registry.sim
+        | None -> { Scaiev.Core_registry.reset_pc = 0; sp_init = 0x10000 }
+      in
       let enc = Riscv.Machine.isax_encoder tu in
       let words = Riscv.Asm.assemble ~custom:enc (read_file prog) in
       let dump_regs read =
@@ -367,16 +394,16 @@ let run_cmd =
       (match engine with
       | `Cost ->
           let m = Riscv.Machine.of_compiled c in
-          Riscv.Machine.write_gpr m 2 0x10000;
-          Riscv.Machine.load_program m words;
+          Riscv.Machine.write_gpr m 2 sim.sp_init;
+          Riscv.Machine.load_program m ~base:sim.reset_pc words;
           let cycles = Riscv.Machine.run m in
           Printf.printf "engine: cycle-cost model (%s)\n" core.Scaiev.Datasheet.core_name;
           Printf.printf "cycles: %d, instructions: %d\n" cycles m.Riscv.Machine.instret;
           dump_regs (Riscv.Machine.read_gpr m)
       | `Pipeline ->
           let p = Riscv.Pipeline.create c in
-          Riscv.Pipeline.load_program p words;
-          Riscv.Pipeline.write_gpr p 2 0x10000;
+          Riscv.Pipeline.load_program p ~base:sim.reset_pc words;
+          Riscv.Pipeline.write_gpr p 2 sim.sp_init;
           let cycles = Riscv.Pipeline.run p in
           Printf.printf "engine: structural pipeline with ISAX RTL (%s)\n"
             core.Scaiev.Datasheet.core_name;
@@ -384,7 +411,7 @@ let run_cmd =
           dump_regs (Riscv.Pipeline.read_gpr p)
       | `Rtl_loop ->
           let rl = Riscv.Rtl_loop.create c in
-          Riscv.Rtl_loop.load_program rl words;
+          Riscv.Rtl_loop.load_program rl ~base:sim.reset_pc words;
           let instret = Riscv.Rtl_loop.run rl in
           Printf.printf "engine: RTL-in-the-loop (%s)\n" core.Scaiev.Datasheet.core_name;
           Printf.printf "instructions: %d\n" instret;

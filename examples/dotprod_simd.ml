@@ -22,7 +22,7 @@ let () =
   in
   let compiled =
     Longnail.Flow.compile_many ~request
-      (List.map (fun core -> (core, tu)) Scaiev.Datasheet.all_cores)
+      (List.map (fun core -> (core, tu)) (Scaiev.Core_registry.datasheets ()))
   in
   List.iter
     (fun (c : Longnail.Flow.compiled) ->

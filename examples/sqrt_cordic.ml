@@ -24,7 +24,7 @@ let () =
       let mt, st = stat "sqrt_tightly" "SQRT" in
       let md, sd = stat "sqrt_decoupled" "SQRT_D" in
       Printf.printf "%-10s | %-16s %-7d | %-16s %-7d\n" core.Scaiev.Datasheet.core_name mt st md sd)
-    Scaiev.Datasheet.all_cores;
+    (Scaiev.Core_registry.datasheets ());
 
   print_endline "\nASIC cost (area overhead / frequency delta):\n";
   Printf.printf "%-10s | %-22s | %-22s\n" "core" "sqrt_tightly" "sqrt_decoupled";
@@ -37,7 +37,7 @@ let () =
       in
       Printf.printf "%-10s | %-22s | %-22s\n" core.Scaiev.Datasheet.core_name
         (cost "sqrt_tightly") (cost "sqrt_decoupled"))
-    Scaiev.Datasheet.all_cores;
+    (Scaiev.Core_registry.datasheets ());
 
   (* decoupled execution: instructions overtake the sqrt unless they
      depend on its result *)

@@ -57,7 +57,6 @@ type t = {
      in sync under [lock] so eviction never has to re-scan *)
   sizes : (string, int) Hashtbl.t;
   mutable total_bytes : int;
-  mutable tmp_counter : int;
   mutable hits : int;
   mutable misses : int;
   mutable stores : int;
@@ -99,7 +98,6 @@ let open_store ?(budget_bytes = default_budget_bytes) dir =
     lock = Mutex.create ();
     sizes;
     total_bytes = !total;
-    tmp_counter = 0;
     hits = 0;
     misses = 0;
     stores = 0;
@@ -272,15 +270,23 @@ let evict_to_budget_locked t ~keep =
       by_age
   end
 
+(* Temp names must be unique across every store instance of this
+   process, not just within one [t]: two instances over the same root
+   (one per worker domain, as the parallel driver does) would otherwise
+   collide on [.tmp-<pid>-<n>] and one writer's [Sys.rename] would find
+   its temp file already renamed away. The pid keeps processes apart,
+   the atomic keeps instances and domains apart. *)
+let tmp_seq = Atomic.make 0
+
 let store t ?obs key payload =
   let base = basename_of_key key in
   let path = path_of_basename t base in
   let entry = encode_entry key payload in
   Mutex.protect t.lock (fun () ->
       let tmp =
-        t.tmp_counter <- t.tmp_counter + 1;
         Filename.concat t.root
-          (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ()) t.tmp_counter)
+          (Printf.sprintf ".tmp-%d-%d" (Unix.getpid ())
+             (Atomic.fetch_and_add tmp_seq 1))
       in
       let oc = open_out_bin tmp in
       (try

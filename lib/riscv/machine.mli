@@ -23,6 +23,14 @@ val vexriscv_timing : timing
 val orca_timing : timing
 val piccolo_timing : timing
 val picorv32_timing : timing
+val mriscv_timing : timing
+
+(** The registry descriptor's cycle-cost parameters as a machine timing
+    model. *)
+val timing_of_descriptor : Scaiev.Core_registry.t -> timing
+
+(** Look the datasheet's core up in {!Scaiev.Core_registry}; raises
+    {!Machine_error} for an unregistered core. *)
 val timing_for : Scaiev.Datasheet.t -> timing
 type isax_timing = {
   it_mode : Scaiev.Config.mode;

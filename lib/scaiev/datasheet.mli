@@ -34,9 +34,19 @@ val vexriscv : t
 val orca : t
 val piccolo : t
 val picorv32 : t
+(** The four paper (Table 4) datasheets, as static values. Enumeration
+    and name lookup of the full supported-core set should go through
+    {!Core_registry} ([datasheets], [find], [resolve]) — the registry
+    also carries the ported/outlook cores, timing models and ISS
+    defaults. *)
 val all_cores : t list
+
 val cva5 : t
 val cva6 : t
 val outlook_cores : t list
+
+(** Static lookup over the paper + outlook datasheets only; prefer
+    {!Core_registry.find_datasheet}, which covers every registered
+    core and is case-insensitive. *)
 val find_core : string -> t option
 val to_yaml : t -> string

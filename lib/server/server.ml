@@ -305,6 +305,15 @@ let done_error ~id ds =
 
 let bad_request ?(id = "null") msg = done_error ~id [ Diag.make ~code:"E0910" msg ]
 
+(* unknown core name in a compile/dse request: structurally well-formed,
+   but the name resolves to no registered core (E0912, with the
+   registry's suggestion list in the message) *)
+let unknown_core ?(id = "null") msg = done_error ~id [ Diag.make ~code:"E0912" msg ]
+
+let core_error ~id = function
+  | `Malformed m -> bad_request ~id m
+  | `Unknown_core m -> unknown_core ~id m
+
 (* ---------------------------------------------------------------- *)
 (* Request decoding                                                 *)
 (* ---------------------------------------------------------------- *)
@@ -372,23 +381,21 @@ let resolve_cores req =
     | Json.Null, _ -> Error "\"core\" must be a core-name string"
     | _, _ -> Error "\"cores\" must be an array of core-name strings"
   in
-  Result.bind names (fun names ->
-      if names = [] then Error "\"cores\" must not be empty"
-      else
-        let rec go acc = function
-          | [] -> Ok (List.rev acc)
-          | n :: rest -> (
-              match Scaiev.Datasheet.find_core n with
-              | Some c -> go (c :: acc) rest
-              | None ->
-                  Error
-                    (Printf.sprintf "unknown core '%s' (available: %s)" n
-                       (String.concat ", "
-                          (List.map
-                             (fun (c : Scaiev.Datasheet.t) -> c.core_name)
-                             Scaiev.Datasheet.all_cores))))
-        in
-        go [] names)
+  match names with
+  | Error m -> Error (`Malformed m)
+  | Ok [] -> Error (`Malformed "\"cores\" must not be empty")
+  | Ok names ->
+      (* name -> datasheet through the core registry: unknown names get
+         the E0912 diagnostic carrying the same available-core list and
+         did-you-mean suggestions as the CLI's --core converter *)
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Scaiev.Core_registry.resolve n with
+            | Ok d -> go (d.Scaiev.Core_registry.datasheet :: acc) rest
+            | Error m -> Error (`Unknown_core m))
+      in
+      go [] names
 
 (* The compile unit: either a registry ISAX by name or inline CoreDSL
    text with its elaboration target. Both funnel through the session's
@@ -529,7 +536,7 @@ let handle_compile t id req =
       | Error m -> [ bad_request ~id m ]
       | Ok jobs -> (
           match resolve_cores req with
-          | Error m -> [ bad_request ~id m ]
+          | Error e -> [ core_error ~id e ]
           | Ok cores -> (
               match resolve_unit t req with
               | Error (`Bad m) -> [ bad_request ~id m ]
@@ -639,7 +646,7 @@ let handle_dse t id req =
       | Error m -> [ bad_request ~id m ]
       | Ok jobs -> (
           match resolve_cores req with
-          | Error m -> [ bad_request ~id m ]
+          | Error e -> [ core_error ~id e ]
           | Ok [ core ] -> (
               match resolve_unit t req with
               | Error (`Bad m) -> [ bad_request ~id m ]

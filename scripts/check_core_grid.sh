@@ -1,0 +1,65 @@
+#!/bin/sh
+# CI gate: the `longnail cores` listing matches the core registry.
+#
+# The registry (Scaiev.Core_registry) is the single source of truth for
+# which host cores exist; this gate cross-checks the three CLI surfaces
+# derived from it against each other so none can silently drift:
+#   1. `longnail cores --names`            (slug enumeration)
+#   2. `longnail cores` datasheet listing  (core: display names)
+#   3. the unknown-core error of --core    (available + did-you-mean list)
+# and asserts the fifth core (mriscv) is registered.
+#
+# Usage: scripts/check_core_grid.sh   (from the repository root)
+set -eu
+
+CLI=_build/default/bin/longnail_cli.exe
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+dune build bin/longnail_cli.exe
+
+"$CLI" cores --names > "$TMP/names.txt"
+"$CLI" cores --names --outlook > "$TMP/names_outlook.txt"
+
+# the datasheet listing enumerates exactly the registered cores, in
+# registration order (display names lowercased = slugs)
+"$CLI" cores | sed -n 's/^core: //p' | tr '[:upper:]' '[:lower:]' > "$TMP/listed.txt"
+if ! diff -u "$TMP/names.txt" "$TMP/listed.txt"; then
+    echo "error: 'longnail cores' datasheets diverge from the registry enumeration" >&2
+    exit 1
+fi
+"$CLI" cores --outlook | sed -n 's/^core: //p' | tr '[:upper:]' '[:lower:]' > "$TMP/listed_outlook.txt"
+if ! diff -u "$TMP/names_outlook.txt" "$TMP/listed_outlook.txt"; then
+    echo "error: 'longnail cores --outlook' diverges from the registry enumeration" >&2
+    exit 1
+fi
+
+# outlook strictly extends the default enumeration
+if ! head -n "$(wc -l < "$TMP/names.txt")" "$TMP/names_outlook.txt" | diff -u "$TMP/names.txt" -; then
+    echo "error: --outlook does not extend the default core enumeration" >&2
+    exit 1
+fi
+
+# the portability core is registered and the grid is at least five wide
+if ! grep -qx mriscv "$TMP/names.txt"; then
+    echo "error: the fifth core (mriscv) is missing from the registry" >&2
+    exit 1
+fi
+if [ "$(wc -l < "$TMP/names.txt")" -lt 5 ]; then
+    echo "error: expected at least five registered (non-outlook) cores" >&2
+    exit 1
+fi
+
+# the --core converter's unknown-core message lists every registered
+# slug (outlook included): help/suggestions derive from the registry
+: > "$TMP/prog.s"
+"$CLI" run --core definitely-not-a-core "$TMP/prog.s" 2> "$TMP/err.txt" || true
+while read -r slug; do
+    if ! grep -q "$slug" "$TMP/err.txt"; then
+        echo "error: --core error message does not offer registered core '$slug'" >&2
+        cat "$TMP/err.txt" >&2
+        exit 1
+    fi
+done < "$TMP/names_outlook.txt"
+
+echo "core grid matches the registry ($(wc -l < "$TMP/names.txt") cores, +$(( $(wc -l < "$TMP/names_outlook.txt") - $(wc -l < "$TMP/names.txt") )) outlook)"

@@ -496,7 +496,7 @@ let test_verify_each_equivalent () =
                 a.cf_sv b.cf_sv)
             plain.Longnail.Flow.funcs checked.Longnail.Flow.funcs)
         Isax.Registry.all)
-    Scaiev.Datasheet.all_cores
+    (Scaiev.Core_registry.datasheets ())
 
 let () =
   Alcotest.run "analysis"

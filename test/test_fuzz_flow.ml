@@ -139,7 +139,7 @@ InstructionSet FUZZ extends RV32I {
 
 let compile_fuzz seed = Coredsl.compile ~target:"FUZZ" (fuzz_source seed)
 
-let cores = Scaiev.Datasheet.all_cores
+let cores = Scaiev.Core_registry.datasheets ()
 
 let prop_flow_matches_interp =
   QCheck.Test.make ~name:"random behaviors: RTL == interpreter" ~count:60

@@ -36,7 +36,7 @@ let test_all_isaxes_all_cores () =
                 true
                 (String.length f.cf_sv > 0))
             c.Longnail.Flow.funcs)
-        Scaiev.Datasheet.all_cores)
+        (Scaiev.Core_registry.datasheets ()))
     Isax.Registry.all
 
 (* ---- mode selection (Section 4.3 / Table 4 narrative) ---- *)
@@ -110,7 +110,7 @@ let cosim_one ~isax ~instr ~fields ~setup ~stim_of check =
       (* rtl execution *)
       let resp = Longnail.Cosim.run f (stim_of word) in
       check core st resp)
-    Scaiev.Datasheet.all_cores
+    (Scaiev.Core_registry.datasheets ())
 
 let test_cosim_dotprod () =
   let a = 0x04030201 and b = 0x281E140A in
@@ -528,7 +528,7 @@ let cosim_extra name input expect_fn =
           check_bool (name ^ " rtl matches on " ^ core.Scaiev.Datasheet.core_name) true
             (Bitvec.equal_value data golden)
       | _ -> Alcotest.fail "no rd write")
-    Scaiev.Datasheet.all_cores
+    (Scaiev.Core_registry.datasheets ())
 
 let ref_bitrev v _ =
   let r = ref 0 in

@@ -107,7 +107,7 @@ let test_concurrent_distinct_keys () =
      bug loses a store, every artifact lands *)
   let tu = Isax.Registry.compile_by_name "dotprod" in
   let session = Longnail.Flow.create_session () in
-  let cores = Scaiev.Datasheet.all_cores in
+  let cores = Scaiev.Core_registry.datasheets () in
   let compiled =
     Par.run ~jobs (List.map (fun core () -> Longnail.Flow.compile ~session core tu) cores)
   in
@@ -135,7 +135,7 @@ let test_parallel_equals_sequential () =
         List.map
           (fun (e : Isax.Registry.entry) -> (core, Isax.Registry.compile e))
           Isax.Registry.all)
-      Scaiev.Datasheet.all_cores
+      (Scaiev.Core_registry.datasheets ())
   in
   let run jobs =
     let session = Longnail.Flow.create_session () in
@@ -162,7 +162,7 @@ let test_obs_tree_determinism () =
   (* distinct targets at jobs=4: the merged span tree has one target:*
      child per target, in task order, with the same shape as jobs=1 *)
   let tu = Isax.Registry.compile_by_name "dotprod" in
-  let targets = List.map (fun core -> (core, tu)) Scaiev.Datasheet.all_cores in
+  let targets = List.map (fun core -> (core, tu)) (Scaiev.Core_registry.datasheets ()) in
   let run jobs =
     let obs = Obs.create ~name:"compile" () in
     let session = Longnail.Flow.create_session () in

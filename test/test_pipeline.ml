@@ -158,7 +158,49 @@ let test_pipeline_other_cores () =
       Riscv.Pipeline.load_program p words;
       ignore (Riscv.Pipeline.run p);
       check_int (core.Scaiev.Datasheet.core_name ^ " dotp") 300 (Riscv.Pipeline.read_gpr p 14))
-    [ Scaiev.Datasheet.orca; Scaiev.Datasheet.piccolo; Scaiev.Datasheet.vexriscv ]
+    (* every registered pipelined core, mriscv included; the structural
+       pipeline does not model FSM-sequenced cores (PicoRV32) *)
+    (List.filter
+       (fun (c : Scaiev.Datasheet.t) -> not c.is_fsm)
+       (Scaiev.Core_registry.datasheets ()))
+
+let test_mriscv_case_study_engines () =
+  (* the fifth (registry-only) core: the Section 5.5 case-study program
+     through all three execution engines — structural pipeline with the
+     generated RTL, registry-backed cycle-cost machine, RTL-in-the-loop
+     — must agree on the architectural result *)
+  let core = Scaiev.Core_registry.mriscv in
+  let tu = Isax.Registry.compile_by_name "autoinc+zol" in
+  let c = Longnail.Flow.compile core tu in
+  let n = 6 in
+  let enc = Riscv.Machine.isax_encoder tu in
+  let words = Riscv.Asm.assemble ~custom:enc (Riscv.Case_study.isax_program n) in
+  let expect = Riscv.Case_study.expected_sum n in
+  let p = Riscv.Pipeline.create c in
+  Riscv.Pipeline.load_program p words;
+  Riscv.Pipeline.write_gpr p 2 0x8000;
+  for i = 0 to n - 1 do
+    Riscv.Pipeline.store_word p (0x1000 + (4 * i)) (i + 1)
+  done;
+  ignore (Riscv.Pipeline.run p);
+  check_int "pipeline checksum" expect (Riscv.Pipeline.read_gpr p 10);
+  let m = Riscv.Machine.of_compiled c in
+  Riscv.Machine.write_gpr m 2 0x8000;
+  Riscv.Machine.load_program m words;
+  for i = 0 to n - 1 do
+    Riscv.Machine.store_word m (0x1000 + (4 * i)) (i + 1)
+  done;
+  ignore (Riscv.Machine.run m);
+  check_int "machine checksum" expect (Riscv.Machine.read_gpr m 10);
+  let rl = Riscv.Rtl_loop.create c in
+  Riscv.Rtl_loop.load_program rl words;
+  (Coredsl.Interp.reg_array rl.Riscv.Rtl_loop.st "X").(2) <- Bitvec.of_int (Bitvec.unsigned_ty 32) 0x8000;
+  for i = 0 to n - 1 do
+    Coredsl.Interp.write_mem rl.Riscv.Rtl_loop.st "MEM" (0x1000 + (4 * i)) 4
+      (Bitvec.of_int (Bitvec.unsigned_ty 32) (i + 1))
+  done;
+  ignore (Riscv.Rtl_loop.run rl);
+  check_int "rtl-loop checksum" expect (Riscv.Rtl_loop.read_gpr rl 10)
 
 let test_pipeline_sparkle_orca () =
   (* ORCA reads operands late (stage 3): the module ports follow *)
@@ -447,6 +489,7 @@ let () =
           Alcotest.test_case "zol zero overhead" `Quick test_isax_zol_zero_overhead;
           Alcotest.test_case "matches cost-model machine" `Slow test_pipeline_matches_machine;
           Alcotest.test_case "other cores" `Quick test_pipeline_other_cores;
+          Alcotest.test_case "mriscv through all engines" `Slow test_mriscv_case_study_engines;
           Alcotest.test_case "sparkle on ORCA" `Quick test_pipeline_sparkle_orca;
           Alcotest.test_case "write arbitration order" `Quick test_pipeline_arbitration;
           Alcotest.test_case "decoupled overtaking" `Quick test_decoupled_overtaking;

@@ -30,7 +30,7 @@ let test_lil_mapping () =
 (* ---- datasheets ---- *)
 
 let test_datasheets () =
-  check_int "four cores" 4 (List.length Scaiev.Datasheet.all_cores);
+  check_int "four paper cores" 4 (List.length Scaiev.Datasheet.all_cores);
   let vex = Scaiev.Datasheet.vexriscv in
   check_int "vex stages" 5 vex.pipeline_stages;
   check_bool "pico is fsm" true Scaiev.Datasheet.picorv32.is_fsm;
@@ -55,6 +55,122 @@ let test_datasheet_yaml () =
   check_bool "mentions core" true (contains y "core: VexRiscv");
   check_bool "has RdMem" true (contains y "RdMem");
   check_bool "has latency field" true (contains y "latency: 1")
+
+(* ---- the core registry ---- *)
+
+let slugs_of l = List.map (fun (d : Scaiev.Core_registry.t) -> d.slug) l
+
+let test_registry_enumeration () =
+  Alcotest.(check (list string))
+    "paper cores in Table-4 order"
+    [ "orca"; "piccolo"; "picorv32"; "vexriscv" ]
+    (slugs_of (Scaiev.Core_registry.paper_cores ()));
+  Alcotest.(check (list string))
+    "all = paper + ported"
+    [ "orca"; "piccolo"; "picorv32"; "vexriscv"; "mriscv" ]
+    (slugs_of (Scaiev.Core_registry.all ()));
+  Alcotest.(check (list string))
+    "outlook folds in behind the flag"
+    [ "orca"; "piccolo"; "picorv32"; "vexriscv"; "mriscv"; "cva5"; "cva6" ]
+    (slugs_of (Scaiev.Core_registry.all ~include_outlook:true ()));
+  (* the registry's paper datasheets are the very same values the
+     static Datasheet bindings expose (goldens stay byte-identical) *)
+  check_bool "paper datasheets are the static ones" true
+    (List.for_all2
+       (fun a b -> a == b)
+       (Scaiev.Core_registry.paper_datasheets ())
+       [ Scaiev.Datasheet.orca; Scaiev.Datasheet.piccolo; Scaiev.Datasheet.picorv32;
+         Scaiev.Datasheet.vexriscv ])
+
+let test_registry_lookup () =
+  let find = Scaiev.Core_registry.find in
+  check_bool "case-insensitive slug" true
+    ((Option.get (find "VexRiscv")).Scaiev.Core_registry.slug = "vexriscv");
+  check_bool "fifth core registered" true
+    ((Option.get (find "MRISCV")).Scaiev.Core_registry.kind = Scaiev.Core_registry.Ported);
+  check_bool "outlook cores resolvable" true (find "cva6" <> None);
+  check_bool "unknown -> None" true (find "rocket" = None);
+  (* datasheet -> descriptor bridge *)
+  let d = Option.get (Scaiev.Core_registry.of_datasheet Scaiev.Datasheet.piccolo) in
+  check_str "of_datasheet" "piccolo" d.Scaiev.Core_registry.slug;
+  check_bool "find_datasheet" true
+    (Scaiev.Core_registry.find_datasheet "mriscv" = Some Scaiev.Core_registry.mriscv)
+
+let test_registry_suggest_resolve () =
+  check_bool "typo suggests vexriscv" true
+    (List.mem "vexriscv" (Scaiev.Core_registry.suggest "vexrisc"));
+  check_bool "typo suggests mriscv" true
+    (List.mem "mriscv" (Scaiev.Core_registry.suggest "mricsv"));
+  check_bool "prefix suggests picorv32" true
+    (List.mem "picorv32" (Scaiev.Core_registry.suggest "pico"));
+  (match Scaiev.Core_registry.resolve "piccolo" with
+  | Ok d -> check_str "resolve ok" "piccolo" d.Scaiev.Core_registry.slug
+  | Error _ -> Alcotest.fail "resolve of a registered core failed");
+  match Scaiev.Core_registry.resolve "vexrsicv" with
+  | Ok _ -> Alcotest.fail "resolve of an unknown core succeeded"
+  | Error msg ->
+      check_bool "message lists every slug" true
+        (List.for_all (fun s -> contains msg s)
+           (Scaiev.Core_registry.slugs ~include_outlook:true ()));
+      check_bool "message suggests" true (contains msg "did you mean")
+
+(* Satellite: the registry-wide well-formedness validator. Every
+   registered core must be clean, and each invariant must actually
+   fire on a deliberately mistyped datasheet. *)
+let test_registry_validator () =
+  Alcotest.(check (list (pair string (list string))))
+    "every registered core is well-formed" []
+    (Scaiev.Core_registry.validate_all ());
+  List.iter
+    (fun (d : Scaiev.Core_registry.t) ->
+      Alcotest.(check (list string))
+        (d.slug ^ " validates") [] (Scaiev.Core_registry.validate d))
+    (Scaiev.Core_registry.all ~include_outlook:true ());
+  (* corrupt one invariant at a time; each must be caught *)
+  let base = Scaiev.Core_registry.find_exn "vexriscv" in
+  let with_ds ds = { base with Scaiev.Core_registry.datasheet = ds } in
+  let violations d = Scaiev.Core_registry.validate d <> [] in
+  let ds = base.Scaiev.Core_registry.datasheet in
+  check_bool "window past pipeline depth" true
+    (violations
+       (with_ds { ds with ifaces = [ ("RdRS1", Scaiev.Datasheet.window 2 ~native_latest:9) ] }));
+  check_bool "earliest > native_latest" true
+    (violations
+       (with_ds { ds with ifaces = [ ("WrRD", Scaiev.Datasheet.window 4 ~native_latest:2) ] }));
+  check_bool "operand stage at writeback" true
+    (violations (with_ds { ds with operand_stage = ds.writeback_stage }));
+  check_bool "FSM flag with pipeline stages" true
+    (violations (with_ds { ds with is_fsm = true }));
+  check_bool "pipelined core without native latest" true
+    (violations (with_ds { ds with ifaces = [ ("RdRS1", Scaiev.Datasheet.window 2) ] }));
+  check_bool "non-positive area" true (violations (with_ds { ds with base_area_um2 = 0.0 }));
+  check_bool "non-positive frequency" true
+    (violations (with_ds { ds with base_freq_mhz = -1.0 }));
+  check_bool "negative timing" true
+    (violations
+       { base with
+         Scaiev.Core_registry.timing =
+           { base.Scaiev.Core_registry.timing with Scaiev.Core_registry.mem_wait = -1 } })
+
+let test_registry_registration_errors () =
+  let raises f =
+    match f () with
+    | () -> false
+    | exception Scaiev.Core_registry.Registration_error _ -> true
+  in
+  let vex = Scaiev.Core_registry.find_exn "vexriscv" in
+  check_bool "duplicate slug rejected" true
+    (raises (fun () -> Scaiev.Core_registry.register vex));
+  check_bool "mistyped datasheet rejected at registration" true
+    (raises (fun () ->
+         Scaiev.Core_registry.register
+           { vex with
+             Scaiev.Core_registry.name = "BadCore";
+             slug = "badcore";
+             datasheet = { vex.Scaiev.Core_registry.datasheet with core_name = "BadCore"; base_area_um2 = -1.0 };
+           }));
+  check_bool "nothing was registered by the failures" true
+    (Scaiev.Core_registry.find "badcore" = None)
 
 (* ---- config format ---- *)
 
@@ -233,8 +349,16 @@ let () =
         ] );
       ( "datasheet",
         [
-          Alcotest.test_case "four cores" `Quick test_datasheets;
+          Alcotest.test_case "four paper cores" `Quick test_datasheets;
           Alcotest.test_case "yaml rendering" `Quick test_datasheet_yaml;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "enumeration classes" `Quick test_registry_enumeration;
+          Alcotest.test_case "lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "suggest + resolve" `Quick test_registry_suggest_resolve;
+          Alcotest.test_case "well-formedness validator" `Quick test_registry_validator;
+          Alcotest.test_case "registration errors" `Quick test_registry_registration_errors;
         ] );
       ( "config",
         [

@@ -112,12 +112,53 @@ let test_unknown_op_and_missing_fields () =
   in
   expect_e0910 {|{"op":"frobnicate"}|};
   expect_e0910 {|{"op":"compile"}|};
-  expect_e0910 {|{"op":"compile","isax":"dotprod","core":"made-up-core"}|};
   expect_e0910 {|{"op":"compile","isax":"no-such-isax","core":"vexriscv"}|};
   expect_e0910 {|{"op":"compile","isax":"dotprod","core":"vexriscv","jobs":0}|};
   expect_e0910 {|{"op":"compile","isax":"dotprod","core":"vexriscv","knobs":{"scheduler":"bogus"}}|};
   (* cache/store control is daemon-side configuration *)
   expect_e0910 {|{"op":"compile","isax":"dotprod","core":"vexriscv","knobs":{"store":"/tmp/x"}}|}
+
+(* unknown core names are not generic malformed-request failures: they
+   get the dedicated E0912 code, and the message carries the registry's
+   available-core list plus the same did-you-mean suggestions as the
+   CLI's --core converter *)
+let test_unknown_core_is_e0912 () =
+  let srv = make_server () in
+  let diag_messages j =
+    match Json.member "diagnostics" (Json.member "diag" j) with
+    | Json.Arr ds ->
+        List.filter_map (fun d -> Json.get_string (Json.member "message" d)) ds
+    | _ -> []
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun line ->
+      let j = one_line (Server.handle_line srv line) in
+      check_bool "not ok" true (Json.get_bool (Json.member "ok" j) = Some false);
+      Alcotest.(check (list string)) line [ "E0912" ] (diag_codes j);
+      let msg = String.concat " " (diag_messages j) in
+      List.iter
+        (fun slug -> check_bool (line ^ " lists " ^ slug) true (contains msg slug))
+        (Scaiev.Core_registry.slugs ~include_outlook:true ()))
+    [
+      {|{"op":"compile","isax":"dotprod","core":"made-up-core"}|};
+      {|{"op":"compile","isax":"dotprod","cores":["vexriscv","made-up-core"]}|};
+      {|{"op":"dse","isax":"dotprod","core":"made-up-core"}|};
+    ];
+  (* a near-miss typo gets a did-you-mean pointing at the right slug *)
+  let j =
+    one_line (Server.handle_line srv {|{"op":"compile","isax":"dotprod","core":"mricsv"}|})
+  in
+  Alcotest.(check (list string)) "typo is E0912" [ "E0912" ] (diag_codes j);
+  let msg = String.concat " " (diag_messages j) in
+  check_bool "suggests mriscv" true (contains msg "did you mean 'mriscv'?");
+  (* the daemon still answers afterwards: per-request isolation *)
+  let j = one_line (Server.handle_line srv {|{"op":"ping"}|}) in
+  check_bool "still alive" true (Json.get_bool (Json.member "ok" j) = Some true)
 
 let test_compile_inline () =
   let srv = make_server () in
@@ -286,6 +327,7 @@ let () =
           Alcotest.test_case "ping" `Quick test_ping;
           Alcotest.test_case "malformed is E0910" `Quick test_malformed_is_e0910;
           Alcotest.test_case "bad requests" `Quick test_unknown_op_and_missing_fields;
+          Alcotest.test_case "unknown core is E0912" `Quick test_unknown_core_is_e0912;
           Alcotest.test_case "compile batch" `Quick test_compile_inline;
           Alcotest.test_case "diagnostics on the wire" `Quick
             test_compile_diagnostics_on_wire;
