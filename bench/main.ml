@@ -551,7 +551,73 @@ let lint_json () =
           entries))
     total total_ms
 
-let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_path () =
+(* Simulation-engine comparison: run the same generated module for many
+   driven cycles on the reference interpreter and on the compiled engine,
+   report cycles/sec for each, and check the full VCD traces of a shared
+   deterministic stimulus are byte-identical. `--assert-sim-equal` turns
+   the two invariants the refactor promises — bit-identical traces and a
+   >= 10x compiled speedup — into hard CI failures. *)
+let rtl_sim_json ~assert_sim_equal () =
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let compiled = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
+  let f = List.hd compiled.Longnail.Flow.funcs in
+  let m = f.Longnail.Flow.cf_hw.Longnail.Hwgen.netlist in
+  (* deterministic per-cycle stimulus over every input port *)
+  let drive cycle =
+    List.map
+      (fun (p : Rtl.Netlist.port) ->
+        let h = Hashtbl.hash (p.port_name, cycle) in
+        (p.port_name, Bitvec.of_int (Bitvec.unsigned_ty p.port_width) h))
+      m.Rtl.Netlist.inputs
+  in
+  (* throughput: one engine instance driven until the time budget runs
+     out, so per-cycle cost dominates and engine construction does not. *)
+  let cycles_per_sec kind =
+    let eng = Rtl.Engine.create ~kind m in
+    let budget = 0.25 in
+    let t0 = Unix.gettimeofday () in
+    let cycles = ref 0 in
+    while Unix.gettimeofday () -. t0 < budget do
+      for _ = 1 to 50 do
+        List.iter (fun (n, v) -> Rtl.Engine.set_input eng n v) (drive !cycles);
+        Rtl.Engine.eval eng;
+        Rtl.Engine.clock eng;
+        incr cycles
+      done
+    done;
+    float_of_int !cycles /. (Unix.gettimeofday () -. t0)
+  in
+  let interp_cps = cycles_per_sec Rtl.Engine.Interp in
+  let compiled_cps = cycles_per_sec Rtl.Engine.Compiled in
+  let speedup = compiled_cps /. Float.max interp_cps 1e-9 in
+  let trace_cycles = 64 in
+  let vcd_interp = Rtl.Vcd.trace ~engine:Rtl.Engine.Interp m ~cycles:trace_cycles ~drive in
+  let vcd_compiled =
+    Rtl.Vcd.trace ~engine:Rtl.Engine.Compiled m ~cycles:trace_cycles ~drive
+  in
+  let equal = Rtl.Vcd.traces_equal vcd_interp vcd_compiled in
+  if assert_sim_equal then begin
+    (match Rtl.Vcd.first_divergence vcd_interp vcd_compiled with
+    | Some (line, l, r) ->
+        Diag.fatalf ~code:"E0901"
+          "internal: --assert-sim-equal: engine traces diverge at VCD line %d (interp %S, \
+           compiled %S)"
+          line l r
+    | None -> ());
+    if speedup < 10.0 then
+      Diag.fatalf ~code:"E0901"
+        "internal: --assert-sim-equal: compiled engine is only %.1fx the interpreter \
+         (%.0f vs %.0f cycles/sec); the contract is >= 10x"
+        speedup compiled_cps interp_cps
+  end;
+  Printf.sprintf
+    "\"rtl_sim\":{\"module\":\"%s\",\"nodes\":%d,\"trace_cycles\":%d,\"interp_cycles_per_sec\":%.1f,\"compiled_cycles_per_sec\":%.1f,\"speedup\":%.2f,\"traces_equal\":%b}"
+    m.Rtl.Netlist.mod_name
+    (List.length m.Rtl.Netlist.nodes)
+    trace_cycles interp_cps compiled_cps speedup equal
+
+let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal = false)
+    ~json_path ~schema_path () =
   let results =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
@@ -588,6 +654,8 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_
   let serving_json = serve_json () in
   Printf.eprintf "linting bundled ISAXes...\n%!";
   let linting_json = lint_json () in
+  Printf.eprintf "comparing RTL simulation engines...\n%!";
+  let sim_json = rtl_sim_json ~assert_sim_equal () in
   let b = Buffer.create (64 * 1024) in
   Buffer.add_string b "{\"schema_version\":1,";
   Buffer.add_string b "\"tool\":\"bench/main.exe perf --json\",";
@@ -596,6 +664,7 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ~json_path ~schema_
   Buffer.add_string b (disk_json ^ ",");
   Buffer.add_string b (serving_json ^ ",");
   Buffer.add_string b (linting_json ^ ",");
+  Buffer.add_string b (sim_json ^ ",");
   Buffer.add_string b "\"targets\":[";
   List.iteri
     (fun i (isax, core, sp) ->
@@ -843,8 +912,8 @@ let usage_error fmt =
     (fun m ->
       Printf.eprintf
         "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --repeat N,\n\
-        \       --assert-cache-hits, --assert-par-equal, plus the shared knob flags\n\
-        \       (--jobs N, --scheduler KIND, ...)\n"
+        \       --assert-cache-hits, --assert-par-equal, --assert-sim-equal,\n\
+        \       plus the shared knob flags (--jobs N, --scheduler KIND, ...)\n"
         m
         (String.concat " " (List.map fst all_targets));
       exit 2)
@@ -866,27 +935,32 @@ let main () =
     | Ok r -> r
     | Error m -> usage_error "%s" m
   in
-  let rec parse (targets, json, schema, repeat, assert_hits, assert_par) = function
-    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par)
+  let rec parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim) =
+    function
+    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par, assert_sim)
     | "--json" :: path :: rest ->
-        parse (targets, Some path, schema, repeat, assert_hits, assert_par) rest
+        parse (targets, Some path, schema, repeat, assert_hits, assert_par, assert_sim) rest
     | "--schema" :: path :: rest ->
-        parse (targets, json, Some path, repeat, assert_hits, assert_par) rest
+        parse (targets, json, Some path, repeat, assert_hits, assert_par, assert_sim) rest
     | "--repeat" :: n :: rest -> (
         match int_of_string_opt n with
-        | Some k when k >= 1 -> parse (targets, json, schema, k, assert_hits, assert_par) rest
+        | Some k when k >= 1 ->
+            parse (targets, json, schema, k, assert_hits, assert_par, assert_sim) rest
         | _ -> usage_error "--repeat expects an integer >= 1, got '%s'" n)
     | "--assert-cache-hits" :: rest ->
-        parse (targets, json, schema, repeat, true, assert_par) rest
+        parse (targets, json, schema, repeat, true, assert_par, assert_sim) rest
     | "--assert-par-equal" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, true) rest
+        parse (targets, json, schema, repeat, assert_hits, true, assert_sim) rest
+    | "--assert-sim-equal" :: rest ->
+        parse (targets, json, schema, repeat, assert_hits, assert_par, true) rest
     | ("--json" | "--schema" | "--repeat") :: [] -> usage_error "missing flag argument"
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
         usage_error "unknown flag '%s'" a
-    | a :: rest -> parse (a :: targets, json, schema, repeat, assert_hits, assert_par) rest
+    | a :: rest ->
+        parse (a :: targets, json, schema, repeat, assert_hits, assert_par, assert_sim) rest
   in
-  let names, json, schema, repeat, assert_hits, assert_par_equal =
-    parse ([], None, None, 1, false, false) rest
+  let names, json, schema, repeat, assert_hits, assert_par_equal, assert_sim_equal =
+    parse ([], None, None, 1, false, false, false) rest
   in
   List.iter
     (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
@@ -907,8 +981,8 @@ let main () =
           match (n, json) with
           | "perf", Some json_path ->
               perf_json ~jobs:kf.Longnail.Knob_flags.jobs
-                ~verify_each:kf.Longnail.Knob_flags.verify_each ~assert_par_equal ~json_path
-                ~schema_path:schema ()
+                ~verify_each:kf.Longnail.Knob_flags.verify_each ~assert_par_equal
+                ~assert_sim_equal ~json_path ~schema_path:schema ()
           | _ -> (List.assoc n all_targets) ())
         names);
   if assert_hits then begin

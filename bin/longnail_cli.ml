@@ -89,10 +89,20 @@ let knob_flags_term : (string * string option) list Term.t =
       Term.(const (fun o l -> match o with Some kv -> kv :: l | None -> l) $ term $ acc))
     (Term.const []) Longnail.Knob_flags.specs
 
+(* Malformed knob values are plain usage errors (exit 2) — except flags
+   with a structured diagnostic code ([Knob_flags.error_code]): unknown
+   --sim-engine / --emit names raise E0913 with did-you-mean suggestions,
+   rendered like any other diagnostic (exit 1). *)
 let resolve_knob_flags settings =
   List.fold_left
     (fun acc (name, value) ->
-      Result.bind acc (fun t -> Longnail.Knob_flags.set t name value))
+      Result.bind acc (fun t ->
+          match Longnail.Knob_flags.set t name value with
+          | Ok t -> Ok t
+          | Error msg -> (
+              match Longnail.Knob_flags.error_code name with
+              | Some code -> Diag.fatalf ~code "%s" msg
+              | None -> Error msg)))
     (Ok Longnail.Knob_flags.default) settings
 
 (* ---- compile ---- *)
@@ -186,7 +196,10 @@ let compile_cmd =
           if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
           List.iter
             (fun (f : Longnail.Flow.output_func) ->
-              let path = Filename.concat outdir (f.of_name ^ ".sv") in
+              let path =
+                Filename.concat outdir
+                  (f.of_name ^ "." ^ Rtl.Backend.file_ext kf.Longnail.Knob_flags.emit_backend)
+              in
               write_file path f.of_sv;
               note "wrote %s (%s, last stage %d)\n" path f.of_mode f.of_max_stage)
             o.o_funcs;
@@ -205,7 +218,10 @@ let compile_cmd =
           if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755;
           List.iter
             (fun (f : Longnail.Flow.compiled_functionality) ->
-              let path = Filename.concat outdir (f.cf_name ^ ".sv") in
+              let path =
+                Filename.concat outdir
+                  (f.cf_name ^ "." ^ Rtl.Backend.file_ext kf.Longnail.Knob_flags.emit_backend)
+              in
               write_file path f.cf_sv;
               note "wrote %s (%s, last stage %d)\n" path
                 (Scaiev.Config.mode_to_string f.cf_mode)
@@ -360,8 +376,11 @@ let run_cmd =
           ~doc:
             "Execution engine: 'cost' (cycle-cost model), 'pipeline' (structural pipeline with              the generated RTL wired in), or 'rtl-loop' (ISAXes through the RTL, base ISA              interpreted).")
   in
-  let run efmt core isax engine prog =
+  let run efmt core isax engine knob_settings prog =
     error_format := efmt;
+    match resolve_knob_flags knob_settings with
+    | Error msg -> `Error (true, msg)
+    | Ok kf ->
     let entry =
       match isax with
       | Some n -> (
@@ -376,7 +395,7 @@ let run_cmd =
         | Some e -> Isax.Registry.compile e
         | None -> Coredsl.compile_rv32im ()
       in
-      let c = Longnail.Flow.compile core tu in
+      let c = Longnail.Flow.compile ~knobs:(Longnail.Knob_flags.knobs kf) core tu in
       (* execution defaults (reset PC, initial stack pointer) come from
          the core's registry descriptor *)
       let sim =
@@ -401,7 +420,7 @@ let run_cmd =
           Printf.printf "cycles: %d, instructions: %d\n" cycles m.Riscv.Machine.instret;
           dump_regs (Riscv.Machine.read_gpr m)
       | `Pipeline ->
-          let p = Riscv.Pipeline.create c in
+          let p = Riscv.Pipeline.create ~engine:kf.Longnail.Knob_flags.sim_engine c in
           Riscv.Pipeline.load_program p ~base:sim.reset_pc words;
           Riscv.Pipeline.write_gpr p 2 sim.sp_init;
           let cycles = Riscv.Pipeline.run p in
@@ -410,7 +429,7 @@ let run_cmd =
           Printf.printf "cycles: %d, instructions: %d\n" cycles p.Riscv.Pipeline.instret;
           dump_regs (Riscv.Pipeline.read_gpr p)
       | `Rtl_loop ->
-          let rl = Riscv.Rtl_loop.create c in
+          let rl = Riscv.Rtl_loop.create ~engine:kf.Longnail.Knob_flags.sim_engine c in
           Riscv.Rtl_loop.load_program rl ~base:sim.reset_pc words;
           let instret = Riscv.Rtl_loop.run rl in
           Printf.printf "engine: RTL-in-the-loop (%s)\n" core.Scaiev.Datasheet.core_name;
@@ -424,7 +443,10 @@ let run_cmd =
   in
   let doc = "Run an assembly program on an (optionally ISAX-extended) core model." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ error_format_arg $ core_arg $ isax_arg $ engine_arg $ prog_arg))
+    Term.(
+      ret
+        (const run $ error_format_arg $ core_arg $ isax_arg $ engine_arg $ knob_flags_term
+       $ prog_arg))
 
 (* ---- report ---- *)
 

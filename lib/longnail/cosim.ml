@@ -45,17 +45,20 @@ exception Cosim_error of string
 
 (* Run one instruction (or one always-block evaluation) through the module.
    Inputs are applied in the stage recorded in each binding; outputs are
-   sampled in theirs. All stall inputs are held low. *)
-let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
+   sampled in theirs. All stall inputs are held low. The compiled engine
+   is the default; [~engine:Rtl.Engine.Interp] cross-checks against the
+   reference interpreter. *)
+let run ?(engine = Rtl.Engine.Compiled) (f : Flow.compiled_functionality)
+    (stim : stimulus) : response =
   let hw = f.cf_hw in
   let m = hw.Hwgen.netlist in
-  let sim = Rtl.Sim.create m in
+  let sim = Rtl.Engine.create ~kind:engine m in
   let u w = Bitvec.unsigned_ty w in
   (* hold stall inputs low *)
   List.iter
     (fun (p : Rtl.Netlist.port) ->
       if String.length p.port_name >= 8 && String.sub p.port_name 0 8 = "stall_in" then
-        Rtl.Sim.set_input sim p.port_name (Bitvec.zero (u 1)))
+        Rtl.Engine.set_input sim p.port_name (Bitvec.zero (u 1)))
     m.Rtl.Netlist.inputs;
   let port role (b : Hwgen.iface_binding) =
     match List.assoc_opt role b.ib_ports with
@@ -80,24 +83,24 @@ let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
           match b.ib_opname with
           | "lil.instr_word" -> (
               match stim.instr_word with
-              | Some v -> Rtl.Sim.set_input sim (port "data" b) v
+              | Some v -> Rtl.Engine.set_input sim (port "data" b) v
               | None -> raise (Cosim_error "stimulus lacks instruction word"))
           | "lil.read_rs1" ->
-              Rtl.Sim.set_input sim (port "data" b)
+              Rtl.Engine.set_input sim (port "data" b)
                 (match stim.rs1 with Some v -> v | None -> raise (Cosim_error "no rs1"))
           | "lil.read_rs2" ->
-              Rtl.Sim.set_input sim (port "data" b)
+              Rtl.Engine.set_input sim (port "data" b)
                 (match stim.rs2 with Some v -> v | None -> raise (Cosim_error "no rs2"))
           | "lil.read_pc" ->
-              Rtl.Sim.set_input sim (port "data" b)
+              Rtl.Engine.set_input sim (port "data" b)
                 (match stim.pc with Some v -> v | None -> raise (Cosim_error "no pc"))
           | _ -> ())
       hw.bindings;
     (* supply any pending (latency-delayed) inputs due this cycle *)
     List.iter
-      (fun (c, p, v) -> if c = cycle then Rtl.Sim.set_input sim p v)
+      (fun (c, p, v) -> if c = cycle then Rtl.Engine.set_input sim p v)
       !pending_inputs;
-    Rtl.Sim.eval sim;
+    Rtl.Engine.eval sim;
     (* address-dependent reads: custom registers deliver in the same stage *)
     List.iter
       (fun (b : Hwgen.iface_binding) ->
@@ -105,13 +108,13 @@ let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
           let reg = Option.get b.ib_reg in
           let idx =
             match List.assoc_opt "addr" b.ib_ports with
-            | Some ap -> Bitvec.to_int (Rtl.Sim.output sim ap)
+            | Some ap -> Bitvec.to_int (Rtl.Engine.output sim ap)
             | None -> 0
           in
           let data_port = port "data" b in
           if has_input data_port then begin
-            Rtl.Sim.set_input sim data_port (stim.custreg reg idx);
-            Rtl.Sim.eval sim
+            Rtl.Engine.set_input sim data_port (stim.custreg reg idx);
+            Rtl.Engine.eval sim
           end
         end)
       hw.bindings;
@@ -119,8 +122,8 @@ let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
     List.iter
       (fun (b : Hwgen.iface_binding) ->
         if b.ib_stage = cycle && b.ib_opname = "lil.read_mem" then begin
-          let addr = Bitvec.to_int (Rtl.Sim.output sim (port "addr" b)) in
-          let valid = Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) in
+          let addr = Bitvec.to_int (Rtl.Engine.output sim (port "addr" b)) in
+          let valid = Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) in
           mem_read_request := Some (addr, valid);
           let data_port = port "data" b in
           (* the response arrives one cycle later (RdMem latency) *)
@@ -146,13 +149,13 @@ let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
           | "lil.write_rd" ->
               rd_write :=
                 Some
-                  ( Rtl.Sim.output sim (port "data" b),
-                    Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) )
+                  ( Rtl.Engine.output sim (port "data" b),
+                    Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) )
           | "lil.write_pc" ->
               pc_write :=
                 Some
-                  ( Rtl.Sim.output sim (port "data" b),
-                    Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) )
+                  ( Rtl.Engine.output sim (port "data" b),
+                    Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) )
           | "lil.write_custreg" ->
               let reg = Option.get b.ib_reg in
               custreg_writes :=
@@ -160,21 +163,21 @@ let run (f : Flow.compiled_functionality) (stim : stimulus) : response =
                   cw_reg = reg;
                   cw_index =
                     Option.map
-                      (fun ap -> Bitvec.to_int (Rtl.Sim.output sim ap))
+                      (fun ap -> Bitvec.to_int (Rtl.Engine.output sim ap))
                       (List.assoc_opt "addr" b.ib_ports);
-                  cw_data = Rtl.Sim.output sim (port "data" b);
-                  cw_valid = Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b));
+                  cw_data = Rtl.Engine.output sim (port "data" b);
+                  cw_valid = Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b));
                 }
                 :: !custreg_writes
           | "lil.write_mem" ->
               mem_write :=
                 Some
-                  ( Bitvec.to_int (Rtl.Sim.output sim (port "addr" b)),
-                    Rtl.Sim.output sim (port "data" b),
-                    Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) )
+                  ( Bitvec.to_int (Rtl.Engine.output sim (port "addr" b)),
+                    Rtl.Engine.output sim (port "data" b),
+                    Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) )
           | _ -> ())
       hw.bindings;
-    Rtl.Sim.clock sim
+    Rtl.Engine.clock sim
   done;
   {
     rd_write = !rd_write;

@@ -31,4 +31,10 @@ type response = {
   cycles : int;
 }
 exception Cosim_error of string
-val run : Flow.compiled_functionality -> stimulus -> response
+
+val run :
+  ?engine:Rtl.Engine.kind -> Flow.compiled_functionality -> stimulus -> response
+(** Run one instruction (or always-block evaluation) through the module
+    on the chosen simulation engine (compiled by default; pass
+    [~engine:Rtl.Engine.Interp] to cross-check the reference
+    interpreter). *)

@@ -24,6 +24,16 @@ let specs =
       doc = "Drop the decoupled-mode scoreboard (the Table 4 ablation row).";
     };
     {
+      name = "sim-engine";
+      arg = Some "ENGINE";
+      doc = "RTL simulation engine: compiled (default) or interp (the reference interpreter).";
+    };
+    {
+      name = "emit";
+      arg = Some "BACKEND";
+      doc = "HDL emission backend: sv (SystemVerilog, default) or v2001 (Verilog-2001 subset).";
+    };
+    {
       name = "jobs";
       arg = Some "N";
       doc = "Worker domains for batch compiles (default 1 = sequential).";
@@ -58,6 +68,8 @@ type t = {
   delay : Delay_model.spec;
   cycle_time : float option;
   hazard_handling : bool;
+  sim_engine : Rtl.Engine.kind;
+  emit_backend : Rtl.Backend.kind;
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;
@@ -72,6 +84,8 @@ let default =
     delay = Delay_model.Default;
     cycle_time = None;
     hazard_handling = true;
+    sim_engine = Rtl.Engine.Compiled;
+    emit_backend = Rtl.Backend.Sv;
     jobs = 1;
     cache_enabled = true;
     cache_capacity = None;
@@ -100,6 +114,16 @@ let set t name value =
       | Some f when f > 0.0 -> Ok { t with cycle_time = Some f }
       | _ -> err "--cycle-time expects a positive number of ns, got '%s'" v)
   | "no-hazard-handling", None -> Ok { t with hazard_handling = false }
+  | "sim-engine", Some v -> (
+      (* Rtl.Choice supplies the did-you-mean hint; front ends map this
+         to the structured E0913 diagnostic via [error_code]. *)
+      match Rtl.Engine.kind_of_string v with
+      | Ok k -> Ok { t with sim_engine = k }
+      | Error m -> err "--sim-engine: %s" m)
+  | "emit", Some v -> (
+      match Rtl.Backend.of_string v with
+      | Ok k -> Ok { t with emit_backend = k }
+      | Error m -> err "--emit: %s" m)
   | "jobs", Some v -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> Ok { t with jobs = n }
@@ -161,7 +185,16 @@ let knobs t =
     k_delay = t.delay;
     k_cycle_time = t.cycle_time;
     k_hazard_handling = t.hazard_handling;
+    k_sim_engine = t.sim_engine;
+    k_backend = t.emit_backend;
   }
+
+(* Flags whose rejections are structured diagnostics rather than plain
+   usage errors: unknown engine/backend names are E0913 (same shape as
+   the E0912 unknown-core diagnostic, with did-you-mean suggestions). *)
+let error_code = function
+  | "sim-engine" | "emit" -> Some "E0913"
+  | _ -> None
 
 let disk t =
   Option.map

@@ -10,6 +10,8 @@
     --delay MODEL           default, physical, or uniform:NS
     --cycle-time NS         target cycle time (default: the core's period)
     --no-hazard-handling    drop the decoupled-mode scoreboard
+    --sim-engine ENGINE     compiled (default) or interp
+    --emit BACKEND          sv (SystemVerilog, default) or v2001
     --jobs N                worker domains for batch compiles (default 1)
     --no-cache              disable artifact retention
     --verify-each           re-verify the IR after every optimization pass
@@ -29,6 +31,8 @@ type t = {
   delay : Delay_model.spec;
   cycle_time : float option;
   hazard_handling : bool;
+  sim_engine : Rtl.Engine.kind;
+  emit_backend : Rtl.Backend.kind;
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;
@@ -51,6 +55,12 @@ val parse : t -> string list -> (t * string list, string) result
     a recognized flag with a missing or malformed value is an [Error]. *)
 
 val knobs : t -> Flow.knobs
+
+val error_code : string -> string option
+(** [error_code name] is the structured diagnostic code for rejections
+    of flag [name], when it has one: [--sim-engine] and [--emit] map to
+    E0913 ("unknown simulation engine or emission backend", with
+    did-you-mean suggestions); other flags are plain usage errors. *)
 
 val disk : t -> Cache.Disk.t option
 (** The persistent store named by [--store DIR] (opened with the

@@ -5,7 +5,7 @@
    stalls and branch flushes — and wires the Longnail-generated RTL
    modules into it the way SCAIE-V does:
 
-   - one {!Rtl.Sim} instance per ISAX module serves *all* in-flight
+   - one {!Rtl.Engine.t} instance per ISAX module serves *all* in-flight
      instructions at once: the module's internal stallable pipeline
      registers carry each instruction's intermediate values, and the
      integration drives the stage-s input ports with whatever instruction
@@ -65,8 +65,8 @@ type slot = {
 type t = {
   compiled : Longnail.Flow.compiled;
   st : Interp.state;  (* committed architectural state *)
-  sims : (string * Rtl.Sim.t) list;  (* one per ISAX instruction module *)
-  always_units : (Longnail.Flow.compiled_functionality * Rtl.Sim.t) list;
+  sims : (string * Rtl.Engine.t) list;  (* one per ISAX instruction module *)
+  always_units : (Longnail.Flow.compiled_functionality * Rtl.Engine.t) list;
   stages : slot option array;  (* index 1 .. depth+1; commit from depth+1 *)
   mutable detached : slot list;  (* decoupled units past writeback *)
   mutable fetch_pc : int;
@@ -76,14 +76,14 @@ type t = {
   depth : int;
 }
 
-let create (compiled : Longnail.Flow.compiled) =
+let create ?(engine = Rtl.Engine.Compiled) (compiled : Longnail.Flow.compiled) =
   let core = compiled.Longnail.Flow.core in
   if core.Scaiev.Datasheet.is_fsm then
     raise (Pipeline_error "the structural pipeline models pipelined cores only");
   let sims, always_units =
     List.fold_left
       (fun (sims, always) (f : Longnail.Flow.compiled_functionality) ->
-        let sim = Rtl.Sim.create f.cf_hw.Longnail.Hwgen.netlist in
+        let sim = Rtl.Engine.create ~kind:engine f.cf_hw.Longnail.Hwgen.netlist in
         match f.cf_kind with
         | `Instruction -> ((f.cf_name, sim) :: sims, always)
         | `Always -> (sims, (f, sim) :: always))
@@ -203,7 +203,7 @@ let set_stall_inputs t ~frozen_below =
           let pn = p.Rtl.Netlist.port_name in
           if String.length pn > 9 && String.sub pn 0 9 = "stall_in_" then begin
             let s = int_of_string (String.sub pn 9 (String.length pn - 9)) in
-            Rtl.Sim.set_input sim pn
+            Rtl.Engine.set_input sim pn
               (Bitvec.of_int (Bitvec.unsigned_ty 1) (if s < frozen_below then 1 else 0))
           end)
         (netlist_of t name).Rtl.Netlist.inputs)
@@ -216,10 +216,10 @@ let drive_isax_inputs t (s : slot) (f : Longnail.Flow.compiled_functionality) st
     (fun (b : Longnail.Hwgen.iface_binding) ->
       if b.ib_stage = stage then
         match b.ib_opname with
-        | "lil.instr_word" -> Rtl.Sim.set_input sim (port "data" b) (bv s.s_word)
-        | "lil.read_rs1" -> Rtl.Sim.set_input sim (port "data" b) (bv s.s_rs1v)
-        | "lil.read_rs2" -> Rtl.Sim.set_input sim (port "data" b) (bv s.s_rs2v)
-        | "lil.read_pc" -> Rtl.Sim.set_input sim (port "data" b) (bv s.s_pc)
+        | "lil.instr_word" -> Rtl.Engine.set_input sim (port "data" b) (bv s.s_word)
+        | "lil.read_rs1" -> Rtl.Engine.set_input sim (port "data" b) (bv s.s_rs1v)
+        | "lil.read_rs2" -> Rtl.Engine.set_input sim (port "data" b) (bv s.s_rs2v)
+        | "lil.read_pc" -> Rtl.Engine.set_input sim (port "data" b) (bv s.s_pc)
         | _ -> ())
     f.cf_hw.Longnail.Hwgen.bindings
 
@@ -235,15 +235,15 @@ let service_isax_stage t (s : slot) (f : Longnail.Flow.compiled_functionality) s
             let reg = Option.get b.ib_reg in
             let idx =
               match List.assoc_opt "addr" b.ib_ports with
-              | Some ap -> Bitvec.to_int (Rtl.Sim.output sim ap)
+              | Some ap -> Bitvec.to_int (Rtl.Engine.output sim ap)
               | None -> 0
             in
-            Rtl.Sim.set_input sim (port "data" b) (Interp.reg_array t.st reg).(idx);
-            Rtl.Sim.eval sim
+            Rtl.Engine.set_input sim (port "data" b) (Interp.reg_array t.st reg).(idx);
+            Rtl.Engine.eval sim
         | "lil.read_mem" ->
             (* issue now; the response port belongs to stage+latency and is
                supplied before the next evaluation *)
-            let addr = Bitvec.to_int (Rtl.Sim.output sim (port "addr" b)) in
+            let addr = Bitvec.to_int (Rtl.Engine.output sim (port "addr" b)) in
             let data_port = port "data" b in
             let width =
               match
@@ -254,39 +254,39 @@ let service_isax_stage t (s : slot) (f : Longnail.Flow.compiled_functionality) s
               | Some p -> p.Rtl.Netlist.port_width
               | None -> 32
             in
-            Rtl.Sim.set_input sim data_port (Interp.read_mem t.st "MEM" addr (max 1 (width / 8)));
-            Rtl.Sim.eval sim
+            Rtl.Engine.set_input sim data_port (Interp.read_mem t.st "MEM" addr (max 1 (width / 8)));
+            Rtl.Engine.eval sim
         | "lil.write_rd" ->
-            if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then begin
+            if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then begin
               match field_value s.s_ti s.s_word "rd" with
               | Some rd when rd <> 0 ->
-                  s.s_capture.c_rd <- Some (rd, Rtl.Sim.output sim (port "data" b))
+                  s.s_capture.c_rd <- Some (rd, Rtl.Engine.output sim (port "data" b))
               | _ -> ()
             end
         | "lil.write_pc" ->
-            if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then
-              s.s_capture.c_pc <- Some (Rtl.Sim.output sim (port "data" b))
+            if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then
+              s.s_capture.c_pc <- Some (Rtl.Engine.output sim (port "data" b))
         | "lil.write_custreg" ->
             (* SCAIE-V's custom register file applies writes in their
                scheduled stage (its hazard logic orders readers); applying
                at commit instead would let an always-block observe stale
                state, e.g. ZOL missing a just-set COUNT *)
-            if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then begin
+            if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then begin
               let reg = Option.get b.ib_reg in
               let a = Interp.reg_array t.st reg in
               let idx =
                 match List.assoc_opt "addr" b.ib_ports with
-                | Some ap -> Bitvec.to_int (Rtl.Sim.output sim ap)
+                | Some ap -> Bitvec.to_int (Rtl.Engine.output sim ap)
                 | None -> 0
               in
-              a.(idx) <- Bitvec.cast (Bitvec.typ a.(0)) (Rtl.Sim.output sim (port "data" b))
+              a.(idx) <- Bitvec.cast (Bitvec.typ a.(0)) (Rtl.Engine.output sim (port "data" b))
             end
         | "lil.write_mem" ->
             (* memory writes likewise issue in their scheduled stage *)
-            if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then begin
-              let data = Rtl.Sim.output sim (port "data" b) in
+            if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then begin
+              let data = Rtl.Engine.output sim (port "data" b) in
               Interp.write_mem t.st "MEM"
-                (Bitvec.to_int (Rtl.Sim.output sim (port "addr" b)))
+                (Bitvec.to_int (Rtl.Engine.output sim (port "addr" b)))
                 (Bitvec.width data / 8) data
             end
         | _ -> ())
@@ -302,42 +302,42 @@ let tick_always t =
       List.iter
         (fun (b : Longnail.Hwgen.iface_binding) ->
           if b.ib_opname = "lil.read_pc" then
-            Rtl.Sim.set_input sim (port "data" b) (bv t.fetch_pc))
+            Rtl.Engine.set_input sim (port "data" b) (bv t.fetch_pc))
         bindings;
-      Rtl.Sim.eval sim;
+      Rtl.Engine.eval sim;
       List.iter
         (fun (b : Longnail.Hwgen.iface_binding) ->
           if b.ib_opname = "lil.read_custreg" then begin
             let reg = Option.get b.ib_reg in
             let idx =
               match List.assoc_opt "addr" b.ib_ports with
-              | Some ap -> Bitvec.to_int (Rtl.Sim.output sim ap)
+              | Some ap -> Bitvec.to_int (Rtl.Engine.output sim ap)
               | None -> 0
             in
-            Rtl.Sim.set_input sim (port "data" b) (Interp.reg_array t.st reg).(idx);
-            Rtl.Sim.eval sim
+            Rtl.Engine.set_input sim (port "data" b) (Interp.reg_array t.st reg).(idx);
+            Rtl.Engine.eval sim
           end)
         bindings;
       List.iter
         (fun (b : Longnail.Hwgen.iface_binding) ->
           match b.ib_opname with
           | "lil.write_pc" ->
-              if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then
-                t.fetch_pc <- Bitvec.to_int (Rtl.Sim.output sim (port "data" b))
+              if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then
+                t.fetch_pc <- Bitvec.to_int (Rtl.Engine.output sim (port "data" b))
           | "lil.write_custreg" ->
-              if Bitvec.to_bool (Rtl.Sim.output sim (port "valid" b)) then begin
+              if Bitvec.to_bool (Rtl.Engine.output sim (port "valid" b)) then begin
                 let reg = Option.get b.ib_reg in
                 let a = Interp.reg_array t.st reg in
                 let idx =
                   match List.assoc_opt "addr" b.ib_ports with
-                  | Some ap -> Bitvec.to_int (Rtl.Sim.output sim ap)
+                  | Some ap -> Bitvec.to_int (Rtl.Engine.output sim ap)
                   | None -> 0
                 in
-                a.(idx) <- Bitvec.cast (Bitvec.typ a.(0)) (Rtl.Sim.output sim (port "data" b))
+                a.(idx) <- Bitvec.cast (Bitvec.typ a.(0)) (Rtl.Engine.output sim (port "data" b))
               end
           | _ -> ())
         bindings;
-      Rtl.Sim.clock sim)
+      Rtl.Engine.clock sim)
     t.always_units
 
 (* ---- base-instruction execution ---- *)
@@ -519,7 +519,7 @@ let step t =
           drive_isax_inputs t s f stage
       | _ -> ()
     done;
-    List.iter (fun (_, sim) -> Rtl.Sim.eval sim) t.sims;
+    List.iter (fun (_, sim) -> Rtl.Engine.eval sim) t.sims;
     (* 2a. detached decoupled units keep computing beside the pipe *)
     t.detached <-
       List.filter
@@ -527,7 +527,7 @@ let step t =
           let f = Option.get d.s_isax in
           drive_isax_inputs t d f d.s_vstage;
           let sim = List.assoc f.cf_name t.sims in
-          Rtl.Sim.eval sim;
+          Rtl.Engine.eval sim;
           service_isax_stage t d f d.s_vstage;
           d.s_vstage <- d.s_vstage + 1;
           if d.s_vstage > f.cf_hw.Longnail.Hwgen.max_stage then begin
@@ -624,7 +624,7 @@ let step t =
         | None -> t.halted <- true
       end
     end;
-    List.iter (fun (_, sim) -> Rtl.Sim.clock sim) t.sims;
+    List.iter (fun (_, sim) -> Rtl.Engine.clock sim) t.sims;
     true
   end
 

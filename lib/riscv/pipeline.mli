@@ -5,7 +5,7 @@
    stalls and branch flushes — and wires the Longnail-generated RTL
    modules into it the way SCAIE-V does:
 
-   - one {!Rtl.Sim} instance per ISAX module serves *all* in-flight
+   - one {!Rtl.Engine.t} instance per ISAX module serves *all* in-flight
      instructions at once: the module's internal stallable pipeline
      registers carry each instruction's intermediate values, and the
      integration drives the stage-s input ports with whatever instruction
@@ -59,8 +59,8 @@ type slot = {
 type t = {
   compiled : Longnail.Flow.compiled;
   st : Interp.state;
-  sims : (string * Rtl.Sim.t) list;
-  always_units : (Longnail.Flow.compiled_functionality * Rtl.Sim.t) list;
+  sims : (string * Rtl.Engine.t) list;
+  always_units : (Longnail.Flow.compiled_functionality * Rtl.Engine.t) list;
   stages : slot option array;
   mutable detached : slot list;
   mutable fetch_pc : int;
@@ -69,7 +69,7 @@ type t = {
   mutable halted : bool;
   depth : int;
 }
-val create : Longnail.Flow.compiled -> t
+val create : ?engine:Rtl.Engine.kind -> Longnail.Flow.compiled -> t
 val read_gpr : t -> int -> int
 val write_gpr : t -> int -> int -> unit
 val write_pc : t -> int -> unit

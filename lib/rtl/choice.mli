@@ -1,0 +1,11 @@
+(** Closed-name-set parsing with did-you-mean suggestions, shared by
+    {!Engine.kind_of_string} and {!Backend.of_string}. Error messages
+    follow the same "unknown X 'y' (available: ...); did you mean ...?"
+    shape as the core registry's resolver. *)
+
+val levenshtein : string -> string -> int
+
+(** Up to three closest candidates for an unknown name. *)
+val suggest : names:string list -> string -> string list
+
+val parse : what:string -> choices:(string * 'a) list -> string -> ('a, string) result

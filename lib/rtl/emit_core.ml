@@ -1,0 +1,129 @@
+(* The dialect-independent half of HDL emission: deterministic signal
+   naming, literal formatting, expression lowering and module layout are
+   shared by every emission backend, so two backends can only differ in
+   dialect keywords — never in names, ordering or structure. The
+   SystemVerilog backend ({!Sv_emit}) and the Verilog-2001 backend
+   ({!V2001_emit}) are both thin dialect records over [emit]. *)
+
+open Netlist
+
+(* Deterministic signal/module naming shared by all backends. *)
+let sv_ident s =
+  String.map (fun c -> if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_' then c else '_') s
+
+let wire w name = if w = 1 then name else Printf.sprintf "[%d:0] %s" (w - 1) name
+
+let bv_literal v =
+  Printf.sprintf "%d'h%s" (Bitvec.width v)
+    (let h = Bitvec.to_hex_string v in
+     String.sub h 2 (String.length h - 2))
+
+(* The expression grammar is the Verilog-2001 subset of SystemVerilog
+   ($signed is Verilog-2001), so one lowering serves every dialect. *)
+let comb_expr ~attrs ~op ~(inputs : string list) ~width =
+  let a () = List.nth inputs 0 and b () = List.nth inputs 1 in
+  let signed x = Printf.sprintf "$signed(%s)" x in
+  match op with
+  | "hw.constant" -> (
+      match List.assoc_opt "value" attrs with
+      | Some (Ir.Mir.A_bv v) -> bv_literal v
+      | _ -> invalid_arg "constant without value")
+  | "comb.add" -> Printf.sprintf "%s + %s" (a ()) (b ())
+  | "comb.sub" -> Printf.sprintf "%s - %s" (a ()) (b ())
+  | "comb.mul" -> Printf.sprintf "%s * %s" (a ()) (b ())
+  | "comb.divu" -> Printf.sprintf "%s / %s" (a ()) (b ())
+  | "comb.modu" -> Printf.sprintf "%s %% %s" (a ()) (b ())
+  | "comb.divs" -> Printf.sprintf "%s / %s" (signed (a ())) (signed (b ()))
+  | "comb.mods" -> Printf.sprintf "%s %% %s" (signed (a ())) (signed (b ()))
+  | "comb.and" -> Printf.sprintf "%s & %s" (a ()) (b ())
+  | "comb.or" -> Printf.sprintf "%s | %s" (a ()) (b ())
+  | "comb.xor" -> Printf.sprintf "%s ^ %s" (a ()) (b ())
+  | "comb.mux" ->
+      Printf.sprintf "%s ? %s : %s" (List.nth inputs 0) (List.nth inputs 1) (List.nth inputs 2)
+  | "comb.extract" -> (
+      match List.assoc_opt "lowBit" attrs with
+      | Some (Ir.Mir.A_int lo) ->
+          if width = 1 then Printf.sprintf "%s[%d]" (a ()) lo
+          else Printf.sprintf "%s[%d:%d]" (a ()) (lo + width - 1) lo
+      | _ -> invalid_arg "extract without lowBit")
+  | "comb.concat" -> Printf.sprintf "{%s}" (String.concat ", " inputs)
+  | "comb.replicate" -> Printf.sprintf "{%d{%s}}" width (a ())
+  | "comb.shl" -> Printf.sprintf "%s << %s" (a ()) (b ())
+  | "comb.shru" -> Printf.sprintf "%s >> %s" (a ()) (b ())
+  | "comb.shrs" -> Printf.sprintf "%s >>> %s" (signed (a ())) (b ())
+  | "comb.icmp_eq" -> Printf.sprintf "%s == %s" (a ()) (b ())
+  | "comb.icmp_ne" -> Printf.sprintf "%s != %s" (a ()) (b ())
+  | "comb.icmp_ult" -> Printf.sprintf "%s < %s" (a ()) (b ())
+  | "comb.icmp_ule" -> Printf.sprintf "%s <= %s" (a ()) (b ())
+  | "comb.icmp_ugt" -> Printf.sprintf "%s > %s" (a ()) (b ())
+  | "comb.icmp_uge" -> Printf.sprintf "%s >= %s" (a ()) (b ())
+  | "comb.icmp_slt" -> Printf.sprintf "%s < %s" (signed (a ())) (signed (b ()))
+  | "comb.icmp_sle" -> Printf.sprintf "%s <= %s" (signed (a ())) (signed (b ()))
+  | "comb.icmp_sgt" -> Printf.sprintf "%s > %s" (signed (a ())) (signed (b ()))
+  | "comb.icmp_sge" -> Printf.sprintf "%s >= %s" (signed (a ())) (signed (b ()))
+  | other -> invalid_arg ("no SV lowering for " ^ other)
+
+(* What a backend may change: the process keywords. Declarations are
+   wire/reg in every dialect (the SystemVerilog backend deliberately never
+   used [logic], so both outputs share the declaration section too). *)
+type dialect = {
+  d_name : string;
+  d_always_comb : string;  (* "always_comb" or "always @*" *)
+  d_always_ff : string;  (* "always_ff @(posedge clk)" or "always @(posedge clk)" *)
+}
+
+let sv = { d_name = "sv"; d_always_comb = "always_comb"; d_always_ff = "always_ff @(posedge clk)" }
+
+let v2001 =
+  { d_name = "v2001"; d_always_comb = "always @*"; d_always_ff = "always @(posedge clk)" }
+
+let emit ~(dialect : dialect) (m : t) : string =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "module %s(\n" (sv_ident m.mod_name);
+  pr "  input clk,\n  input rst";
+  List.iter (fun p -> pr ",\n  input  %s" (wire p.port_width (sv_ident p.port_name))) m.inputs;
+  List.iter (fun p -> pr ",\n  output %s" (wire p.port_width (sv_ident p.port_name))) m.outputs;
+  pr ");\n\n";
+  (* declarations *)
+  List.iter
+    (fun n ->
+      match n with
+      | Comb c -> pr "  wire %s;\n" (wire c.width (sv_ident c.out))
+      | Rom r -> pr "  reg %s;\n" (wire r.width (sv_ident r.out))
+      | Reg r -> pr "  reg %s;\n" (wire r.width (sv_ident r.out)))
+    m.nodes;
+  pr "\n";
+  (* combinational logic in dependency order for readability *)
+  List.iter
+    (fun n ->
+      match n with
+      | Comb c ->
+          pr "  assign %s = %s;\n" (sv_ident c.out)
+            (comb_expr ~attrs:c.attrs ~op:c.op ~inputs:(List.map sv_ident c.inputs)
+               ~width:c.width)
+      | Rom r ->
+          pr "  %s begin\n    case (%s)\n" dialect.d_always_comb (sv_ident r.index);
+          Array.iteri
+            (fun i v -> pr "      %d: %s = %s;\n" i (sv_ident r.out) (bv_literal v))
+            r.table;
+          pr "      default: %s = %d'd0;\n    endcase\n  end\n" (sv_ident r.out) r.width
+      | Reg _ -> ())
+    (topo_nodes m);
+  pr "\n";
+  (* sequential logic *)
+  List.iter
+    (fun (r : Netlist.reg_node) ->
+      match r with
+      | { out; next; enable; init; _ } ->
+          pr "  %s\n" dialect.d_always_ff;
+          (match init with
+          | Some v ->
+              pr "    if (rst) %s <= %s;\n    else " (sv_ident out) (bv_literal v)
+          | None -> pr "    ");
+          (match enable with
+          | Some en -> pr "%s <= %s ? %s : %s;\n" (sv_ident out) (sv_ident en) (sv_ident next) (sv_ident out)
+          | None -> pr "%s <= %s;\n" (sv_ident out) (sv_ident next)))
+    (registers m);
+  pr "\nendmodule\n";
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** The dialect-independent half of HDL emission: deterministic signal
+    naming, literal formatting, expression lowering and module layout,
+    shared by every emission backend ({!Sv_emit}, {!V2001_emit}) so the
+    outputs can differ only in dialect keywords. *)
+
+val sv_ident : string -> string
+val wire : int -> string -> string
+val bv_literal : Bitvec.t -> string
+
+val comb_expr :
+  attrs:(string * Ir.Mir.attr) list ->
+  op:string -> inputs:string list -> width:int -> string
+
+(** A dialect is the set of process keywords a backend is allowed to
+    change; everything else (names, declarations, ordering) is fixed. *)
+type dialect = {
+  d_name : string;
+  d_always_comb : string;
+  d_always_ff : string;
+}
+
+val sv : dialect
+val v2001 : dialect
+
+val emit : dialect:dialect -> Netlist.t -> string

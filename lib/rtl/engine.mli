@@ -1,0 +1,38 @@
+(** Common interface over the RTL simulation engines: the two-phase
+    interpreter ({!Sim}, the reference) and the compiled engine
+    ({!Compiled}, the default fast path). Consumers hold an {!t} and
+    never see which engine runs underneath; cross-engine tests create
+    one of each and assert bit-identical traces. *)
+
+type kind = Interp | Compiled
+
+val kind_to_string : kind -> string
+
+(** All engines as [(name, kind)], for choice parsing and docs. *)
+val all_kinds : (string * kind) list
+
+val kind_names : string list
+
+(** Parse an engine name; errors carry did-you-mean suggestions in the
+    standard registry shape (see {!Choice.parse}). *)
+val kind_of_string : string -> (kind, string) result
+
+type t = I of Sim.t | C of Compiled.t
+
+(** [create ?kind m] builds a simulator for [m]; the compiled engine is
+    the default. *)
+val create : ?kind:kind -> Netlist.t -> t
+
+val kind : t -> kind
+val netlist : t -> Netlist.t
+val set_input : t -> string -> Bitvec.t -> unit
+val signal : t -> string -> Bitvec.t
+
+(** Signal-observation API used by {!Vcd}: [None] when the engine has no
+    value for this name. *)
+val signal_opt : t -> string -> Bitvec.t option
+
+val eval : t -> unit
+val clock : t -> unit
+val output : t -> string -> Bitvec.t
+val cycle : t -> (string * Bitvec.t) list -> unit

@@ -1,9 +1,13 @@
-(* Value-change-dump (VCD) tracing for the RTL simulator.
+(* Value-change-dump (VCD) tracing for the RTL simulators.
 
    Records every named signal of a simulated module cycle by cycle and
    renders a standard VCD file that waveform viewers (GTKWave, Surfer)
    understand. Used by the CLI's --vcd option and by debugging sessions
-   around the co-simulation harness. *)
+   around the co-simulation harness.
+
+   Sampling goes through {!Engine.signal_opt} — the engines' common
+   signal-observation API — so the dump is engine-agnostic and the
+   cross-engine tests can assert byte-identical traces. *)
 
 type signal = { sg_name : string; sg_width : int; sg_id : string }
 
@@ -38,12 +42,12 @@ let watch_module t (m : Netlist.t) =
     (fun n -> add (Netlist.node_out n) (Netlist.node_width n))
     m.nodes
 
-(* Record the current value of every watched signal of [sim]. Call once per
-   cycle after [Sim.eval]. *)
-let sample t (sim : Sim.t) =
+(* Record the current value of every watched signal of [eng]. Call once per
+   cycle after [Engine.eval]. *)
+let sample t (eng : Engine.t) =
   List.iter
     (fun s ->
-      match Hashtbl.find_opt sim.Sim.values s.sg_name with
+      match Engine.signal_opt eng s.sg_name with
       | None -> ()
       | Some v ->
           let changed =
@@ -96,14 +100,34 @@ let render t =
 
 (* Convenience: simulate [cycles] cycles of [m] with inputs supplied per
    cycle by [drive], tracing everything. *)
-let trace (m : Netlist.t) ~cycles ~(drive : int -> (string * Bitvec.t) list) =
-  let sim = Sim.create m in
+let trace ?engine (m : Netlist.t) ~cycles ~(drive : int -> (string * Bitvec.t) list) =
+  let eng = Engine.create ?kind:engine m in
   let t = create ~module_name:m.mod_name in
   watch_module t m;
   for cycle = 0 to cycles - 1 do
-    List.iter (fun (n, v) -> Sim.set_input sim n v) (drive cycle);
-    Sim.eval sim;
-    sample t sim;
-    Sim.clock sim
+    List.iter (fun (n, v) -> Engine.set_input eng n v) (drive cycle);
+    Engine.eval eng;
+    sample t eng;
+    Engine.clock eng
   done;
   render t
+
+(* Trace equality across engines: VCD output is deterministic, so
+   bit-identical behavior means byte-identical dumps. *)
+let traces_equal (a : string) (b : string) = String.equal a b
+
+(* First differing line of two traces, as (line number, left, right);
+   None when equal. Used to report cross-engine divergences readably. *)
+let first_divergence (a : string) (b : string) =
+  if String.equal a b then None
+  else
+    let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+    let rec go i la lb =
+      match (la, lb) with
+      | [], [] -> None
+      | x :: _, [] -> Some (i, x, "<end of trace>")
+      | [], y :: _ -> Some (i, "<end of trace>", y)
+      | x :: la', y :: lb' ->
+          if String.equal x y then go (i + 1) la' lb' else Some (i, x, y)
+    in
+    go 1 la lb

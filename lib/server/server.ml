@@ -322,8 +322,18 @@ let core_error ~id = function
    {"scheduler":"asap","cycle-time":3.5,"no-hazard-handling":true}.
    Strings and numbers are flag values, [true] is a bare flag, [false]
    and [null] mean absent. Cache/store flags are daemon-side
-   configuration and are rejected over the wire. *)
+   configuration and are rejected over the wire.
+
+   Errors are [(code option, message)]: most rejections are plain
+   malformed requests (E0910), but flags with their own diagnostic code
+   ([Knob_flags.error_code] — unknown --sim-engine / --emit names) keep
+   it, so the client sees the same structured E0913 as the CLI. *)
 let apply_knobs j =
+  let set kf k v =
+    match Longnail.Knob_flags.set kf k v with
+    | Ok kf -> Ok kf
+    | Error m -> Error (Longnail.Knob_flags.error_code k, m)
+  in
   match j with
   | Json.Null -> Ok Longnail.Knob_flags.default
   | Json.Obj fields ->
@@ -333,13 +343,14 @@ let apply_knobs j =
             Result.bind acc (fun kf ->
                 match v with
                 | Json.Bool false | Json.Null -> Ok kf
-                | Json.Str s -> Longnail.Knob_flags.set kf k (Some s)
-                | Json.Num f ->
-                    Longnail.Knob_flags.set kf k (Some (Json.number_to_string f))
-                | Json.Bool true -> Longnail.Knob_flags.set kf k None
+                | Json.Str s -> set kf k (Some s)
+                | Json.Num f -> set kf k (Some (Json.number_to_string f))
+                | Json.Bool true -> set kf k None
                 | Json.Arr _ | Json.Obj _ ->
                     Error
-                      (Printf.sprintf "knob \"%s\" must be a string, number or boolean" k)))
+                      ( None,
+                        Printf.sprintf "knob \"%s\" must be a string, number or boolean" k
+                      )))
           (Ok Longnail.Knob_flags.default) fields
       in
       Result.bind folded (fun kf ->
@@ -349,10 +360,17 @@ let apply_knobs j =
             || not kf.cache_enabled
           then
             Error
-              "cache/store knobs are daemon-side configuration; start the daemon with \
-               --store instead"
+              ( None,
+                "cache/store knobs are daemon-side configuration; start the daemon with \
+                 --store instead" )
           else Ok kf)
-  | _ -> Error "\"knobs\" must be an object of flag names to values"
+  | _ -> Error (None, "\"knobs\" must be an object of flag names to values")
+
+(* render an apply_knobs rejection: structured code when the flag has
+   one, otherwise a plain malformed-request error *)
+let knob_error ~id = function
+  | Some code, m -> done_error ~id [ Diag.make ~code m ]
+  | None, m -> bad_request ~id m
 
 let jobs_of t kf req =
   match Json.member "jobs" req with
@@ -530,7 +548,7 @@ let compile_targets request targets =
 
 let handle_compile t id req =
   match apply_knobs (Json.member "knobs" req) with
-  | Error m -> [ bad_request ~id m ]
+  | Error e -> [ knob_error ~id e ]
   | Ok kf -> (
       match jobs_of t kf req with
       | Error m -> [ bad_request ~id m ]
@@ -640,7 +658,7 @@ let point_json (p : Longnail.Dse.point) =
 
 let handle_dse t id req =
   match apply_knobs (Json.member "knobs" req) with
-  | Error m -> [ bad_request ~id m ]
+  | Error e -> [ knob_error ~id e ]
   | Ok kf -> (
       match jobs_of t kf req with
       | Error m -> [ bad_request ~id m ]

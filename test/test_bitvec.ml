@@ -158,6 +158,31 @@ let test_exact_errors () =
     (Width_error "value 16 does not fit in unsigned<4>") (fun () ->
       ignore (of_int_exact (u 4) 16))
 
+(* widths straddling the native-int word: 62 bits is the last width whose
+   unsigned values all fit in an OCaml int; 63/64/65 need the bignum path.
+   The compiled RTL engine keys its unboxed fast path on exactly this
+   boundary, so wrap/cast/to_int must be exact here. *)
+let test_word_boundary_widths () =
+  List.iter
+    (fun w ->
+      let ones = Bn.sub (Bn.pow2 w) Bn.one in
+      check (Printf.sprintf "wrap 2^%d" w) "0"
+        (Bn.to_string (to_bn (make (u w) (Bn.pow2 w))));
+      check "all-ones preserved" (Bn.to_string ones) (Bn.to_string (to_bn (make (u w) ones)));
+      (* ones + 2 wraps to 1 *)
+      check "add wraps" "1" (Bn.to_string (wrap (u w) (Bn.add ones (Bn.of_int 2))));
+      (* 2^(w-1) * 2 wraps to 0 *)
+      check "mul wraps" "0" (Bn.to_string (wrap (u w) (Bn.mul (Bn.pow2 (w - 1)) (Bn.of_int 2))));
+      (* reinterpreting the all-ones pattern signed gives -1 at every width *)
+      check "signed -1" "-1" (Bn.to_string (to_bn (cast (s w) (make (u w) ones))));
+      (* the sign bit: signed reinterpretation of 2^(w-1) is -2^(w-1) *)
+      check "sign bit"
+        (Bn.to_string (Bn.sub Bn.zero (Bn.pow2 (w - 1))))
+        (Bn.to_string (to_bn (cast (s w) (make (u w) (Bn.pow2 (w - 1))))));
+      (* the native escape hatch: all-ones fits in an int only through 62 *)
+      check_bool "to_int_opt at boundary" (w <= 62) (to_int_opt (make (u w) ones) <> None))
+    [ 62; 63; 64; 65 ]
+
 (* ---- qcheck properties ---- *)
 
 let arb_small_int = QCheck.int_range (-1_000_000_000) 1_000_000_000
@@ -287,6 +312,7 @@ let () =
           Alcotest.test_case "printing" `Quick test_printing;
           Alcotest.test_case "division" `Quick test_division;
           Alcotest.test_case "exact errors" `Quick test_exact_errors;
+          Alcotest.test_case "62/63/64/65-bit boundaries" `Quick test_word_boundary_widths;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -280,6 +280,39 @@ let test_session_knob_isolation () =
   let c = Longnail.Flow.compile ~session ~cycle_time:7.0 core tu in
   check_bool "different cycle time, different artifact" true (a != c && b != c)
 
+(* the simulation-engine and emission-backend knobs are cache keys too:
+   switching either must produce fresh artifacts, never replay the other
+   configuration's *)
+let test_session_engine_backend_isolation () =
+  let session = Longnail.Flow.create_session () in
+  let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
+  let core = Scaiev.Datasheet.vexriscv in
+  let a = Longnail.Flow.compile ~session core tu in
+  let b =
+    Longnail.Flow.compile ~session
+      ~knobs:(Longnail.Flow.knobs ~sim_engine:Rtl.Engine.Interp ())
+      core tu
+  in
+  let c =
+    Longnail.Flow.compile ~session
+      ~knobs:(Longnail.Flow.knobs ~backend:Rtl.Backend.V2001 ())
+      core tu
+  in
+  check_bool "engine keyed" true (a != b);
+  check_bool "backend keyed" true (a != c && b != c);
+  let text (t : Longnail.Flow.compiled) =
+    String.concat "" (List.map (fun (f : Longnail.Flow.compiled_functionality) -> f.cf_sv) t.funcs)
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "sv registers use always_ff" true (contains (text a) "always_ff");
+  check_bool "v2001 registers avoid always_ff" true (not (contains (text c) "always_ff"));
+  check_bool "v2001 registers use plain always" true
+    (contains (text c) "always @(posedge clk)")
+
 let test_compile_many_shares () =
   let session = Longnail.Flow.create_session () in
   let tu = Isax.Registry.compile_by_name "dotprod" in
@@ -458,6 +491,26 @@ let test_disk_backed_session_outputs () =
          && a.of_max_stage = b.of_max_stage)
        cold.Longnail.Flow.o_funcs warm.Longnail.Flow.o_funcs)
 
+(* switching the emission backend against the same disk store must miss
+   (distinct keys), not replay the other backend's bytes *)
+let test_disk_backend_keyed () =
+  let root = tmpdir () in
+  let tu = Isax.Registry.compile_by_name "dotprod" in
+  let run knobs =
+    let session = Longnail.Flow.create_session ~disk:(Cache.Disk.open_store root) () in
+    let request = Longnail.Flow.Request.make ~knobs ~session () in
+    let o = Longnail.Flow.compile_outputs request Scaiev.Datasheet.vexriscv tu in
+    (o, Cache.Disk.stats (Option.get (Longnail.Flow.session_disk session)))
+  in
+  let _, sv_st = run (Longnail.Flow.knobs ()) in
+  check_int "cold stores" 1 sv_st.Cache.Disk.stores;
+  let _, v_st = run (Longnail.Flow.knobs ~backend:Rtl.Backend.V2001 ()) in
+  check_int "backend switch misses" 1 v_st.Cache.Disk.misses;
+  check_int "backend switch never hits stale sv" 0 v_st.Cache.Disk.hits;
+  (* same knobs again: now it replays from disk *)
+  let _, again_st = run (Longnail.Flow.knobs ~backend:Rtl.Backend.V2001 ()) in
+  check_int "same backend replays" 1 again_st.Cache.Disk.hits
+
 let () =
   Alcotest.run "cache"
     [
@@ -493,6 +546,7 @@ let () =
           Alcotest.test_case "concurrent domain writers" `Quick test_disk_concurrent_writers;
           Alcotest.test_case "disk-backed session outputs" `Quick
             test_disk_backed_session_outputs;
+          Alcotest.test_case "backend keyed on disk" `Quick test_disk_backend_keyed;
         ] );
       ( "sessions",
         [
@@ -503,6 +557,8 @@ let () =
           Alcotest.test_case "hazard ablation shares funcs" `Quick
             test_session_hazard_shares_funcs;
           Alcotest.test_case "knob isolation" `Quick test_session_knob_isolation;
+          Alcotest.test_case "engine/backend knob isolation" `Quick
+            test_session_engine_backend_isolation;
           Alcotest.test_case "compile_many shares" `Quick test_compile_many_shares;
           Alcotest.test_case "frontend memo" `Quick test_frontend_memo;
         ] );

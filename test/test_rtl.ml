@@ -153,6 +153,286 @@ let test_vcd_trace () =
   let marks = List.length (String.split_on_char '#' vcd) - 1 in
   check_bool "8 time steps" true (marks >= 8)
 
+(* ---- compiled engine ---- *)
+
+let engines = [ ("interp", Engine.Interp); ("compiled", Engine.Compiled) ]
+
+let test_compiled_counter () =
+  let s = Engine.create ~kind:Engine.Compiled counter_module in
+  for expect = 0 to 20 do
+    Engine.eval s;
+    check_int (Printf.sprintf "count at %d" expect) (expect mod 16)
+      (Bitvec.to_int (Engine.output s "count"));
+    Engine.clock s
+  done
+
+let test_compiled_stall_enable () =
+  let m =
+    {
+      Netlist.mod_name = "stallable";
+      inputs =
+        [
+          { Netlist.port_name = "d"; port_width = 8; port_signal = "d" };
+          { port_name = "en"; port_width = 1; port_signal = "en" };
+        ];
+      outputs = [ { port_name = "q"; port_width = 8; port_signal = "q" } ];
+      nodes = [ Netlist.Reg { out = "q"; width = 8; next = "d"; enable = Some "en"; init = None } ];
+    }
+  in
+  let s = Engine.create ~kind:Engine.Compiled m in
+  Engine.cycle s [ ("d", bv 8 0xAA); ("en", bv 1 1) ];
+  Engine.eval s;
+  check_int "loaded" 0xAA (Bitvec.to_int (Engine.output s "q"));
+  Engine.cycle s [ ("d", bv 8 0x55); ("en", bv 1 0) ];
+  Engine.eval s;
+  check_int "stalled" 0xAA (Bitvec.to_int (Engine.output s "q"));
+  Engine.cycle s [ ("d", bv 8 0x55); ("en", bv 1 1) ];
+  Engine.eval s;
+  check_int "released" 0x55 (Bitvec.to_int (Engine.output s "q"))
+
+let test_compiled_rom () =
+  let m =
+    {
+      Netlist.mod_name = "rom";
+      inputs = [ { Netlist.port_name = "i"; port_width = 2; port_signal = "i" } ];
+      outputs = [ { port_name = "o"; port_width = 8; port_signal = "o" } ];
+      nodes = [ Netlist.Rom { out = "o"; width = 8; table = [| bv 8 10; bv 8 20; bv 8 30; bv 8 40 |]; index = "i" } ];
+    }
+  in
+  let s = Engine.create ~kind:Engine.Compiled m in
+  List.iter
+    (fun (i, expect) ->
+      Engine.set_input s "i" (bv 2 i);
+      Engine.eval s;
+      check_int "rom lookup" expect (Bitvec.to_int (Engine.output s "o")))
+    [ (0, 10); (1, 20); (2, 30); (3, 40) ]
+
+let check_traces_equal name a b =
+  match Vcd.first_divergence a b with
+  | None -> ()
+  | Some (line, l, r) ->
+      Alcotest.failf "%s: engine traces diverge at VCD line %d: interp %S, compiled %S" name
+        line l r
+
+let test_cross_engine_vcd_counter () =
+  let trace kind = Vcd.trace ~engine:kind counter_module ~cycles:12 ~drive:(fun _ -> []) in
+  check_traces_equal "counter" (trace Engine.Interp) (trace Engine.Compiled)
+
+(* the generated ISAX modules exercise extract/concat/mux/rom decoding
+   paths absent from the handwritten fixtures *)
+let test_cross_engine_vcd_isax () =
+  let tu = Coredsl.compile_rv32i () in
+  let core = Scaiev.Datasheet.vexriscv in
+  let addi = Option.get (Coredsl.Tast.find_tinstr tu "ADDI") in
+  let f = Longnail.Flow.compile_functionality core tu (`Instr addi) in
+  let m = f.Longnail.Flow.cf_hw.Longnail.Hwgen.netlist in
+  let drive cycle =
+    List.map
+      (fun (p : Netlist.port) ->
+        (p.port_name, Bitvec.of_int (u p.port_width) (Hashtbl.hash (p.port_name, cycle))))
+      m.Netlist.inputs
+  in
+  let trace kind = Vcd.trace ~engine:kind m ~cycles:16 ~drive in
+  check_traces_equal "ADDI" (trace Engine.Interp) (trace Engine.Compiled)
+
+(* widths straddling the int-arena limit: 62 runs on the unboxed path,
+   63/64/65 on the Bitvec fallback — both must match Comb_eval exactly *)
+let test_wide_boundary_arith () =
+  let module Bn = Bitvec.Bn in
+  List.iter
+    (fun w ->
+      let ops =
+        [ ("add", "comb.add", w); ("sub", "comb.sub", w); ("mul", "comb.mul", w);
+          ("xor", "comb.xor", w); ("divu", "comb.divu", w); ("mods", "comb.mods", w);
+          ("ult", "comb.icmp_ult", 1); ("slt", "comb.icmp_slt", 1) ]
+      in
+      let m =
+        {
+          Netlist.mod_name = "wide";
+          inputs =
+            [
+              { Netlist.port_name = "a"; port_width = w; port_signal = "a" };
+              { port_name = "b"; port_width = w; port_signal = "b" };
+            ];
+          outputs =
+            List.map
+              (fun (n, _, rw) -> { Netlist.port_name = "o_" ^ n; port_width = rw; port_signal = "o_" ^ n })
+              ops;
+          nodes =
+            List.map
+              (fun (n, op, rw) ->
+                Netlist.Comb { out = "o_" ^ n; width = rw; op; attrs = []; inputs = [ "a"; "b" ] })
+              ops;
+        }
+      in
+      (* all-ones and the sign bit: the values the boundary gets wrong *)
+      let av = Bitvec.of_bn (u w) (Bn.sub (Bn.pow2 w) Bn.one) in
+      let bv_ = Bitvec.of_bn (u w) (Bn.pow2 (w - 1)) in
+      List.iter
+        (fun (kname, kind) ->
+          let s = Engine.create ~kind m in
+          Engine.set_input s "a" av;
+          Engine.set_input s "b" bv_;
+          Engine.eval s;
+          List.iter
+            (fun (n, op, rw) ->
+              let direct =
+                Ir.Comb_eval.eval ~name:op ~attrs:[] ~ops:[ av; bv_ ] ~result_width:rw
+              in
+              if not (Bitvec.equal_value (Engine.output s ("o_" ^ n)) direct) then
+                Alcotest.failf "width %d, %s on %s engine disagrees with comb_eval" w op kname)
+            ops)
+        engines)
+    [ 62; 63; 64; 65 ]
+
+(* a wide accumulator register: the staged-commit path of the compiled
+   engine must wrap at 2^65 exactly like the interpreter *)
+let test_wide_register_accumulate () =
+  let module Bn = Bitvec.Bn in
+  let w = 65 in
+  let m =
+    {
+      Netlist.mod_name = "acc65";
+      inputs = [ { Netlist.port_name = "a"; port_width = w; port_signal = "a" } ];
+      outputs = [ { port_name = "acc"; port_width = w; port_signal = "acc" } ];
+      nodes =
+        [
+          Netlist.Comb { out = "next"; width = w; op = "comb.add"; attrs = []; inputs = [ "acc"; "a" ] };
+          Netlist.Reg { out = "acc"; width = w; next = "next"; enable = None; init = Some (Bitvec.zero (u w)) };
+        ];
+    }
+  in
+  let step = Bitvec.of_bn (u w) (Bn.pow2 64) in
+  List.iter
+    (fun (kname, kind) ->
+      let s = Engine.create ~kind m in
+      Engine.set_input s "a" step;
+      for _ = 1 to 3 do
+        Engine.eval s;
+        Engine.clock s
+      done;
+      Engine.eval s;
+      (* 3 * 2^64 wraps to 2^64 at 65 bits *)
+      let got = Bitvec.to_bn (Engine.output s "acc") in
+      if Bn.to_string got <> Bn.to_string (Bn.pow2 64) then
+        Alcotest.failf "%s engine: 65-bit accumulator holds %s, want 2^64" kname
+          (Bn.to_string got))
+    engines
+
+let test_engine_kind_parse () =
+  check_bool "interp" true (Engine.kind_of_string "interp" = Ok Engine.Interp);
+  check_bool "compiled" true (Engine.kind_of_string "compiled" = Ok Engine.Compiled);
+  (match Engine.kind_of_string "interpp" with
+  | Error m -> check_bool "did-you-mean interp" true (contains m "did you mean 'interp'")
+  | Ok _ -> Alcotest.fail "expected error");
+  check_bool "backend sv" true (Backend.of_string "sv" = Ok Backend.Sv);
+  check_bool "backend v2001" true (Backend.of_string "v2001" = Ok Backend.V2001);
+  check_bool "exts" true (Backend.file_ext Backend.Sv = "sv" && Backend.file_ext Backend.V2001 = "v")
+
+(* ---- Verilog-2001 backend ---- *)
+
+let test_v2001_emission () =
+  let v = V2001_emit.emit counter_module in
+  check_bool "module header" true (contains v "module counter(");
+  check_bool "always @(posedge clk)" true (contains v "always @(posedge clk)");
+  check_bool "reset value" true (contains v "if (rst)");
+  check_bool "assign" true (contains v "assign next = c + one;");
+  check_bool "no always_ff" true (not (contains v "always_ff"));
+  check_bool "no always_comb" true (not (contains v "always_comb"));
+  check_bool "no logic decls" true (not (contains v "logic"));
+  check_bool "own output lints clean" true (V2001_emit.lint v = []);
+  check_bool "backend dispatch" true (Backend.emit Backend.V2001 counter_module = v);
+  check_bool "sv backend unchanged" true (Backend.emit Backend.Sv counter_module = Sv_emit.emit counter_module)
+
+let test_v2001_lint_catches_sv () =
+  match V2001_emit.lint "module m;\nalways_comb begin\nend\nendmodule\n" with
+  | [ msg ] ->
+      check_bool "names keyword" true (contains msg "always_comb");
+      check_bool "names line" true (contains msg "line 2")
+  | other -> Alcotest.failf "expected one lint hit, got %d" (List.length other)
+
+let test_v2001_generated_isax () =
+  let tu = Coredsl.compile_rv32i () in
+  let addi = Option.get (Coredsl.Tast.find_tinstr tu "ADDI") in
+  let f = Longnail.Flow.compile_functionality Scaiev.Datasheet.vexriscv tu (`Instr addi) in
+  let v = Backend.emit Backend.V2001 f.Longnail.Flow.cf_hw.Longnail.Hwgen.netlist in
+  check_bool "module named ADDI" true (contains v "module ADDI(");
+  check_bool "lints clean" true (V2001_emit.lint v = [])
+
+(* property: the compiled engine and the interpreter produce byte-identical
+   VCD traces on random width-consistent netlists (chains of binary ops and
+   muxes over two w-bit inputs, a 1-bit condition, and a final register) *)
+let prop_engines_agree =
+  let binops =
+    [| "comb.add"; "comb.sub"; "comb.mul"; "comb.and"; "comb.or"; "comb.xor";
+       "comb.divu"; "comb.modu"; "comb.divs"; "comb.mods";
+       "comb.shl"; "comb.shru"; "comb.shrs";
+       "comb.icmp_eq"; "comb.icmp_ult"; "comb.icmp_slt"; "comb.mux" |]
+  in
+  QCheck.Test.make ~name:"compiled engine matches interpreter on random netlists" ~count:80
+    (QCheck.triple
+       (QCheck.oneofl [ 1; 8; 31; 32; 62; 63; 64; 65 ])
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 8)
+          (QCheck.triple (QCheck.int_bound 1000) (QCheck.int_bound 1000) (QCheck.int_bound 1000)))
+       (QCheck.int_bound 1_000_000))
+    (fun (w, picks, seed) ->
+      let wide = ref [ "a"; "b" ] and bits = ref [ "c" ] in
+      let nodes =
+        List.mapi
+          (fun i (opi, x, y) ->
+            let op = binops.(opi mod Array.length binops) in
+            (* Comb_eval (the reference semantics for BOTH engines) raises
+               when a shift amount exceeds the native int range, so shifts
+               only make sense while operands fit in an int *)
+            let op =
+              match op with
+              | ("comb.shl" | "comb.shru" | "comb.shrs") when w > 62 -> "comb.xor"
+              | op -> op
+            in
+            let pick pool n = List.nth pool (n mod List.length pool) in
+            let out = Printf.sprintf "n%d" i in
+            let is_cmp = String.length op > 9 && String.sub op 0 9 = "comb.icmp" in
+            let node =
+              if op = "comb.mux" then
+                Netlist.Comb
+                  { out; width = w; op; attrs = [];
+                    inputs = [ pick !bits opi; pick !wide x; pick !wide y ] }
+              else
+                Netlist.Comb
+                  { out; width = (if is_cmp then 1 else w); op; attrs = [];
+                    inputs = [ pick !wide x; pick !wide y ] }
+            in
+            if is_cmp then bits := out :: !bits else wide := out :: !wide;
+            node)
+          picks
+      in
+      let last = List.hd !wide in
+      let m =
+        {
+          Netlist.mod_name = "rand";
+          inputs =
+            [
+              { Netlist.port_name = "a"; port_width = w; port_signal = "a" };
+              { port_name = "b"; port_width = w; port_signal = "b" };
+              { port_name = "c"; port_width = 1; port_signal = "c" };
+            ];
+          outputs = [ { port_name = "q"; port_width = w; port_signal = "q" } ];
+          nodes =
+            nodes
+            @ [ Netlist.Reg { out = "q"; width = w; next = last; enable = Some "c"; init = Some (Bitvec.zero (u w)) } ];
+        }
+      in
+      Netlist.validate m;
+      let drive cycle =
+        [
+          ("a", Bitvec.of_int (u w) (Hashtbl.hash (seed, cycle, "a")));
+          ("b", Bitvec.of_int (u w) (Hashtbl.hash (seed, cycle, "b")));
+          ("c", Bitvec.of_int (u 1) (Hashtbl.hash (seed, cycle, "c")));
+        ]
+      in
+      let trace kind = Vcd.trace ~engine:kind m ~cycles:6 ~drive in
+      Vcd.traces_equal (trace Engine.Interp) (trace Engine.Compiled))
+
 (* property: the simulator agrees with direct Comb_eval on random two-input
    expressions *)
 let prop_sim_matches_comb_eval =
@@ -181,7 +461,8 @@ let prop_sim_matches_comb_eval =
       let direct = Ir.Comb_eval.eval ~name:op ~attrs:[] ~ops:[ bv w a; bv w b ] ~result_width:rw in
       Bitvec.equal_value (Sim.output s "o") direct)
 
-let qcheck_cases = List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_comb_eval ]
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest [ prop_sim_matches_comb_eval; prop_engines_agree ]
 
 let () =
   Alcotest.run "rtl"
@@ -199,10 +480,28 @@ let () =
           Alcotest.test_case "undefined signal" `Quick test_undefined_signal_detected;
           Alcotest.test_case "stats" `Quick test_stats;
         ] );
+      ( "engine",
+        [
+          Alcotest.test_case "compiled counter" `Quick test_compiled_counter;
+          Alcotest.test_case "compiled stall enable" `Quick test_compiled_stall_enable;
+          Alcotest.test_case "compiled rom" `Quick test_compiled_rom;
+          Alcotest.test_case "cross-engine vcd (counter)" `Quick test_cross_engine_vcd_counter;
+          Alcotest.test_case "cross-engine vcd (generated ISAX)" `Quick
+            test_cross_engine_vcd_isax;
+          Alcotest.test_case "62/63/64/65-bit arithmetic" `Quick test_wide_boundary_arith;
+          Alcotest.test_case "65-bit register accumulate" `Quick test_wide_register_accumulate;
+          Alcotest.test_case "engine/backend name parsing" `Quick test_engine_kind_parse;
+        ] );
       ( "sv",
         [
           Alcotest.test_case "counter emission" `Quick test_sv_emission;
           Alcotest.test_case "generated ISAX module" `Quick test_sv_generated_isax;
+        ] );
+      ( "v2001",
+        [
+          Alcotest.test_case "counter emission" `Quick test_v2001_emission;
+          Alcotest.test_case "lint catches SV keywords" `Quick test_v2001_lint_catches_sv;
+          Alcotest.test_case "generated ISAX module" `Quick test_v2001_generated_isax;
         ] );
       ("properties", qcheck_cases);
     ]
