@@ -42,6 +42,11 @@ let require_func (c : Longnail.Flow.compiled) name =
    (they measure the cold path). *)
 let session = Longnail.Flow.create_session ()
 
+(* Request-building shorthand: the bench compiles under many one-off knob
+   combinations, all through the shared session unless stated otherwise. *)
+let mkrequest ?scheduler ?delay ?cycle_time ?hazard_handling ?(session = session) () =
+  Longnail.Flow.Request.make ?scheduler ?delay ?cycle_time ?hazard_handling ~session ()
+
 (* ---- Table 1: SCAIE-V sub-interface operations ---- *)
 
 let table1 () =
@@ -63,7 +68,7 @@ let table2 () =
   let tu = Coredsl.compile_rv32i () in
   let addi = require_tinstr tu "ADDI" in
   let core = Scaiev.Datasheet.vexriscv in
-  let f = Longnail.Flow.compile_functionality core tu ~session (`Instr addi) in
+  let f = Longnail.Flow.compile_functionality ~request:(mkrequest ()) core tu (`Instr addi) in
   let p = f.cf_built.Longnail.Sched_build.problem in
   Sched.Problem.verify_precedence p;
   print_endline "solution constraints (Problem level):         satisfied";
@@ -132,7 +137,7 @@ let table4 () =
       let tu = Isax.Registry.compile e in
       let results =
         List.map
-          (fun core -> Asic.Flow.run ~isax_name:e.name (Longnail.Flow.compile ~session core tu))
+          (fun core -> Asic.Flow.run ~isax_name:e.name (Longnail.Flow.compile ~request:(mkrequest ()) core tu))
           paper_cores
       in
       row e.name results (List.assoc e.name paper_table4);
@@ -142,7 +147,7 @@ let table4 () =
           List.map
             (fun core ->
               Asic.Flow.run ~isax_name:(e.name ^ "-nohazard")
-                (Longnail.Flow.compile ~hazard_handling:false ~session core tu))
+                (Longnail.Flow.compile ~request:(mkrequest ~hazard_handling:false ()) core tu))
             paper_cores
         in
         row "  w/o hazard handling" results (List.assoc "  w/o hazard handling" paper_table4)
@@ -169,7 +174,7 @@ let fig5 () =
   print_endline "\n(c) data-flow graph (lil + comb dialects):\n";
   print_endline (Ir.Mir.graph_to_string lg);
   let core = Scaiev.Datasheet.vexriscv in
-  let f = Longnail.Flow.compile_functionality core tu ~session (`Instr addi) in
+  let f = Longnail.Flow.compile_functionality ~request:(mkrequest ()) core tu (`Instr addi) in
   print_endline "\n(d) register-transfer level (SystemVerilog, VexRiscv schedule):\n";
   print_endline f.cf_sv
 
@@ -181,8 +186,9 @@ let fig6 () =
   let addi = require_tinstr tu "ADDI" in
   let core = Scaiev.Datasheet.vexriscv in
   let f =
-    Longnail.Flow.compile_functionality core tu ~cycle_time:3.5
-      ~delay:Longnail.Delay_model.Physical ~session (`Instr addi)
+    Longnail.Flow.compile_functionality
+      ~request:(mkrequest ~cycle_time:3.5 ~delay:Longnail.Delay_model.Physical ())
+      core tu (`Instr addi)
   in
   print_string (Sched.Problem.to_string f.cf_built.Longnail.Sched_build.problem)
 
@@ -197,7 +203,7 @@ let fig7 () =
   let tu = Coredsl.compile_rv32i () in
   let addi = require_tinstr tu "ADDI" in
   let core = Scaiev.Datasheet.vexriscv in
-  let f = Longnail.Flow.compile_functionality core tu ~session (`Instr addi) in
+  let f = Longnail.Flow.compile_functionality ~request:(mkrequest ()) core tu (`Instr addi) in
   print_endline (Sched.Ilp_scheduler.ilp_text f.cf_built.Longnail.Sched_build.problem)
 
 (* ---- Figure 8: SCAIE-V configuration for the ZOL ISAX ---- *)
@@ -205,7 +211,7 @@ let fig7 () =
 let fig8 () =
   sep "Figure 8: SCAIE-V configuration file for the ZOL ISAX (VexRiscv)";
   let c =
-    Longnail.Flow.compile ~session Scaiev.Datasheet.vexriscv
+    Longnail.Flow.compile ~request:(mkrequest ()) Scaiev.Datasheet.vexriscv
       (Isax.Registry.compile_by_name "zol")
   in
   print_string c.Longnail.Flow.config_yaml
@@ -220,7 +226,7 @@ let fig9 () =
   let tu = Coredsl.compile_rv32i () in
   let addi = require_tinstr tu "ADDI" in
   let core = Scaiev.Datasheet.vexriscv in
-  let f = Longnail.Flow.compile_functionality core tu ~session (`Instr addi) in
+  let f = Longnail.Flow.compile_functionality ~request:(mkrequest ()) core tu (`Instr addi) in
   let cfg =
     {
       Scaiev.Config.regs = [];
@@ -238,7 +244,7 @@ let fig9 () =
 let perf () =
   sep "Section 5.5: array-sum case study on VexRiscv (cycles)";
   let tu = Isax.Registry.compile_by_name "autoinc+zol" in
-  let c = Longnail.Flow.compile ~session Scaiev.Datasheet.vexriscv tu in
+  let c = Longnail.Flow.compile ~request:(mkrequest ()) Scaiev.Datasheet.vexriscv tu in
   Printf.printf "%8s %14s %14s %10s\n" "n" "baseline" "autoinc+zol" "speedup";
   List.iter
     (fun n ->
@@ -303,7 +309,7 @@ let profile_one ?(verify_each = false) (core : Scaiev.Datasheet.t) (e : Isax.Reg
    the full grid, the warm pass must replay every point (including the
    ASIC measurement) from cache — the acceptance gate for the
    content-addressed sessions. *)
-let dse_sweep_json () =
+let dse_sweep_json ?(assert_warm = false) () =
   let isax = "dotprod" and core = Scaiev.Datasheet.vexriscv in
   let tu = Isax.Registry.compile_by_name isax in
   let measure c =
@@ -312,9 +318,9 @@ let dse_sweep_json () =
   in
   let ss = Longnail.Dse.sweep_session () in
   let t0 = Unix.gettimeofday () in
-  let cold = Longnail.Dse.explore ~session:ss ~measure core tu in
+  let cold = Longnail.Dse.explore ~sweep:ss ~measure core tu in
   let t1 = Unix.gettimeofday () in
-  let warm = Longnail.Dse.explore ~session:ss ~measure core tu in
+  let warm = Longnail.Dse.explore ~sweep:ss ~measure core tu in
   let t2 = Unix.gettimeofday () in
   if warm <> cold then
     Diag.fatalf ~code:"E0901"
@@ -326,6 +332,29 @@ let dse_sweep_json () =
     Diag.fatalf ~code:"E0901"
       "internal: warm DSE sweep speedup %.2fx < 2x (cold %.1f ms, warm %.1f ms)" speedup
       cold_ms warm_ms;
+  (* the persistent solver instances behind the sweep: the cold grid is
+     evaluated largest cycle factor first, so every later grid point
+     warm-starts its re-schedule from the previous least element *)
+  let sst = Longnail.Flow.session_solver_stats ss.Longnail.Dse.ss_flow in
+  let pareto = List.length (List.filter (fun (p : Longnail.Dse.point) -> p.dp_pareto) cold) in
+  if assert_warm then begin
+    if sst.Lp.Instance.is_warm_hits = 0 then
+      Diag.fatalf ~code:"E0901"
+        "internal: --assert-dse-warm: the sweep's solver instances recorded no warm hits \
+         (%d resolves)"
+        sst.Lp.Instance.is_resolves;
+    Printf.eprintf "dse-warm assertion: %d/%d warm resolves, %.2fx sweep speedup\n%!"
+      sst.Lp.Instance.is_warm_hits sst.Lp.Instance.is_resolves speedup
+  end;
+  let solver_json =
+    Printf.sprintf
+      "\"solver\":{\"instances\":%d,\"resolves\":%d,\"warm_hits\":%d,\"warm_misses\":%d,\"fastpath\":%d,\"bf_rounds\":%d,\"bnb_nodes\":%d,\"pivots\":%d,\"phase1_pivots\":%d,\"dual_pivots\":%d}"
+      (Longnail.Flow.session_solver_count ss.Longnail.Dse.ss_flow)
+      sst.Lp.Instance.is_resolves sst.Lp.Instance.is_warm_hits sst.Lp.Instance.is_warm_misses
+      sst.Lp.Instance.is_fastpath sst.Lp.Instance.is_bf_rounds sst.Lp.Instance.is_bnb_nodes
+      sst.Lp.Instance.is_pivots sst.Lp.Instance.is_phase1_pivots
+      sst.Lp.Instance.is_dual_pivots
+  in
   let stats_json stats =
     String.concat ","
       (List.map
@@ -343,9 +372,9 @@ let dse_sweep_json () =
       ]
   in
   Printf.sprintf
-    "\"cache\":{%s},\"dse_sweep\":{\"isax\":\"%s\",\"core\":\"%s\",\"points\":%d,\"cold_ms\":%.3f,\"warm_ms\":%.3f,\"warm_speedup\":%.2f}"
-    (stats_json cache_stats) isax core.Scaiev.Datasheet.core_name (List.length cold) cold_ms
-    warm_ms speedup
+    "\"cache\":{%s},%s,\"dse_sweep\":{\"isax\":\"%s\",\"core\":\"%s\",\"points\":%d,\"pareto_points\":%d,\"cold_ms\":%.3f,\"warm_ms\":%.3f,\"warm_speedup\":%.2f,\"solver_warm_hits\":%d}"
+    (stats_json cache_stats) solver_json isax core.Scaiev.Datasheet.core_name
+    (List.length cold) pareto cold_ms warm_ms speedup sst.Lp.Instance.is_warm_hits
 
 (* Parallel-vs-sequential equivalence: compile the full bundled
    ISAX x core grid once at jobs=1 and once at the requested job count,
@@ -617,7 +646,7 @@ let rtl_sim_json ~assert_sim_equal () =
     trace_cycles interp_cps compiled_cps speedup equal
 
 let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal = false)
-    ~json_path ~schema_path () =
+    ?(assert_dse_warm = false) ~json_path ~schema_path () =
   let results =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
@@ -645,7 +674,7 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal 
     | [] -> assert false
   in
   Printf.eprintf "running warm-vs-cold DSE sweep...\n%!";
-  let sweep_json = dse_sweep_json () in
+  let sweep_json = dse_sweep_json ~assert_warm:assert_dse_warm () in
   Printf.eprintf "running parallel-vs-sequential grid (jobs=%d)...\n%!" jobs;
   let parallel_json = par_json ~jobs ~verify_each ~assert_equal:assert_par_equal () in
   Printf.eprintf "running cold-vs-warm disk store...\n%!";
@@ -700,7 +729,7 @@ let ablation () =
         (fun core ->
           let tu = Isax.Registry.compile_by_name name in
           let stats sch =
-            let c = Longnail.Flow.compile ~scheduler:sch ~session core tu in
+            let c = Longnail.Flow.compile ~request:(mkrequest ~scheduler:sch ()) core tu in
             List.fold_left
               (fun (obj, bits) (f : Longnail.Flow.compiled_functionality) ->
                 let p = f.cf_built.Longnail.Sched_build.problem in
@@ -726,7 +755,7 @@ let ablation () =
         (fun core ->
           let tu = Isax.Registry.compile_by_name name in
           let freq dm =
-            (Asic.Flow.run ~isax_name:name (Longnail.Flow.compile ?delay:dm ~session core tu))
+            (Asic.Flow.run ~isax_name:name (Longnail.Flow.compile ~request:(mkrequest ?delay:dm ()) core tu))
               .Asic.Flow.freq_delta_pct
           in
           Printf.printf "%-15s %-10s %17.1f%% %17.1f%%\n" name core.Scaiev.Datasheet.core_name
@@ -738,10 +767,10 @@ let ablation () =
   let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
   List.iter
     (fun core ->
-      let w = Asic.Flow.run ~isax_name:"sqrt_d" (Longnail.Flow.compile ~session core tu) in
+      let w = Asic.Flow.run ~isax_name:"sqrt_d" (Longnail.Flow.compile ~request:(mkrequest ()) core tu) in
       let wo =
         Asic.Flow.run ~isax_name:"sqrt_d"
-          (Longnail.Flow.compile ~hazard_handling:false ~session core tu)
+          (Longnail.Flow.compile ~request:(mkrequest ~hazard_handling:false ()) core tu)
       in
       Printf.printf "%-10s with hazards: +%.0f%%   without: +%.0f%%\n"
         core.Scaiev.Datasheet.core_name w.Asic.Flow.area_overhead_pct wo.Asic.Flow.area_overhead_pct)
@@ -764,7 +793,7 @@ let outlook () =
       Printf.printf "%-15s" name;
       List.iter
         (fun core ->
-          let r = Asic.Flow.run ~isax_name:name (Longnail.Flow.compile ~session core tu) in
+          let r = Asic.Flow.run ~isax_name:name (Longnail.Flow.compile ~request:(mkrequest ()) core tu) in
           Printf.printf "| %+10.1f%% " r.Asic.Flow.area_overhead_pct)
         (Scaiev.Core_registry.datasheets ~include_outlook:true ());
       print_newline ())
@@ -802,7 +831,7 @@ let sharing () =
     (fun name ->
       List.iter
         (fun core ->
-          let c = Longnail.Flow.compile ~session core (Isax.Registry.compile_by_name name) in
+          let c = Longnail.Flow.compile ~request:(mkrequest ()) core (Isax.Registry.compile_by_name name) in
           let r = Asic.Flow.run ~isax_name:name c in
           let opps = Longnail.Sharing.analyze c in
           let saved = Longnail.Sharing.total_saving opps in
@@ -830,7 +859,7 @@ let extra () =
       Printf.printf "%-10s" e.name;
       List.iter
         (fun core ->
-          let c = Longnail.Flow.compile ~session core tu in
+          let c = Longnail.Flow.compile ~request:(mkrequest ()) core tu in
           let f = require_func c e.instr in
           let r = Asic.Flow.run ~isax_name:e.name c in
           Printf.printf "| +%4.1f%% %+3.0f%% %-10s" r.Asic.Flow.area_overhead_pct
@@ -912,7 +941,7 @@ let usage_error fmt =
     (fun m ->
       Printf.eprintf
         "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --repeat N,\n\
-        \       --assert-cache-hits, --assert-par-equal, --assert-sim-equal,\n\
+        \       --assert-cache-hits, --assert-par-equal, --assert-sim-equal, --assert-dse-warm,\n\
         \       plus the shared knob flags (--jobs N, --scheduler KIND, ...)\n"
         m
         (String.concat " " (List.map fst all_targets));
@@ -935,32 +964,35 @@ let main () =
     | Ok r -> r
     | Error m -> usage_error "%s" m
   in
-  let rec parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim) =
-    function
-    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par, assert_sim)
+  let rec parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse)
+      = function
+    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse)
     | "--json" :: path :: rest ->
-        parse (targets, Some path, schema, repeat, assert_hits, assert_par, assert_sim) rest
+        parse (targets, Some path, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
     | "--schema" :: path :: rest ->
-        parse (targets, json, Some path, repeat, assert_hits, assert_par, assert_sim) rest
+        parse (targets, json, Some path, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
     | "--repeat" :: n :: rest -> (
         match int_of_string_opt n with
         | Some k when k >= 1 ->
-            parse (targets, json, schema, k, assert_hits, assert_par, assert_sim) rest
+            parse (targets, json, schema, k, assert_hits, assert_par, assert_sim, assert_dse) rest
         | _ -> usage_error "--repeat expects an integer >= 1, got '%s'" n)
     | "--assert-cache-hits" :: rest ->
-        parse (targets, json, schema, repeat, true, assert_par, assert_sim) rest
+        parse (targets, json, schema, repeat, true, assert_par, assert_sim, assert_dse) rest
     | "--assert-par-equal" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, true, assert_sim) rest
+        parse (targets, json, schema, repeat, assert_hits, true, assert_sim, assert_dse) rest
     | "--assert-sim-equal" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, assert_par, true) rest
+        parse (targets, json, schema, repeat, assert_hits, assert_par, true, assert_dse) rest
+    | "--assert-dse-warm" :: rest ->
+        parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, true) rest
     | ("--json" | "--schema" | "--repeat") :: [] -> usage_error "missing flag argument"
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
         usage_error "unknown flag '%s'" a
     | a :: rest ->
-        parse (a :: targets, json, schema, repeat, assert_hits, assert_par, assert_sim) rest
+        parse (a :: targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
   in
-  let names, json, schema, repeat, assert_hits, assert_par_equal, assert_sim_equal =
-    parse ([], None, None, 1, false, false, false) rest
+  let names, json, schema, repeat, assert_hits, assert_par_equal, assert_sim_equal,
+      assert_dse_warm =
+    parse ([], None, None, 1, false, false, false, false) rest
   in
   List.iter
     (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
@@ -982,7 +1014,7 @@ let main () =
           | "perf", Some json_path ->
               perf_json ~jobs:kf.Longnail.Knob_flags.jobs
                 ~verify_each:kf.Longnail.Knob_flags.verify_each ~assert_par_equal
-                ~assert_sim_equal ~json_path ~schema_path:schema ()
+                ~assert_sim_equal ~assert_dse_warm ~json_path ~schema_path:schema ()
           | _ -> (List.assoc n all_targets) ())
         names);
   if assert_hits then begin

@@ -395,7 +395,11 @@ let run_cmd =
         | Some e -> Isax.Registry.compile e
         | None -> Coredsl.compile_rv32im ()
       in
-      let c = Longnail.Flow.compile ~knobs:(Longnail.Knob_flags.knobs kf) core tu in
+      let c =
+        Longnail.Flow.compile
+          ~request:(Longnail.Flow.Request.make ~knobs:(Longnail.Knob_flags.knobs kf) ())
+          core tu
+      in
       (* execution defaults (reset PC, initial stack pointer) come from
          the core's registry descriptor *)
       let sim =

@@ -102,6 +102,7 @@ let all_codes =
     ("E0901", "internal error");
     ("E0902", "conflicting compile options");
     ("E0903", "lowering invariant violation");
+    ("E0904", "solver iteration budget exhausted");
     ("E0910", "malformed serve request");
     ("E0911", "serve transport error");
     ("E0912", "unknown core in serve request");

@@ -69,27 +69,31 @@ let config_label (factor, scheduler, physical) =
    worker domains: the shared IR artifacts are warmed once on the
    calling domain, each point runs the sched->hwgen tail in a task, and
    results are collected by index, so the point list (and the Pareto
-   marking over it) is identical to a sequential sweep. *)
-let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs ?request
+   marking over it) is identical to a sequential sweep.
+
+   Sequential sweeps evaluate the cycle factors largest-first: shrinking
+   the target period only adds chain breakers, i.e. only tightens the
+   difference system, which is exactly the monotone precondition under
+   which the session's persistent solver instances warm-start
+   (docs/SCHEDULING.md). Results are collected by original grid index, so
+   the returned point list is independent of the evaluation order. *)
+let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?sweep ?request
     ~(measure : Flow.compiled -> float * float) (core : Scaiev.Datasheet.t)
     (tu : Coredsl.Tast.tunit) : point list =
-  let jobs, req_session, req_obs =
-    match request with
-    | None -> (1, None, None)
-    | Some (r : Flow.Request.t) ->
-        if Option.is_some session || Option.is_some obs then
+  let r = Option.value request ~default:Flow.Request.default in
+  let jobs = r.Flow.Request.jobs in
+  let obs = r.Flow.Request.obs in
+  let ss =
+    match sweep with
+    | Some ss ->
+        if Option.is_some r.Flow.Request.session then
           Diag.fatal
             (Diag.make ~code:"E0902"
-               "conflicting compile options: ?request given together with ?session / ?obs"
-               ~notes:
-                 [
-                   "carry the session and profiling scope inside the Flow.Request.t instead";
-                 ]);
-        (r.jobs, r.session, r.obs)
-  in
-  let obs = match obs with Some _ -> obs | None -> req_obs in
-  let ss =
-    match session with Some ss -> ss | None -> sweep_session ?session:req_session ()
+               "conflicting compile options: ?sweep given together with a request that \
+                carries its own session"
+               ~notes:[ "pass the flow session inside the sweep_session only" ]);
+        ss
+    | None -> sweep_session ?session:r.Flow.Request.session ()
   in
   let base_ct = Scaiev.Datasheet.cycle_time_ns core in
   let configs =
@@ -107,7 +111,8 @@ let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs ?request
       if physical then Delay_model.Physical else Delay_model.Uniform (cycle_time /. 14.0)
     in
     let knobs = Flow.knobs ~scheduler ~delay ~cycle_time () in
-    match Flow.compile ~knobs ~session:ss.ss_flow ?obs core tu with
+    let req = Flow.Request.make ~knobs ~session:ss.ss_flow ?obs () in
+    match Flow.compile_request req core tu with
     | exception Diag.Fatal _ -> None
     | exception _ -> None
     | c ->
@@ -138,32 +143,41 @@ let explore ?(cycle_factors = [ 0.75; 1.0; 1.5; 2.0 ]) ?session ?obs ?request
             dp_pareto = false;
           }
   in
-  let points =
-    if jobs <= 1 then List.filter_map (fun config -> eval_point ?obs config) configs
-    else begin
-      (* warm the shared frontend/IR artifacts on this domain, then fan
-         the per-point sched->hwgen tails out over the worker pool *)
-      Flow.warm_ir ss.ss_flow tu;
-      Obs.span_opt obs "parallel_explore" @@ fun pobs ->
-      Obs.metric_int_opt pobs "par.workers" (max 1 (min jobs (List.length configs)));
-      Obs.metric_int_opt pobs "par.points" (List.length configs);
-      let task config () =
-        let tobs =
-          match pobs with
-          | None -> None
-          | Some _ -> Some (Obs.create ~name:("dse:" ^ config_label config) ())
-        in
-        let p = eval_point ?obs:tobs config in
-        Option.iter Obs.finish tobs;
-        (p, Option.map Obs.root tobs)
-      in
-      let results = Par.run ~jobs (List.map task configs) in
-      (match pobs with
-      | None -> ()
-      | Some p -> List.iter (fun (_, sp) -> Option.iter (Obs.attach p) sp) results);
-      List.filter_map fst results
-    end
+  let indexed = List.mapi (fun i config -> (i, config)) configs in
+  (* warm-friendly evaluation order: cycle factor descending (stable on
+     the rest of the grid) — each step only tightens the system *)
+  let by_warmth =
+    List.stable_sort
+      (fun (_, (fa, _, _)) (_, (fb, _, _)) -> compare (fb : float) fa)
+      indexed
   in
+  let slots = Array.make (List.length configs) None in
+  (if jobs <= 1 then
+     List.iter (fun (i, config) -> slots.(i) <- eval_point ?obs config) by_warmth
+   else begin
+     (* warm the shared frontend/IR artifacts on this domain, then fan
+        the per-point sched->hwgen tails out over the worker pool *)
+     Flow.warm_ir ss.ss_flow tu;
+     Obs.span_opt obs "parallel_explore" @@ fun pobs ->
+     Obs.metric_int_opt pobs "par.workers" (max 1 (min jobs (List.length configs)));
+     Obs.metric_int_opt pobs "par.points" (List.length configs);
+     let task (i, config) () =
+       let tobs =
+         match pobs with
+         | None -> None
+         | Some _ -> Some (Obs.create ~name:("dse:" ^ config_label config) ())
+       in
+       let p = eval_point ?obs:tobs config in
+       Option.iter Obs.finish tobs;
+       ((i, p), Option.map Obs.root tobs)
+     in
+     let results = Par.run ~jobs (List.map task by_warmth) in
+     (match pobs with
+     | None -> ()
+     | Some p -> List.iter (fun (_, sp) -> Option.iter (Obs.attach p) sp) results);
+     List.iter (fun ((i, p), _) -> slots.(i) <- p) results
+   end);
+  let points = List.filter_map Fun.id (Array.to_list slots) in
   (* deduplicate identical outcomes to keep the report readable *)
   let distinct =
     List.fold_left

@@ -46,16 +46,22 @@ val sweep_session : ?session:Flow.session -> unit -> sweep_session
 
 val explore :
   ?cycle_factors:float list ->
-  ?session:sweep_session ->
-  ?obs:Obs.scope ->
+  ?sweep:sweep_session ->
   ?request:Flow.Request.t ->
   measure:(Flow.compiled -> float * float) ->
   Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> point list
 (** Grid points whose compile raises {!Diag.Fatal} (e.g. infeasible
     schedules) are skipped; identical outcomes are deduplicated.
 
-    [?request] supplies the worker count ([Request.jobs]), and may carry
-    the flow session and profiling scope; with [jobs > 1] the grid fans
-    out over worker domains after warming the shared IR artifacts, and
-    the returned point list is identical to a sequential sweep. Mixing
-    [?request] with [?session] / [?obs] raises E0902. *)
+    [?request] supplies the worker count ([Request.jobs]), the profiling
+    scope and — when no [?sweep] is given — the flow session to wrap in a
+    fresh sweep session. Passing [?sweep] together with a request that
+    carries its own session raises E0902. With [jobs > 1] the grid fans
+    out over worker domains after warming the shared IR artifacts.
+
+    Grid points are {e evaluated} largest cycle factor first, so the
+    session's persistent solver instances see a monotonically tightening
+    difference system and warm-start every subsequent ILP re-schedule
+    (docs/SCHEDULING.md); results are {e collected} by grid index, so the
+    returned point list is identical regardless of evaluation order or
+    job count. *)

@@ -44,6 +44,15 @@ let diag_of_stage_exn = function
       Some (Diag.make ~code:"E0901" ("internal: IR verification failed: " ^ m))
   | Analysis.Verifier.Verify_error d | Analysis.Netcheck.Netcheck_error d -> Some d
   | Sched.Problem.Problem_error m -> Some (Diag.make ~code:"E0901" ("internal: " ^ m))
+  | Lp.Simplex.Iteration_limit budget ->
+      Some
+        (Diag.make ~code:"E0904"
+           (Printf.sprintf "solver iteration budget exhausted (%d pivots)" budget)
+           ~notes:
+             [
+               "the scheduling ILP did not converge within the simplex pivot budget; this \
+                indicates a degenerate or pathologically large constraint system";
+             ])
   | _ -> None
 
 (* Run [f], converting any stage exception into a fatal diagnostic that
@@ -179,6 +188,15 @@ type session = {
   s_fp_lock : Mutex.t;
   mutable s_unit_fps : (Coredsl.Tast.tunit * Cache.Fp.t) list;
   mutable s_core_fps : (Scaiev.Datasheet.t * Cache.Fp.t) list;
+  (* persistent ILP solver instances, keyed by functionality IR x core
+     (knob-independent: knobs move only the numbers — chain breakers,
+     windows — which is exactly what {!Lp.Instance} re-solves warm). A DSE
+     sweep therefore holds one solver per functionality and every grid
+     point after the first re-pivots instead of starting from scratch.
+     Guarded by [s_solver_lock]; each instance additionally serializes its
+     own re-solves, so concurrent domains are safe. *)
+  s_solver_lock : Mutex.t;
+  mutable s_solvers : (string * Sched.Ilp_scheduler.Incremental.t) list;
 }
 
 let create_session ?capacity ?(enabled = true) ?disk () =
@@ -192,7 +210,33 @@ let create_session ?capacity ?(enabled = true) ?disk () =
     s_fp_lock = Mutex.create ();
     s_unit_fps = [];
     s_core_fps = [];
+    s_solver_lock = Mutex.create ();
+    s_solvers = [];
   }
+
+(* Fetch (or create on first use) the persistent solver for one
+   functionality x core; [create] builds it from the first scheduling
+   problem seen under the key. *)
+let session_solver s ~key ~create =
+  Mutex.protect s.s_solver_lock (fun () ->
+      match List.assoc_opt key s.s_solvers with
+      | Some inc -> inc
+      | None ->
+          let inc = create () in
+          s.s_solvers <- (key, inc) :: s.s_solvers;
+          inc)
+
+(* Aggregate warm-start counters over every solver instance the session
+   holds — the [solver] section of [bench perf --json]. *)
+let session_solver_stats s : Lp.Instance.stats =
+  Mutex.protect s.s_solver_lock (fun () ->
+      List.fold_left
+        (fun acc (_, inc) ->
+          Lp.Instance.add_stats acc (Sched.Ilp_scheduler.Incremental.stats inc))
+        Lp.Instance.zero_stats s.s_solvers)
+
+let session_solver_count s =
+  Mutex.protect s.s_solver_lock (fun () -> List.length s.s_solvers)
 
 let session_disk s = s.s_disk
 
@@ -250,7 +294,10 @@ let throwaway () = create_session ~enabled:false ()
 (* ---- compile requests ------------------------------------------------ *)
 
 (* The unified public compile API: one record bundles everything a compile
-   entry point used to take as a pile of optional arguments. *)
+   entry point takes. The former per-entry-point optional arguments
+   (?scheduler ?delay ... ?session ?obs) are gone; [make] accepts the
+   individual knob shorthands instead, and mixing them with a full [?knobs]
+   record is a usage error (E0902) — there is no silent precedence. *)
 module Request = struct
   type t = {
     knobs : knobs;
@@ -263,69 +310,48 @@ module Request = struct
   let default =
     { knobs = default_knobs; session = None; obs = None; jobs = 1; verify_each = false }
 
-  let make ?(knobs = default_knobs) ?session ?obs ?(jobs = 1) ?(verify_each = false) () =
+  let conflict msg =
+    Diag.fatal
+      (Diag.make ~code:"E0902" ("conflicting compile options: " ^ msg)
+         ~notes:
+           [
+             "pass either one full ?knobs record or the individual knob arguments to \
+              Request.make, not both";
+           ])
+
+  let make ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs ?(jobs = 1)
+      ?(verify_each = false) () =
     if jobs < 1 then
       Diag.fatalf ~code:"E0902" "invalid compile request: jobs must be >= 1 (got %d)" jobs;
+    let individual =
+      List.filter_map
+        (fun (present, arg) -> if present then Some arg else None)
+        [
+          (Option.is_some scheduler, "?scheduler");
+          (Option.is_some delay, "?delay");
+          (Option.is_some cycle_time, "?cycle_time");
+          (Option.is_some hazard_handling, "?hazard_handling");
+        ]
+    in
+    let knobs =
+      match knobs with
+      | Some k ->
+          if individual <> [] then
+            conflict
+              (Printf.sprintf "?knobs given together with %s" (String.concat ", " individual));
+          k
+      | None ->
+          {
+            k_scheduler = Option.value scheduler ~default:Sched_build.Ilp;
+            k_delay = Option.value delay ~default:Delay_model.Default;
+            k_cycle_time = cycle_time;
+            k_hazard_handling = Option.value hazard_handling ~default:true;
+            k_sim_engine = Rtl.Engine.Compiled;
+            k_backend = Rtl.Backend.Sv;
+          }
+    in
     { knobs; session; obs; jobs; verify_each }
 end
-
-let request_conflict msg =
-  Diag.fatal
-    (Diag.make ~code:"E0902" ("conflicting compile options: " ^ msg)
-       ~notes:
-         [
-           "build one Flow.Request.t with Request.make and pass it as ?request instead of \
-            mixing it with the deprecated optional arguments";
-         ])
-
-(* Resolve the deprecated optional arguments and the unified [?request]
-   into one request. Mixing [?request] with any other optional, or
-   [?knobs] with an individual knob argument, is a usage error (E0902) —
-   there is no silent precedence. *)
-let resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
-    ?request () : Request.t =
-  let individual =
-    List.filter_map
-      (fun (present, arg) -> if present then Some arg else None)
-      [
-        (Option.is_some scheduler, "?scheduler");
-        (Option.is_some delay, "?delay");
-        (Option.is_some cycle_time, "?cycle_time");
-        (Option.is_some hazard_handling, "?hazard_handling");
-      ]
-  in
-  match request with
-  | Some r ->
-      let also =
-        individual
-        @ (if Option.is_some knobs then [ "?knobs" ] else [])
-        @ (if Option.is_some session then [ "?session" ] else [])
-        @ if Option.is_some obs then [ "?obs" ] else []
-      in
-      if also <> [] then
-        request_conflict
-          (Printf.sprintf "?request given together with %s" (String.concat ", " also));
-      r
-  | None ->
-      let knobs =
-        match knobs with
-        | Some k ->
-            if individual <> [] then
-              request_conflict
-                (Printf.sprintf "?knobs given together with %s"
-                   (String.concat ", " individual));
-            k
-        | None ->
-            {
-              k_scheduler = Option.value scheduler ~default:Sched_build.Ilp;
-              k_delay = Option.value delay ~default:Delay_model.Default;
-              k_cycle_time = cycle_time;
-              k_hazard_handling = Option.value hazard_handling ~default:true;
-              k_sim_engine = Rtl.Engine.Compiled;
-              k_backend = Rtl.Backend.Sv;
-            }
-      in
-      { Request.knobs; session; obs; jobs = 1; verify_each = false }
 
 (* ---- per-functionality stages ---------------------------------------- *)
 
@@ -386,8 +412,8 @@ let build_func_ir ?(verify_each = false) (tu : Coredsl.Tast.tunit) obs fn =
   in
   { fi_hlir = hlir; fi_lil = lil }
 
-let build_func_hw (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name ~kind obs
-    (fir : func_ir) =
+let build_func_hw ?solver_for (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name
+    ~kind obs (fir : func_ir) =
   let delay_model = delay_model_for core k in
   let cycle_time = k.k_cycle_time in
   let scheduler = k.k_scheduler in
@@ -402,7 +428,36 @@ let build_func_hw (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) k ~name 
         let vars, constraints = Sched.Ilp_scheduler.ilp_size p in
         Obs.metric_int_opt sobs "ilp_vars" vars;
         Obs.metric_int_opt sobs "ilp_constraints" constraints;
-        let feasible = Sched_build.schedule ~scheduler built in
+        (* the persistent solver only serves the ILP scheduler *)
+        let solver =
+          match (scheduler, solver_for) with
+          | Sched_build.Ilp, Some get -> Some (get p)
+          | _ -> None
+        in
+        let before =
+          match solver with
+          | Some inc -> Sched.Ilp_scheduler.Incremental.stats inc
+          | None -> Lp.Instance.zero_stats
+        in
+        let feasible = Sched_build.schedule ~scheduler ?solver built in
+        (* Always the same metric name set on the ILP path, warm or cold —
+           profiling span shapes must not depend on solver state. *)
+        (match solver with
+        | None -> ()
+        | Some inc ->
+            let a = Sched.Ilp_scheduler.Incremental.stats inc in
+            let d f = f a - f before in
+            Obs.metric_str_opt sobs "solver.class"
+              (Lp.Instance.klass_name (Sched.Ilp_scheduler.Incremental.classify inc));
+            Obs.metric_int_opt sobs "solver.resolves" (d (fun s -> s.Lp.Instance.is_resolves));
+            Obs.metric_int_opt sobs "solver.warm_hits"
+              (d (fun s -> s.Lp.Instance.is_warm_hits));
+            Obs.metric_int_opt sobs "solver.fastpath" (d (fun s -> s.Lp.Instance.is_fastpath));
+            Obs.metric_int_opt sobs "solver.bf_rounds"
+              (d (fun s -> s.Lp.Instance.is_bf_rounds));
+            Obs.metric_int_opt sobs "solver.bnb_nodes"
+              (d (fun s -> s.Lp.Instance.is_bnb_nodes));
+            Obs.metric_int_opt sobs "solver.pivots" (d (fun s -> s.Lp.Instance.is_pivots)));
         Obs.metric_int_opt sobs "feasible" (if feasible then 1 else 0);
         if not feasible then begin
           (* name the operation that overshoots its interface window, so the
@@ -484,15 +539,21 @@ let compile_functionality_in session k ?obs ?(verify_each = false)
     Cache.Store.find_or_add session.s_ir ?obs:sobs (ir_key session tu ~kind ~name)
       (fun () -> build_func_ir ~verify_each tu sobs fn)
   in
+  (* the persistent solver is keyed per functionality x core but *not* per
+     knobs: the knobs only move rhs/bounds, which is what resolves warm *)
+  let solver_for p =
+    session_solver session
+      ~key:(Printf.sprintf "%s/%s" (ir_key session tu ~kind ~name) (core_fp session core))
+      ~create:(fun () -> Sched.Ilp_scheduler.Incremental.create p)
+  in
   Obs.span_opt obs "sched_artifact" @@ fun sobs ->
   Cache.Store.find_or_add session.s_func ?obs:sobs (func_key session k core tu ~kind ~name)
-    (fun () -> build_func_hw core tu k ~name ~kind sobs fir)
+    (fun () -> build_func_hw ~solver_for core tu k ~name ~kind sobs fir)
 
-let compile_functionality (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) ?scheduler
-    ?delay ?cycle_time ?knobs ?session ?obs ?request
+let compile_functionality ?request (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit)
     (fn : [ `Instr of Coredsl.Tast.tinstr | `Always of Coredsl.Tast.talways ]) :
     compiled_functionality =
-  let r = resolve_request ?scheduler ?delay ?cycle_time ?knobs ?session ?obs ?request () in
+  let r = Option.value request ~default:Request.default in
   let session = match r.Request.session with Some s -> s | None -> throwaway () in
   compile_functionality_in session r.Request.knobs ?obs:r.Request.obs
     ~verify_each:r.Request.verify_each core tu fn
@@ -558,12 +619,8 @@ let compile_request (r : Request.t) (core : Scaiev.Datasheet.t) (tu : Coredsl.Ta
   Cache.Store.find_or_add session.s_target ?obs (target_key session k core tu) (fun () ->
       build_target session k ?obs ~verify_each:r.Request.verify_each core tu)
 
-let compile ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs ?request
-    (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
-  compile_request
-    (resolve_request ?scheduler ?delay ?cycle_time ?hazard_handling ?knobs ?session ?obs
-       ?request ())
-    core tu
+let compile ?request (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : compiled =
+  compile_request (Option.value request ~default:Request.default) core tu
 
 (* Populate the session's core-independent IR artifacts for [tu] on the
    calling domain. The parallel driver runs this before fanning out, so
@@ -588,8 +645,8 @@ let warm_ir ?(verify_each = false) session (tu : Coredsl.Tast.tunit) =
    YAML bytes and diagnostics ordering) is identical to a sequential run;
    with a profiling scope every target records into its own single-domain
    scope, merged under one [parallel_compile] span in task order. *)
-let compile_many ?knobs ?session ?obs ?request targets =
-  let r = resolve_request ?knobs ?session ?obs ?request () in
+let compile_many ?request targets =
+  let r = Option.value request ~default:Request.default in
   let session = match r.Request.session with Some s -> s | None -> create_session () in
   let n = List.length targets in
   let jobs = max 1 (min r.Request.jobs (max n 1)) in

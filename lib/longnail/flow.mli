@@ -30,7 +30,8 @@
     {!Scaiev.Generator.Generate_error}) are converted at the stage
     boundary, with a note naming the functionality being compiled;
     stringly internal errors (IR/problem verification) are wrapped as
-    E0901. *)
+    E0901, and a blown simplex pivot budget
+    ({!Lp.Simplex.Iteration_limit}) as E0904. *)
 val diag_of_stage_exn : exn -> Diag.t option
 
 val with_stage_diags : string -> (unit -> 'a) -> 'a
@@ -140,16 +141,24 @@ val session_stats : session -> (string * Cache.Store.stats) list
     (see {!Cache.Store.find_or_add}) and the fingerprint memos are
     mutex-guarded. *)
 
+val session_solver_stats : session -> Lp.Instance.stats
+(** Aggregate warm-start counters over the session's persistent ILP
+    solver instances (one per functionality x core, created on first
+    schedule and kept across knob changes — see docs/SCHEDULING.md).
+    Feeds the [solver] section of [bench perf --json]. *)
+
+val session_solver_count : session -> int
+(** Number of persistent solver instances the session currently holds. *)
+
 (** {1 Compile requests}
 
-    The unified compile API (docs/PARALLELISM.md): one {!Request.t}
-    bundles the scheduling knobs, the session, the profiling scope and
-    the worker count, replacing the pile of optional arguments the entry
-    points used to take. All compile entry points accept [?request];
-    their remaining optional arguments are deprecated thin wrappers that
-    delegate here, and mixing [?request] with any of them — or [?knobs]
-    with an individual knob argument — raises {!Diag.Fatal} with code
-    E0902 (there is no silent precedence). *)
+    The compile API (docs/PARALLELISM.md): one {!Request.t} bundles the
+    scheduling knobs, the session, the profiling scope and the worker
+    count. It is the {e only} way to configure a compile — the per-entry-
+    point optional arguments that used to shadow it were removed.
+    [Request.make] accepts the individual knob shorthands directly;
+    mixing them with a full [?knobs] record raises {!Diag.Fatal} with
+    code E0902 (there is no silent precedence). *)
 module Request : sig
   type t = {
     knobs : knobs;
@@ -167,6 +176,10 @@ module Request : sig
   (** [default_knobs], no session, no profiling, one job, no sanitizer. *)
 
   val make :
+    ?scheduler:Sched_build.scheduler ->
+    ?delay:Delay_model.spec ->
+    ?cycle_time:float ->
+    ?hazard_handling:bool ->
     ?knobs:knobs ->
     ?session:session ->
     ?obs:Obs.scope ->
@@ -174,7 +187,9 @@ module Request : sig
     ?verify_each:bool ->
     unit ->
     t
-  (** Raises {!Diag.Fatal} (E0902) when [jobs < 1]. *)
+  (** Raises {!Diag.Fatal} (E0902) when [jobs < 1], or when [?knobs] is
+      mixed with any of the individual knob arguments
+      ([?scheduler] / [?delay] / [?cycle_time] / [?hazard_handling]). *)
 end
 
 val frontend :
@@ -204,25 +219,16 @@ val target_key : session -> knobs -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit ->
     [cache.hit]/[cache.miss]/[cache.store] counters remains. *)
 val stage_names : string list
 
-(** Compile a single instruction or always-block. Prefer passing one
-    {!Request.t} as [?request]; the remaining optional arguments are
-    {b deprecated} wrappers kept for source compatibility, and mixing
-    them with [?request] (or [?knobs] with an individual knob argument)
-    raises E0902. With a profiling scope, records a ["func:NAME"] span as
-    described at {!stage_names}.
+(** Compile a single instruction or always-block, configured by
+    [?request] (default {!Request.default}). With a profiling scope,
+    records a ["func:NAME"] span as described at {!stage_names}.
     Raises {!Diag.Fatal} with code E0401 when scheduling is infeasible; the
     diagnostic cites the CoreDSL span of the operation whose interface
     window cannot be met. *)
 val compile_functionality :
+  ?request:Request.t ->
   Scaiev.Datasheet.t ->
   Coredsl.Tast.tunit ->
-  ?scheduler:Sched_build.scheduler ->
-  ?delay:Delay_model.spec ->
-  ?cycle_time:float ->
-  ?knobs:knobs ->
-  ?session:session ->
-  ?obs:Obs.scope ->
-  ?request:Request.t ->
   [ `Always of Coredsl.Tast.talways | `Instr of Coredsl.Tast.tinstr ] ->
   compiled_functionality
 
@@ -238,21 +244,8 @@ val compile_request : Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> c
     byte-equivalence tests). [knobs.k_hazard_handling = false] drops the
     decoupled-mode scoreboard (the Table 4 ablation row). *)
 
-(** Like {!compile_request}, via optional arguments. The non-[?request]
-    optionals are {b deprecated} wrappers; mixing them with [?request]
-    (or [?knobs] with an individual knob argument) raises E0902. *)
-val compile :
-  ?scheduler:Sched_build.scheduler ->
-  ?delay:Delay_model.spec ->
-  ?cycle_time:float ->
-  ?hazard_handling:bool ->
-  ?knobs:knobs ->
-  ?session:session ->
-  ?obs:Obs.scope ->
-  ?request:Request.t ->
-  Scaiev.Datasheet.t ->
-  Coredsl.Tast.tunit ->
-  compiled
+val compile : ?request:Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> compiled
+(** [compile_request] with [?request] defaulting to {!Request.default}. *)
 
 val warm_ir : ?verify_each:bool -> session -> Coredsl.Tast.tunit -> unit
 (** Populate the session's core-independent IR artifacts (hlir + optimized
@@ -261,12 +254,7 @@ val warm_ir : ?verify_each:bool -> session -> Coredsl.Tast.tunit -> unit
     is computed once and shared read-only. *)
 
 val compile_many :
-  ?knobs:knobs ->
-  ?session:session ->
-  ?obs:Obs.scope ->
-  ?request:Request.t ->
-  (Scaiev.Datasheet.t * Coredsl.Tast.tunit) list ->
-  compiled list
+  ?request:Request.t -> (Scaiev.Datasheet.t * Coredsl.Tast.tunit) list -> compiled list
 (** Batch compile ISAX x core targets through one shared session (a fresh
     retaining session if none is given): common units lower once, common
     (unit, core, knobs) triples compile once. With [Request.jobs > 1] the

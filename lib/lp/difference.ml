@@ -6,7 +6,13 @@
    componentwise-minimal solution computed by longest paths from a virtual
    source (Bellman-Ford), which also minimizes the sum of start times. This
    is used as the fast scheduling path and as an ablation baseline against
-   the full ILP. *)
+   the full ILP.
+
+   [solve_from] warm-starts the relaxation from a previous solution: any
+   starting point below the (new) minimal solution converges to exactly
+   that minimal solution, so when a system is only tightened — weights and
+   lower bounds only increase — the previous answer is a valid launch pad
+   and typically needs just a round or two of repair. *)
 
 type edge = { src : int; dst : int; weight : int }  (* x_dst - x_src >= weight *)
 
@@ -26,17 +32,17 @@ let set_lower t v lo = t.lower.(v) <- max t.lower.(v) lo
 let set_upper t v hi =
   t.upper.(v) <- (match t.upper.(v) with None -> Some hi | Some h -> Some (min h hi))
 
-(* Longest path relaxation. Returns the componentwise-minimal feasible
-   assignment, or [None] if the system is infeasible (positive cycle or an
-   upper bound violated). *)
-let solve t =
-  let dist = Array.copy t.lower in
-  let changed = ref true and rounds = ref 0 in
+(* Longest-path relaxation from [dist] (already >= the lower bounds and
+   <= the minimal solution). Mutates [dist] into the componentwise-minimal
+   feasible assignment; [None] on infeasibility (positive cycle or an
+   upper bound violated). [rounds] accumulates relaxation sweeps. *)
+let relax t dist ~rounds =
+  let changed = ref true and sweeps = ref 0 in
   let feasible = ref true in
   while !changed && !feasible do
     changed := false;
-    incr rounds;
-    if !rounds > t.nvars + 1 then feasible := false
+    incr sweeps;
+    if !sweeps > t.nvars + 1 then feasible := false
     else
       List.iter
         (fun { src; dst; weight } ->
@@ -46,6 +52,7 @@ let solve t =
           end)
         t.edges
   done;
+  (match rounds with Some r -> r := !r + !sweeps | None -> ());
   if not !feasible then None
   else begin
     let ok = ref true in
@@ -54,3 +61,9 @@ let solve t =
       dist;
     if !ok then Some dist else None
   end
+
+let solve ?rounds t = relax t (Array.copy t.lower) ~rounds
+
+let solve_from ?rounds t ~(init : int array) =
+  let dist = Array.mapi (fun v lo -> max lo init.(v)) t.lower in
+  relax t dist ~rounds

@@ -19,4 +19,17 @@ val create : int -> t
 val add_ge : t -> src:int -> dst:int -> weight:int -> unit
 val set_lower : t -> int -> int -> unit
 val set_upper : t -> int -> int -> unit
-val solve : t -> int array option
+
+val solve : ?rounds:int ref -> t -> int array option
+(** The componentwise-minimal feasible assignment, or [None] when the
+    system is infeasible (positive cycle, or the minimal assignment
+    violates an upper bound — in which case every assignment does).
+    [rounds] accumulates the number of relaxation sweeps performed. *)
+
+val solve_from : ?rounds:int ref -> t -> init:int array -> int array option
+(** Like {!solve}, but warm-started: the relaxation begins from
+    [max init lower] instead of [lower]. Produces {e exactly} the minimal
+    solution whenever that starting point is componentwise below it — in
+    particular whenever [init] is the minimal solution of a system this
+    one only tightens (every weight and lower bound no smaller). Callers
+    enforce that monotonicity precondition; see {!Lp.Instance}. *)

@@ -105,15 +105,25 @@ module Maxflow = struct
   (* after the last BFS, level >= 0 marks the source side of a min cut *)
 end
 
-(* ---- ASAP via Bellman-Ford longest paths ---- *)
+(* ---- ASAP via Bellman-Ford longest paths ----
 
-let asap ~n ~(edges : edge list) ~lower ~upper =
-  let t = Array.copy lower in
-  let changed = ref true and rounds = ref 0 and ok = ref true in
+   With [init] the relaxation warm-starts from [max init lower]: as long
+   as that point is componentwise below the minimal solution (true when
+   [init] is the ASAP result of a system this one only tightens), the
+   result is exactly the same minimal element a cold run computes, in
+   fewer sweeps. [rounds] accumulates the sweep count. *)
+
+let asap ?init ?rounds ~n ~(edges : edge list) ~lower ~upper () =
+  let t =
+    match init with
+    | None -> Array.copy lower
+    | Some s -> Array.mapi (fun i lo -> max lo s.(i)) lower
+  in
+  let changed = ref true and sweeps = ref 0 and ok = ref true in
   while !changed && !ok do
     changed := false;
-    incr rounds;
-    if !rounds > n + 1 then ok := false
+    incr sweeps;
+    if !sweeps > n + 1 then ok := false
     else
       List.iter
         (fun e ->
@@ -123,6 +133,7 @@ let asap ~n ~(edges : edge list) ~lower ~upper =
           end)
         edges
   done;
+  (match rounds with Some r -> r := !r + !sweeps | None -> ());
   if not !ok then None
   else begin
     let feasible = ref true in
@@ -132,13 +143,14 @@ let asap ~n ~(edges : edge list) ~lower ~upper =
     if !feasible then Some t else None
   end
 
-(* ---- main solver ---- *)
+(* ---- steepest-ascent phase ----
 
-let solve ~n ~(edges : edge list) ~(lower : int array) ~(upper : int option array)
-    ~(cost : int array) : int array option =
-  match asap ~n ~edges ~lower ~upper with
-  | None -> None
-  | Some t ->
+   Shift-by-closed-set ascent from the minimal element [t] (mutated in
+   place). Split out of [solve] so a warm caller can feed a warm-started
+   ASAP result through the identical ascent — making warm and cold solves
+   not just equal-objective but equal-valued. *)
+
+let ascend ~n ~(edges : edge list) ~(upper : int option array) ~(cost : int array) t =
       let iterations = ref 0 in
       let improved = ref true in
       while !improved do
@@ -191,7 +203,15 @@ let solve ~n ~(edges : edge list) ~(lower : int array) ~(upper : int option arra
           improved := true
         end
       done;
-      Some t
+      t
+
+(* ---- main solver ---- *)
+
+let solve ?init ?rounds ~n ~(edges : edge list) ~(lower : int array)
+    ~(upper : int option array) ~(cost : int array) () : int array option =
+  match asap ?init ?rounds ~n ~edges ~lower ~upper () with
+  | None -> None
+  | Some t -> Some (ascend ~n ~edges ~upper ~cost t)
 
 (* objective value of a solution *)
 let objective ~cost t =

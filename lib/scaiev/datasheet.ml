@@ -151,16 +151,15 @@ let picorv32 =
     base_freq_mhz = 1278.0;
   }
 
-let all_cores = [ orca; piccolo; picorv32; vexriscv ]
-
 (* ---- application-class prototypes (Section 7 outlook) ----
 
    The paper reports initial SCAIE-V/Longnail prototypes on the OpenHW
    CVA5 (ex-Taiga) and CVA6 (ex-Ariane) cores: still in-order single-issue,
    but with deeper pipelines and far larger base area, so the *relative*
    cost of an ISAX integration decreases. These datasheets model the
-   32-bit configurations; they are kept out of [all_cores] because the
-   Table 4 evaluation covers only the four MCU-class cores. *)
+   32-bit configurations; the Table 4 evaluation covers only the four
+   MCU-class cores, so {!Core_registry} registers these as outlook
+   descriptors excluded from the default enumeration. *)
 
 let cva5 =
   {
@@ -213,13 +212,6 @@ let cva6 =
     base_area_um2 = 175000.0;
     base_freq_mhz = 1400.0;
   }
-
-let outlook_cores = [ cva5; cva6 ]
-
-let find_core name =
-  List.find_opt
-    (fun c -> String.lowercase_ascii c.core_name = String.lowercase_ascii name)
-    (all_cores @ outlook_cores)
 
 (* YAML-ish rendering of a virtual datasheet (Figure 9 left box). *)
 let to_yaml t =

@@ -35,18 +35,14 @@ val orca : t
 val piccolo : t
 val picorv32 : t
 (** The four paper (Table 4) datasheets, as static values. Enumeration
-    and name lookup of the full supported-core set should go through
-    {!Core_registry} ([datasheets], [find], [resolve]) — the registry
-    also carries the ported/outlook cores, timing models and ISS
-    defaults. *)
-val all_cores : t list
+    and name lookup of the supported-core set go through
+    {!Core_registry} ([datasheets], [paper_datasheets], [find],
+    [resolve]) — the registry also carries the ported/outlook cores,
+    timing models and ISS defaults. *)
 
 val cva5 : t
 val cva6 : t
-val outlook_cores : t list
+(** The Section-7 outlook prototypes, registered in {!Core_registry} as
+    outlook descriptors (excluded from the default enumeration). *)
 
-(** Static lookup over the paper + outlook datasheets only; prefer
-    {!Core_registry.find_datasheet}, which covers every registered
-    core and is case-insensitive. *)
-val find_core : string -> t option
 val to_yaml : t -> string

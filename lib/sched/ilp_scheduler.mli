@@ -25,3 +25,34 @@ val ilp_text : Problem.t -> string
 val ilp_size : Problem.t -> int * int
 (** [(variables, constraints)] of the Figure 7 ILP for this instance,
     computed without building it (profiling must stay cheap). *)
+
+(** Persistent incremental scheduler: one {!Lp.Instance} kept alive
+    across the re-schedules of a DSE sweep. The Figure 7 ILP is lowered
+    as in [schedule_netflow] (lifetimes eliminated, node costs
+    1 + indegree - outdegree) with C1/C5 merged into one row per
+    dependence; between grid points only right-hand sides (chain-breaker
+    flips) and bounds (window changes) move, and {!Lp.Instance.resolve}
+    warm-starts from the previous solution. Produces schedules identical
+    to [schedule_netflow], warm or cold. Thread-safe: re-schedules on the
+    same instance are serialized by an internal mutex. *)
+module Incremental : sig
+  type t
+
+  val create : Problem.t -> t
+  (** Snapshot the dependence-graph structure of [p] into a persistent
+      solver instance. *)
+
+  val compatible : t -> Problem.t -> bool
+  (** Whether [p] has the operation count and dependence list this
+      instance was created from (latencies, windows and the breaker set
+      are data and may differ freely). *)
+
+  val schedule : t -> Problem.t -> outcome
+  (** Push the current latencies, windows and chain-breaker set of [p]
+      into the instance, re-solve (warm when possible), and write the
+      start times back into [p]. Raises {!Problem.Problem_error} when
+      [compatible] is false. *)
+
+  val stats : t -> Lp.Instance.stats
+  val classify : t -> Lp.Instance.klass
+end

@@ -136,7 +136,10 @@ let test_hazard_handling_ablation () =
   let core = Scaiev.Datasheet.orca in
   let with_h = Asic.Flow.run ~isax_name:"sqrt_decoupled" (Longnail.Flow.compile core tu) in
   let without =
-    Asic.Flow.run ~isax_name:"sqrt_decoupled" (Longnail.Flow.compile ~hazard_handling:false core tu)
+    Asic.Flow.run ~isax_name:"sqrt_decoupled"
+      (Longnail.Flow.compile
+         ~request:(Longnail.Flow.Request.make ~hazard_handling:false ())
+         core tu)
   in
   check_bool "hazard handling costs area" true
     (without.Asic.Flow.adapter_area_um2 < with_h.Asic.Flow.adapter_area_um2)

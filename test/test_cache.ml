@@ -208,8 +208,9 @@ let test_session_recompile_from_cache () =
   let session = Longnail.Flow.create_session () in
   let tu = Isax.Registry.compile_by_name "dotprod" in
   let core = Scaiev.Datasheet.vexriscv in
-  let c1 = Longnail.Flow.compile ~session core tu in
-  let c2 = Longnail.Flow.compile ~session core tu in
+  let request = Longnail.Flow.Request.make ~session () in
+  let c1 = Longnail.Flow.compile ~request core tu in
+  let c2 = Longnail.Flow.compile ~request core tu in
   check_bool "identical artifact returned" true (c1 == c2);
   let stats = Longnail.Flow.session_stats session in
   check_int "target hit" 1 (List.assoc "target" stats).Cache.Store.hits;
@@ -222,23 +223,25 @@ let test_session_recompile_from_cache () =
 let test_session_content_addressed () =
   let session = Longnail.Flow.create_session () in
   let core = Scaiev.Datasheet.vexriscv in
-  let c1 = Longnail.Flow.compile ~session core (Isax.Registry.compile_by_name "dotprod") in
-  let c2 = Longnail.Flow.compile ~session core (Isax.Registry.compile_by_name "dotprod") in
+  let request = Longnail.Flow.Request.make ~session () in
+  let c1 = Longnail.Flow.compile ~request core (Isax.Registry.compile_by_name "dotprod") in
+  let c2 = Longnail.Flow.compile ~request core (Isax.Registry.compile_by_name "dotprod") in
   check_bool "re-parse still hits" true (c1 == c2)
 
 (* cached and uncached compiles must produce byte-identical SystemVerilog
    and SCAIE-V YAML for every bundled ISAX x core target *)
 let test_cached_equals_uncached_everywhere () =
   let session = Longnail.Flow.create_session () in
+  let request = Longnail.Flow.Request.make ~session () in
   List.iter
     (fun (e : Isax.Registry.entry) ->
       List.iter
         (fun core ->
           (* warm the session with an independently parsed unit... *)
-          ignore (Longnail.Flow.compile ~session core (Isax.Registry.compile e));
+          ignore (Longnail.Flow.compile ~request core (Isax.Registry.compile e));
           (* ...then serve this compile from cache and compare against a
              sessionless (always-cold) compile of a fresh parse *)
-          let cached = Longnail.Flow.compile ~session core (Isax.Registry.compile e) in
+          let cached = Longnail.Flow.compile ~request core (Isax.Registry.compile e) in
           let cold = Longnail.Flow.compile core (Isax.Registry.compile e) in
           let ctx = Printf.sprintf "%s/%s" e.name core.Scaiev.Datasheet.core_name in
           check_str (ctx ^ " config yaml") cold.config_yaml cached.config_yaml;
@@ -257,8 +260,12 @@ let test_session_hazard_shares_funcs () =
   let session = Longnail.Flow.create_session () in
   let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
   let core = Scaiev.Datasheet.vexriscv in
-  let c1 = Longnail.Flow.compile ~session core tu in
-  let c2 = Longnail.Flow.compile ~session ~hazard_handling:false core tu in
+  let c1 = Longnail.Flow.compile ~request:(Longnail.Flow.Request.make ~session ()) core tu in
+  let c2 =
+    Longnail.Flow.compile
+      ~request:(Longnail.Flow.Request.make ~session ~hazard_handling:false ())
+      core tu
+  in
   check_bool "distinct targets" true (c1 != c2);
   let stats = Longnail.Flow.session_stats session in
   check_int "no target hit" 0 (List.assoc "target" stats).Cache.Store.hits;
@@ -274,10 +281,15 @@ let test_session_knob_isolation () =
   let session = Longnail.Flow.create_session () in
   let tu = Isax.Registry.compile_by_name "dotprod" in
   let core = Scaiev.Datasheet.vexriscv in
-  let a = Longnail.Flow.compile ~session ~scheduler:Longnail.Sched_build.Ilp core tu in
-  let b = Longnail.Flow.compile ~session ~scheduler:Longnail.Sched_build.Asap core tu in
+  let req k = Longnail.Flow.Request.make ~session ?scheduler:k () in
+  let a = Longnail.Flow.compile ~request:(req (Some Longnail.Sched_build.Ilp)) core tu in
+  let b = Longnail.Flow.compile ~request:(req (Some Longnail.Sched_build.Asap)) core tu in
   check_bool "different schedulers, different artifacts" true (a != b);
-  let c = Longnail.Flow.compile ~session ~cycle_time:7.0 core tu in
+  let c =
+    Longnail.Flow.compile
+      ~request:(Longnail.Flow.Request.make ~session ~cycle_time:7.0 ())
+      core tu
+  in
   check_bool "different cycle time, different artifact" true (a != c && b != c)
 
 (* the simulation-engine and emission-backend knobs are cache keys too:
@@ -287,15 +299,21 @@ let test_session_engine_backend_isolation () =
   let session = Longnail.Flow.create_session () in
   let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
   let core = Scaiev.Datasheet.vexriscv in
-  let a = Longnail.Flow.compile ~session core tu in
+  let a = Longnail.Flow.compile ~request:(Longnail.Flow.Request.make ~session ()) core tu in
   let b =
-    Longnail.Flow.compile ~session
-      ~knobs:(Longnail.Flow.knobs ~sim_engine:Rtl.Engine.Interp ())
+    Longnail.Flow.compile
+      ~request:
+        (Longnail.Flow.Request.make ~session
+           ~knobs:(Longnail.Flow.knobs ~sim_engine:Rtl.Engine.Interp ())
+           ())
       core tu
   in
   let c =
-    Longnail.Flow.compile ~session
-      ~knobs:(Longnail.Flow.knobs ~backend:Rtl.Backend.V2001 ())
+    Longnail.Flow.compile
+      ~request:
+        (Longnail.Flow.Request.make ~session
+           ~knobs:(Longnail.Flow.knobs ~backend:Rtl.Backend.V2001 ())
+           ())
       core tu
   in
   check_bool "engine keyed" true (a != b);
@@ -318,7 +336,9 @@ let test_compile_many_shares () =
   let tu = Isax.Registry.compile_by_name "dotprod" in
   let cores = [ Scaiev.Datasheet.vexriscv; Scaiev.Datasheet.orca ] in
   let results =
-    Longnail.Flow.compile_many ~session (List.map (fun core -> (core, tu)) cores)
+    Longnail.Flow.compile_many
+      ~request:(Longnail.Flow.Request.make ~session ())
+      (List.map (fun core -> (core, tu)) cores)
   in
   check_int "one compiled per target" 2 (List.length results);
   let stats = Longnail.Flow.session_stats session in

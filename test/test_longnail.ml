@@ -252,8 +252,9 @@ let test_ablation_ilp_vs_asap () =
   (* the ILP scheduler yields no more pipeline register bits than ASAP *)
   let tu = Isax.Registry.compile_by_name "sqrt_tightly" in
   let core = Scaiev.Datasheet.vexriscv in
-  let ilp = Longnail.Flow.compile ~scheduler:Longnail.Sched_build.Ilp core tu in
-  let asap = Longnail.Flow.compile ~scheduler:Longnail.Sched_build.Asap core tu in
+  let req sch = Longnail.Flow.Request.make ~scheduler:sch () in
+  let ilp = Longnail.Flow.compile ~request:(req Longnail.Sched_build.Ilp) core tu in
+  let asap = Longnail.Flow.compile ~request:(req Longnail.Sched_build.Asap) core tu in
   let bits c =
     List.fold_left (fun acc f -> acc + f.Longnail.Flow.cf_hw.Longnail.Hwgen.pipe_reg_bits) 0
       c.Longnail.Flow.funcs
@@ -269,7 +270,11 @@ let test_ablation_physical_delays () =
   let tu = Isax.Registry.compile_by_name "sparkle" in
   let core = Scaiev.Datasheet.orca in
   let uni = Longnail.Flow.compile core tu in
-  let phys = Longnail.Flow.compile ~delay:Longnail.Delay_model.Physical core tu in
+  let phys =
+    Longnail.Flow.compile
+      ~request:(Longnail.Flow.Request.make ~delay:Longnail.Delay_model.Physical ())
+      core tu
+  in
   let max_stage c =
     List.fold_left (fun acc f -> max acc f.Longnail.Flow.cf_hw.Longnail.Hwgen.max_stage) 0
       c.Longnail.Flow.funcs
@@ -303,8 +308,11 @@ InstructionSet T extends RV32I {
      than WrPC's native window allows -> Flow_error *)
   try
     ignore
-      (Longnail.Flow.compile ~cycle_time:0.9
-         ~delay:Longnail.Delay_model.Physical Scaiev.Datasheet.orca tu);
+      (Longnail.Flow.compile
+         ~request:
+           (Longnail.Flow.Request.make ~cycle_time:0.9
+              ~delay:Longnail.Delay_model.Physical ())
+         Scaiev.Datasheet.orca tu);
     Alcotest.fail "expected infeasible schedule"
   with Diag.Fatal (d :: _) ->
     let m = d.Diag.message in
@@ -406,7 +414,11 @@ let test_dse_session_reuse () =
   let n_funcs = List.length (Longnail.Flow.compile core tu).Longnail.Flow.funcs in
   let ss = Longnail.Dse.sweep_session () in
   let obs_cold = Obs.create ~name:"dse-cold" () in
-  let cold = Longnail.Dse.explore ~session:ss ~obs:obs_cold ~measure core tu in
+  let cold =
+    Longnail.Dse.explore ~sweep:ss
+      ~request:(Longnail.Flow.Request.make ~obs:obs_cold ())
+      ~measure core tu
+  in
   Obs.finish obs_cold;
   let cold_root = Obs.root obs_cold in
   List.iter
@@ -417,7 +429,11 @@ let test_dse_session_reuse () =
   check_bool "schedule re-runs per grid point" true
     (List.length (Obs.find_spans cold_root "schedule") > n_funcs);
   let obs_warm = Obs.create ~name:"dse-warm" () in
-  let warm = Longnail.Dse.explore ~session:ss ~obs:obs_warm ~measure core tu in
+  let warm =
+    Longnail.Dse.explore ~sweep:ss
+      ~request:(Longnail.Flow.Request.make ~obs:obs_warm ())
+      ~measure core tu
+  in
   Obs.finish obs_warm;
   let warm_root = Obs.root obs_warm in
   check_bool "warm sweep returns identical points" true (warm = cold);

@@ -192,6 +192,154 @@ let test_difference_positive_cycle () =
   Difference.add_ge d ~src:1 ~dst:0 ~weight:1;
   check_bool "positive cycle infeasible" true (Difference.solve d = None)
 
+(* ---- persistent instances (warm-start API) ---- *)
+
+module I = Lp.Instance
+
+(* a scheduling-shaped integer program: difference rows t_dst - t_src >= w
+   over [sp_n] variables, plus per-variable bounds and integer costs. The
+   arrays are the mutable data an incremental sweep moves; [build_problem]
+   rebuilds a fresh one-shot problem from the current numbers so every
+   warm resolve can be checked against a genuinely cold solve. *)
+type ispec = {
+  sp_n : int;
+  sp_deps : (int * int) list;  (* (dst, src), row order *)
+  sp_w : int array;  (* weight per row *)
+  sp_lower : int array;
+  sp_upper : int option array;
+  sp_cost : int array;
+}
+
+let build_problem spec =
+  let p = Lp.create () in
+  let vs =
+    Array.init spec.sp_n (fun i ->
+        Lp.add_int_var p ~lower:spec.sp_lower.(i) ?upper:spec.sp_upper.(i)
+          ~name:(Printf.sprintf "t%d" i))
+  in
+  List.iteri
+    (fun r (dst, src) ->
+      Lp.add_int_constraint p [ (1, vs.(dst)); (-1, vs.(src)) ] Lp.Ge spec.sp_w.(r))
+    spec.sp_deps;
+  Lp.set_int_objective p
+    (List.filter
+       (fun (c, _) -> c <> 0)
+       (Array.to_list (Array.mapi (fun i c -> (c, vs.(i))) spec.sp_cost)));
+  p
+
+let cold_solve spec = Lp.solve (build_problem spec)
+
+(* push the spec's current numbers into the instance *)
+let sync_instance inst spec =
+  List.iteri (fun r _ -> I.update_rhs inst r (rat spec.sp_w.(r))) spec.sp_deps;
+  Array.iteri
+    (fun v _ ->
+      I.update_bounds inst v ~lower:(rat spec.sp_lower.(v))
+        ~upper:(Option.map rat spec.sp_upper.(v)))
+    spec.sp_lower
+
+let outcome_matches name warm cold =
+  match (warm, cold) with
+  | `Optimal (sa : Lp.solution), `Optimal (sb : Lp.solution) ->
+      Rat.equal sa.Lp.objective sb.Lp.objective
+      || QCheck.Test.fail_reportf "%s: warm obj %s <> cold obj %s" name
+           (Rat.to_string sa.Lp.objective) (Rat.to_string sb.Lp.objective)
+  | `Infeasible, `Infeasible | `Unbounded, `Unbounded -> true
+  | _ ->
+      let show = function
+        | `Optimal _ -> "optimal"
+        | `Infeasible -> "infeasible"
+        | `Unbounded -> "unbounded"
+      in
+      QCheck.Test.fail_reportf "%s: warm %s, cold %s" name (show warm) (show cold)
+
+let test_instance_classification () =
+  let diff =
+    { sp_n = 3; sp_deps = [ (1, 0); (2, 1) ]; sp_w = [| 1; 1 |];
+      sp_lower = [| 0; 0; 0 |]; sp_upper = [| None; None; None |]; sp_cost = [| 1; 1; 1 |] }
+  in
+  check_str "pure difference system" "difference"
+    (I.klass_name (I.classify (I.create (build_problem diff))));
+  let netflow = { diff with sp_cost = [| 1; -2; 1 |]; sp_upper = [| Some 9; Some 9; Some 9 |] } in
+  check_str "negative costs go to netflow" "netflow"
+    (I.klass_name (I.classify (I.create (build_problem netflow))));
+  let p = Lp.create () in
+  let x = Lp.add_int_var p ~upper:1 ~name:"x" in
+  let y = Lp.add_int_var p ~upper:1 ~name:"y" in
+  Lp.add_int_constraint p [ (2, x); (3, y) ] Lp.Le 4;
+  Lp.set_int_objective p [ (-1, x); (-1, y) ];
+  check_str "general row goes to milp" "milp" (I.klass_name (I.classify (I.create p)))
+
+let test_instance_update_guards () =
+  let spec =
+    { sp_n = 2; sp_deps = [ (1, 0) ]; sp_w = [| 1 |]; sp_lower = [| 0; 0 |];
+      sp_upper = [| None; None |]; sp_cost = [| 1; 1 |] }
+  in
+  let inst = I.create (build_problem spec) in
+  check_int "row count" 1 (I.nrows inst);
+  (match I.update_rhs inst 3 Rat.one with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for rhs row out of range");
+  match I.update_bounds inst 7 ~lower:Rat.zero ~upper:None with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument for bounds var out of range"
+
+let test_instance_warm_counters () =
+  (* a monotone-tightening chain stays on the fast path and warm-starts
+     every resolve after the first *)
+  let spec =
+    { sp_n = 3; sp_deps = [ (1, 0); (2, 1) ]; sp_w = [| 1; 1 |]; sp_lower = [| 0; 0; 0 |];
+      sp_upper = [| None; None; None |]; sp_cost = [| 1; 1; 1 |] }
+  in
+  let inst = I.create (build_problem spec) in
+  ignore (I.resolve inst);
+  I.update_rhs inst 0 (rat 2);
+  ignore (I.resolve inst);
+  I.update_bounds inst 1 ~lower:(rat 4) ~upper:None;
+  (match I.resolve inst with
+  | `Optimal sol ->
+      check_int "t1 pushed to 4" 4 (Rat.to_int_exn sol.Lp.values.(1));
+      check_int "t2 follows" 5 (Rat.to_int_exn sol.Lp.values.(2))
+  | _ -> Alcotest.fail "expected optimal");
+  let st = I.stats inst in
+  check_int "three resolves" 3 st.I.is_resolves;
+  check_int "all on the fast path" 3 st.I.is_fastpath;
+  check_int "one cold start" 1 st.I.is_warm_misses;
+  check_int "two warm hits" 2 st.I.is_warm_hits;
+  check_bool "no simplex pivots" true (st.I.is_pivots = 0)
+
+let test_instance_milp_warm_basis () =
+  (* general rows go through the simplex; the second resolve reuses the
+     root basis (dual repair) instead of a fresh Phase 1 *)
+  let p = Lp.create () in
+  let x = Lp.add_int_var p ~upper:1 ~name:"x" in
+  let y = Lp.add_int_var p ~upper:1 ~name:"y" in
+  let z = Lp.add_int_var p ~upper:1 ~name:"z" in
+  Lp.add_int_constraint p [ (3, x); (4, y); (2, z) ] Lp.Le 6;
+  Lp.set_int_objective p [ (-10, x); (-13, y); (-7, z) ];
+  let inst = I.create p in
+  check_str "milp class" "milp" (I.klass_name (I.classify inst));
+  (match I.resolve inst with
+  | `Optimal sol -> check_int "knapsack optimum" (-20) (Rat.to_int_exn sol.Lp.objective)
+  | _ -> Alcotest.fail "expected optimal");
+  I.update_rhs inst 0 (rat 5);
+  (match I.resolve inst with
+  | `Optimal sol -> check_int "tightened optimum" (-17) (Rat.to_int_exn sol.Lp.objective)
+  | _ -> Alcotest.fail "expected optimal");
+  let st = I.stats inst in
+  check_int "no fast path" 0 st.I.is_fastpath;
+  check_bool "second resolve warm" true (st.I.is_warm_hits >= 1);
+  check_bool "b&b nodes counted" true (st.I.is_bnb_nodes >= 2)
+
+let test_simplex_budget_exhausted () =
+  let obj = [| rat 1; rat 1 |] in
+  let rows =
+    [ ([| rat 1; rat 1 |], Simplex.Ge, rat 3); ([| rat 1; rat 0 |], Simplex.Eq, rat 1) ]
+  in
+  match Simplex.solve_ext ~budget:0 ~obj ~rows () with
+  | exception Simplex.Iteration_limit b -> check_int "budget carried" 0 b
+  | _ -> Alcotest.fail "expected Iteration_limit"
+
 (* ---- properties ---- *)
 
 let arb_rat =
@@ -226,8 +374,156 @@ let prop_difference_minimality =
           List.for_all (fun (s, t, w) -> s = t || sol.(t) - sol.(s) >= w) edges
           && Array.for_all (fun v -> v >= 0) sol)
 
+(* random scheduling-shaped spec: a DAG of difference rows (dst > src, so
+   the initial system is always feasible) plus a perturbation chain that
+   only tightens — exactly the shape an incremental DSE sweep produces *)
+let gen_diff_chain =
+  QCheck.Gen.(
+    int_range 3 6 >>= fun n ->
+    list_size (int_range 2 8)
+      (int_range 1 (n - 1) >>= fun dst ->
+       int_range 0 (dst - 1) >>= fun src -> return (dst, src))
+    >>= fun deps ->
+    let ndeps = List.length deps in
+    list_size (return ndeps) (int_range 0 4) >>= fun ws ->
+    list_size (return n) (int_range 0 3) >>= fun lows ->
+    list_size (int_range 1 6)
+      (oneof
+         [
+           (int_range 0 (ndeps - 1) >>= fun r ->
+            int_range 1 3 >>= fun d -> return (`Rhs (r, d)));
+           (int_range 0 (n - 1) >>= fun v ->
+            int_range 1 4 >>= fun d -> return (`Low (v, d)));
+         ])
+    >>= fun perturbs ->
+    return
+      ( {
+          sp_n = n;
+          sp_deps = deps;
+          sp_w = Array.of_list ws;
+          sp_lower = Array.of_list lows;
+          sp_upper = Array.make n None;
+          sp_cost = Array.make n 1;
+        },
+        perturbs ))
+
+let apply_perturb spec = function
+  | `Rhs (r, d) -> spec.sp_w.(r) <- spec.sp_w.(r) + d
+  | `Low (v, d) -> spec.sp_lower.(v) <- spec.sp_lower.(v) + d
+  | `Up (v, u) -> spec.sp_upper.(v) <- u
+
+let run_chain (spec, perturbs) =
+  let inst = I.create (build_problem spec) in
+  let step name =
+    sync_instance inst spec;
+    outcome_matches name (I.resolve inst) (cold_solve spec)
+  in
+  let ok0 = step "initial" in
+  ok0
+  && List.for_all
+       (fun pert ->
+         apply_perturb spec pert;
+         step "after perturbation")
+       perturbs
+
+let prop_instance_warm_equals_cold =
+  QCheck.Test.make ~name:"warm resolve == cold solve on tightening chains" ~count:60
+    (QCheck.make gen_diff_chain) (fun ((spec, _) as chain) ->
+      let inst = I.create (build_problem spec) in
+      I.classify inst = I.Difference && run_chain chain)
+
+(* same shape but with negative costs, finite-or-absent uppers and
+   loosening updates too: resolves must track the cold solver through
+   optimal -> infeasible -> optimal -> unbounded transitions *)
+let gen_transition_chain =
+  QCheck.Gen.(
+    int_range 3 5 >>= fun n ->
+    list_size (int_range 2 6)
+      (int_range 1 (n - 1) >>= fun dst ->
+       int_range 0 (dst - 1) >>= fun src -> return (dst, src))
+    >>= fun deps ->
+    let ndeps = List.length deps in
+    list_size (return ndeps) (int_range 0 3) >>= fun ws ->
+    list_size (return n) (int_range (-2) 2) >>= fun costs ->
+    list_size (int_range 2 7)
+      (oneof
+         [
+           (int_range 0 (ndeps - 1) >>= fun r ->
+            int_range 1 3 >>= fun d -> return (`Rhs (r, d)));
+           (int_range 0 (n - 1) >>= fun v ->
+            int_range 1 4 >>= fun d -> return (`Low (v, d)));
+           (* squeeze an upper bound: often below a lower or a chain,
+              flipping the system infeasible *)
+           (int_range 0 (n - 1) >>= fun v ->
+            int_range 0 2 >>= fun u -> return (`Up (v, Some u)));
+           (* release an upper: with a negative cost this can flip the
+              system unbounded *)
+           (int_range 0 (n - 1) >>= fun v -> return (`Up (v, None)));
+         ])
+    >>= fun perturbs ->
+    return
+      ( {
+          sp_n = n;
+          sp_deps = deps;
+          sp_w = Array.of_list ws;
+          sp_lower = Array.make n 0;
+          sp_upper = Array.make n (Some 8);
+          sp_cost = Array.of_list costs;
+        },
+        perturbs ))
+
+let prop_instance_transitions =
+  QCheck.Test.make
+    ~name:"resolve tracks cold solver through infeasible/unbounded transitions" ~count:60
+    (QCheck.make gen_transition_chain) run_chain
+
+(* general (non-difference) rows: the simplex/B&B path with root-basis
+   reuse and incumbent seeding must also agree with cold solves while the
+   capacity moves in both directions *)
+let gen_milp_chain =
+  QCheck.Gen.(
+    list_size (return 3) (int_range 1 5) >>= fun ws ->
+    list_size (return 3) (int_range 1 10) >>= fun vals ->
+    int_range 1 8 >>= fun cap ->
+    list_size (int_range 1 6) (int_range (-3) 3) >>= fun deltas ->
+    return (ws, vals, cap, deltas))
+
+let prop_instance_milp_warm_equals_cold =
+  QCheck.Test.make ~name:"milp warm resolve == cold solve under rhs perturbation" ~count:40
+    (QCheck.make gen_milp_chain) (fun (ws, vals, cap, deltas) ->
+      let build c =
+        let p = Lp.create () in
+        let xs =
+          List.mapi (fun i _ -> Lp.add_int_var p ~upper:1 ~name:(Printf.sprintf "x%d" i)) ws
+        in
+        Lp.add_int_constraint p (List.map2 (fun w x -> (w, x)) ws xs) Lp.Le c;
+        Lp.set_int_objective p (List.map2 (fun v x -> (-v, x)) vals xs);
+        p
+      in
+      let inst = I.create (build cap) in
+      let step c name =
+        I.update_rhs inst 0 (rat c);
+        outcome_matches name (I.resolve inst) (Lp.solve (build c))
+      in
+      let ok0 = step cap "initial" in
+      let c = ref cap in
+      ok0
+      && List.for_all
+           (fun d ->
+             c := !c + d;
+             step !c "after capacity move")
+           deltas)
+
 let qcheck_cases =
-  List.map QCheck_alcotest.to_alcotest [ prop_rat_field; prop_rat_floor_le; prop_difference_minimality ]
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_rat_field;
+      prop_rat_floor_le;
+      prop_difference_minimality;
+      prop_instance_warm_equals_cold;
+      prop_instance_transitions;
+      prop_instance_milp_warm_equals_cold;
+    ]
 
 let () =
   Alcotest.run "lp"
@@ -244,6 +540,7 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
           Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
           Alcotest.test_case "degenerate termination" `Quick test_simplex_degenerate;
+          Alcotest.test_case "iteration budget" `Quick test_simplex_budget_exhausted;
         ] );
       ( "milp",
         [
@@ -258,6 +555,13 @@ let () =
           Alcotest.test_case "matches ILP result" `Quick test_difference_matches_ilp;
           Alcotest.test_case "upper bound infeasible" `Quick test_difference_infeasible_upper;
           Alcotest.test_case "positive cycle" `Quick test_difference_positive_cycle;
+        ] );
+      ( "instance",
+        [
+          Alcotest.test_case "classification" `Quick test_instance_classification;
+          Alcotest.test_case "update guards" `Quick test_instance_update_guards;
+          Alcotest.test_case "warm counters" `Quick test_instance_warm_counters;
+          Alcotest.test_case "milp warm basis" `Quick test_instance_milp_warm_basis;
         ] );
       ("properties", qcheck_cases);
     ]

@@ -79,7 +79,9 @@ let test_concurrent_session_single_flight () =
   let compiled =
     Par.run ~jobs
       (List.init jobs (fun _ () ->
-           Longnail.Flow.compile ~session core tu))
+           Longnail.Flow.compile
+             ~request:(Longnail.Flow.Request.make ~session ())
+             core tu))
   in
   Alcotest.(check int) "all workers returned" jobs (List.length compiled);
   (match compiled with
@@ -109,7 +111,8 @@ let test_concurrent_distinct_keys () =
   let session = Longnail.Flow.create_session () in
   let cores = Scaiev.Core_registry.datasheets () in
   let compiled =
-    Par.run ~jobs (List.map (fun core () -> Longnail.Flow.compile ~session core tu) cores)
+    let request = Longnail.Flow.Request.make ~session () in
+    Par.run ~jobs (List.map (fun core () -> Longnail.Flow.compile ~request core tu) cores)
   in
   List.iter2
     (fun (core : Scaiev.Datasheet.t) (c : Longnail.Flow.compiled) ->
@@ -226,27 +229,30 @@ let test_request_conflicts () =
   let tu = Isax.Registry.compile_by_name "dotprod" in
   let core = Scaiev.Datasheet.vexriscv in
   let knobs = Longnail.Flow.default_knobs in
-  let request = Longnail.Flow.Request.make () in
-  check_e0902 "knobs + individual knob arg" (fun () ->
-      Longnail.Flow.compile ~knobs ~scheduler:Longnail.Sched_build.Asap core tu);
+  check_e0902 "knobs + scheduler" (fun () ->
+      Longnail.Flow.Request.make ~knobs ~scheduler:Longnail.Sched_build.Asap ());
+  check_e0902 "knobs + delay" (fun () ->
+      Longnail.Flow.Request.make ~knobs ~delay:Longnail.Delay_model.Physical ());
   check_e0902 "knobs + cycle_time" (fun () ->
-      Longnail.Flow.compile_functionality core tu ~knobs ~cycle_time:3.5
-        (`Instr (List.hd tu.Coredsl.Tast.tinstrs)));
-  check_e0902 "request + knobs" (fun () -> Longnail.Flow.compile ~request ~knobs core tu);
-  check_e0902 "request + session" (fun () ->
-      Longnail.Flow.compile ~request ~session:(Longnail.Flow.create_session ()) core tu);
-  check_e0902 "request + knobs (compile_many)" (fun () ->
-      Longnail.Flow.compile_many ~request ~knobs [ (core, tu) ]);
+      Longnail.Flow.Request.make ~knobs ~cycle_time:3.5 ());
+  check_e0902 "knobs + hazard_handling" (fun () ->
+      Longnail.Flow.Request.make ~knobs ~hazard_handling:false ());
   check_e0902 "jobs < 1" (fun () -> Longnail.Flow.Request.make ~jobs:0 ());
-  check_e0902 "explore request + obs" (fun () ->
-      Longnail.Dse.explore ~request ~obs:(Obs.create ())
+  check_e0902 "sweep + request session" (fun () ->
+      Longnail.Dse.explore
+        ~sweep:(Longnail.Dse.sweep_session ())
+        ~request:(Longnail.Flow.Request.make ~session:(Longnail.Flow.create_session ()) ())
         ~measure:(fun _ -> (0.0, 0.0))
         core tu);
-  (* legal combinations stay legal: knobs + session + obs, and a plain
-     request carrying all three *)
+  (* legal combinations stay legal: individual knob shorthands compose
+     with session/obs/jobs, and a full knobs record alone is fine *)
   let session = Longnail.Flow.create_session () in
   let obs = Obs.create () in
-  ignore (Longnail.Flow.compile ~knobs ~session ~obs core tu);
+  ignore
+    (Longnail.Flow.compile
+       ~request:
+         (Longnail.Flow.Request.make ~scheduler:Longnail.Sched_build.Ilp ~session ~obs ())
+       core tu);
   ignore
     (Longnail.Flow.compile
        ~request:(Longnail.Flow.Request.make ~knobs ~session ~obs ~jobs:2 ())

@@ -305,7 +305,11 @@ let test_profile_stage_coverage () =
     (fun isax ->
       let tu = Isax.Registry.compile_by_name isax in
       let obs = Obs.create ~name:"compile" () in
-      let c = Longnail.Flow.compile ~obs Scaiev.Datasheet.vexriscv tu in
+      let c =
+        Longnail.Flow.compile
+          ~request:(Longnail.Flow.Request.make ~obs ())
+          Scaiev.Datasheet.vexriscv tu
+      in
       Obs.finish obs;
       Obs.validate (Obs.root obs);
       let func_spans =
@@ -336,7 +340,10 @@ let test_profile_optimize_monotonic () =
     (fun isax ->
       let tu = Isax.Registry.compile_by_name isax in
       let obs = Obs.create ~name:"compile" () in
-      ignore (Longnail.Flow.compile ~obs Scaiev.Datasheet.vexriscv tu);
+      ignore
+        (Longnail.Flow.compile
+           ~request:(Longnail.Flow.Request.make ~obs ())
+           Scaiev.Datasheet.vexriscv tu);
       let pass_spans =
         List.filter
           (fun sp -> Obs.generic_name sp.Obs.sp_name = "pass:*")
@@ -413,7 +420,10 @@ InstructionSet T extends RV32I {
   let tu = Coredsl.compile ~file:"longjmp.core_desc" ~target:"T" src in
   try
     ignore
-      (Longnail.Flow.compile ~cycle_time:0.9 ~delay:Longnail.Delay_model.Physical
+      (Longnail.Flow.compile
+         ~request:
+           (Longnail.Flow.Request.make ~cycle_time:0.9
+              ~delay:Longnail.Delay_model.Physical ())
          Scaiev.Datasheet.orca tu);
     Alcotest.fail "expected infeasible schedule"
   with Diag.Fatal (d :: _) ->

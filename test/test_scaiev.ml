@@ -30,7 +30,7 @@ let test_lil_mapping () =
 (* ---- datasheets ---- *)
 
 let test_datasheets () =
-  check_int "four paper cores" 4 (List.length Scaiev.Datasheet.all_cores);
+  check_int "four paper cores" 4 (List.length (Scaiev.Core_registry.paper_datasheets ()));
   let vex = Scaiev.Datasheet.vexriscv in
   check_int "vex stages" 5 vex.pipeline_stages;
   check_bool "pico is fsm" true Scaiev.Datasheet.picorv32.is_fsm;
@@ -261,7 +261,11 @@ let test_generator_decoupled_scoreboard () =
   let tu = Isax.Registry.compile_by_name "sqrt_decoupled" in
   let c = Longnail.Flow.compile Scaiev.Datasheet.vexriscv tu in
   check_bool "scoreboard present" true (c.Longnail.Flow.adapter.Scaiev.Generator.scoreboard_bits > 0);
-  let c2 = Longnail.Flow.compile ~hazard_handling:false Scaiev.Datasheet.vexriscv tu in
+  let c2 =
+    Longnail.Flow.compile
+      ~request:(Longnail.Flow.Request.make ~hazard_handling:false ())
+      Scaiev.Datasheet.vexriscv tu
+  in
   check_int "no scoreboard without hazard handling" 0
     c2.Longnail.Flow.adapter.Scaiev.Generator.scoreboard_bits
 
