@@ -580,6 +580,97 @@ let lint_json () =
           entries))
     total total_ms
 
+(* Analysis-driven width narrowing: per-ISAX rewrite statistics plus the
+   pipeline-register delta the narrowed datapath buys when scheduled on
+   vexriscv. The statistics run the same translation-validated passes
+   the --narrow=on knob enables inside the flow; the register delta
+   compares full compiles with the knob off and on. `--assert-narrow`
+   pins the contract: narrowing removes bits in >= 3 bundled ISAXes and
+   every graph that was rewritten was translation-validated. *)
+let narrow_json ~assert_narrow () =
+  let entries =
+    List.map
+      (fun (e : Isax.Registry.entry) ->
+        let tu = Isax.Registry.compile e in
+        let t0 = Unix.gettimeofday () in
+        let stats = ref Analysis.Narrow.zero_stats in
+        let add (st : Analysis.Narrow.stats) =
+          let s = !stats in
+          stats :=
+            {
+              Analysis.Narrow.ns_ops_rewritten = s.ns_ops_rewritten + st.ns_ops_rewritten;
+              ns_bits_removed = s.ns_bits_removed + st.ns_bits_removed;
+              ns_compares_folded = s.ns_compares_folded + st.ns_compares_folded;
+              ns_selects_removed = s.ns_selects_removed + st.ns_selects_removed;
+              ns_tv_validations = s.ns_tv_validations + st.ns_tv_validations;
+              ns_tv_vectors = s.ns_tv_vectors + st.ns_tv_vectors;
+              ns_tv_exhaustive = s.ns_tv_exhaustive + st.ns_tv_exhaustive;
+            }
+        in
+        let narrow_of hlir fields =
+          let lil =
+            Ir.Passes.optimize (Ir.Lil.of_hlir tu.Coredsl.Tast.elab ~fields hlir)
+          in
+          let _, st = Analysis.Narrow.narrow_graph lil in
+          add st
+        in
+        List.iter
+          (fun ti ->
+            if Longnail.Flow.is_isax_instruction ti then
+              narrow_of (Ir.Hlir.lower_instruction tu ti) ti.Coredsl.Tast.fields)
+          tu.Coredsl.Tast.tinstrs;
+        List.iter (fun ta -> narrow_of (Ir.Hlir.lower_always tu ta) []) tu.Coredsl.Tast.talways;
+        let pipe_bits narrow =
+          let request =
+            Longnail.Flow.Request.make ~session
+              ~knobs:(Longnail.Flow.knobs ~narrow ())
+              ()
+          in
+          let c = Longnail.Flow.compile ~request Scaiev.Datasheet.vexriscv tu in
+          List.fold_left
+            (fun acc (f : Longnail.Flow.compiled_functionality) ->
+              acc + f.cf_hw.Longnail.Hwgen.pipe_reg_bits)
+            0 c.Longnail.Flow.funcs
+        in
+        let bits_off = pipe_bits false and bits_on = pipe_bits true in
+        let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+        (e.name, !stats, bits_off, bits_on, ms))
+      Isax.Registry.all
+  in
+  if assert_narrow then begin
+    let fired =
+      List.length
+        (List.filter
+           (fun (_, (st : Analysis.Narrow.stats), _, _, _) -> st.ns_bits_removed > 0)
+           entries)
+    in
+    if fired < 3 then
+      Diag.fatalf ~code:"E0901"
+        "internal: --assert-narrow: narrowing removed bits in only %d bundled ISAXes; the \
+         contract is >= 3"
+        fired;
+    List.iter
+      (fun (name, (st : Analysis.Narrow.stats), _, _, _) ->
+        if st.ns_ops_rewritten > 0 && st.ns_tv_validations = 0 then
+          Diag.fatalf ~code:"E0901"
+            "internal: --assert-narrow: %s was rewritten without translation validation" name)
+      entries
+  end;
+  let total f = List.fold_left (fun acc (_, st, _, _, _) -> acc + f st) 0 entries in
+  Printf.sprintf
+    "\"narrow\":{\"units\":[%s],\"ops_rewritten\":%d,\"bits_removed\":%d,\"tv_validations\":%d}"
+    (String.concat ","
+       (List.map
+          (fun (name, (st : Analysis.Narrow.stats), bits_off, bits_on, ms) ->
+            Printf.sprintf
+              "{\"isax\":\"%s\",\"ops_rewritten\":%d,\"bits_removed\":%d,\"compares_folded\":%d,\"selects_removed\":%d,\"tv_validations\":%d,\"tv_vectors\":%d,\"pipe_reg_bits_off\":%d,\"pipe_reg_bits_on\":%d,\"ms\":%.3f}"
+              name st.ns_ops_rewritten st.ns_bits_removed st.ns_compares_folded
+              st.ns_selects_removed st.ns_tv_validations st.ns_tv_vectors bits_off bits_on ms)
+          entries))
+    (total (fun st -> st.Analysis.Narrow.ns_ops_rewritten))
+    (total (fun st -> st.Analysis.Narrow.ns_bits_removed))
+    (total (fun st -> st.Analysis.Narrow.ns_tv_validations))
+
 (* Simulation-engine comparison: run the same generated module for many
    driven cycles on the reference interpreter and on the compiled engine,
    report cycles/sec for each, and check the full VCD traces of a shared
@@ -646,7 +737,7 @@ let rtl_sim_json ~assert_sim_equal () =
     trace_cycles interp_cps compiled_cps speedup equal
 
 let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal = false)
-    ?(assert_dse_warm = false) ~json_path ~schema_path () =
+    ?(assert_dse_warm = false) ?(assert_narrow = false) ~json_path ~schema_path () =
   let results =
     List.concat_map
       (fun (core : Scaiev.Datasheet.t) ->
@@ -683,6 +774,8 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal 
   let serving_json = serve_json () in
   Printf.eprintf "linting bundled ISAXes...\n%!";
   let linting_json = lint_json () in
+  Printf.eprintf "measuring width narrowing...\n%!";
+  let narrowing_json = narrow_json ~assert_narrow () in
   Printf.eprintf "comparing RTL simulation engines...\n%!";
   let sim_json = rtl_sim_json ~assert_sim_equal () in
   let b = Buffer.create (64 * 1024) in
@@ -693,6 +786,7 @@ let perf_json ~jobs ?(verify_each = false) ~assert_par_equal ?(assert_sim_equal 
   Buffer.add_string b (disk_json ^ ",");
   Buffer.add_string b (serving_json ^ ",");
   Buffer.add_string b (linting_json ^ ",");
+  Buffer.add_string b (narrowing_json ^ ",");
   Buffer.add_string b (sim_json ^ ",");
   Buffer.add_string b "\"targets\":[";
   List.iteri
@@ -942,6 +1036,7 @@ let usage_error fmt =
       Printf.eprintf
         "bench: %s\navailable targets: %s\nflags: --json FILE --schema FILE (with the 'perf' target), --repeat N,\n\
         \       --assert-cache-hits, --assert-par-equal, --assert-sim-equal, --assert-dse-warm,\n\
+        \       --assert-narrow,\n\
         \       plus the shared knob flags (--jobs N, --scheduler KIND, ...)\n"
         m
         (String.concat " " (List.map fst all_targets));
@@ -964,35 +1059,48 @@ let main () =
     | Ok r -> r
     | Error m -> usage_error "%s" m
   in
-  let rec parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse)
+  let rec parse
+      (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse, assert_nw)
       = function
-    | [] -> (List.rev targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse)
+    | [] ->
+        ( List.rev targets, json, schema, repeat, assert_hits, assert_par, assert_sim,
+          assert_dse, assert_nw )
     | "--json" :: path :: rest ->
-        parse (targets, Some path, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
+        parse
+          (targets, Some path, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse, assert_nw)
+          rest
     | "--schema" :: path :: rest ->
-        parse (targets, json, Some path, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
+        parse
+          (targets, json, Some path, repeat, assert_hits, assert_par, assert_sim, assert_dse, assert_nw)
+          rest
     | "--repeat" :: n :: rest -> (
         match int_of_string_opt n with
         | Some k when k >= 1 ->
-            parse (targets, json, schema, k, assert_hits, assert_par, assert_sim, assert_dse) rest
+            parse
+              (targets, json, schema, k, assert_hits, assert_par, assert_sim, assert_dse, assert_nw)
+              rest
         | _ -> usage_error "--repeat expects an integer >= 1, got '%s'" n)
     | "--assert-cache-hits" :: rest ->
-        parse (targets, json, schema, repeat, true, assert_par, assert_sim, assert_dse) rest
+        parse (targets, json, schema, repeat, true, assert_par, assert_sim, assert_dse, assert_nw) rest
     | "--assert-par-equal" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, true, assert_sim, assert_dse) rest
+        parse (targets, json, schema, repeat, assert_hits, true, assert_sim, assert_dse, assert_nw) rest
     | "--assert-sim-equal" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, assert_par, true, assert_dse) rest
+        parse (targets, json, schema, repeat, assert_hits, assert_par, true, assert_dse, assert_nw) rest
     | "--assert-dse-warm" :: rest ->
-        parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, true) rest
+        parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, true, assert_nw) rest
+    | "--assert-narrow" :: rest ->
+        parse (targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse, true) rest
     | ("--json" | "--schema" | "--repeat") :: [] -> usage_error "missing flag argument"
     | a :: _ when String.length a >= 2 && String.sub a 0 2 = "--" ->
         usage_error "unknown flag '%s'" a
     | a :: rest ->
-        parse (a :: targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse) rest
+        parse
+          (a :: targets, json, schema, repeat, assert_hits, assert_par, assert_sim, assert_dse, assert_nw)
+          rest
   in
   let names, json, schema, repeat, assert_hits, assert_par_equal, assert_sim_equal,
-      assert_dse_warm =
-    parse ([], None, None, 1, false, false, false, false) rest
+      assert_dse_warm, assert_narrow =
+    parse ([], None, None, 1, false, false, false, false, false) rest
   in
   List.iter
     (fun n -> if not (List.mem_assoc n all_targets) then usage_error "unknown target '%s'" n)
@@ -1014,7 +1122,8 @@ let main () =
           | "perf", Some json_path ->
               perf_json ~jobs:kf.Longnail.Knob_flags.jobs
                 ~verify_each:kf.Longnail.Knob_flags.verify_each ~assert_par_equal
-                ~assert_sim_equal ~assert_dse_warm ~json_path ~schema_path:schema ()
+                ~assert_sim_equal ~assert_dse_warm ~assert_narrow ~json_path
+                ~schema_path:schema ()
           | _ -> (List.assoc n all_targets) ())
         names);
   if assert_hits then begin

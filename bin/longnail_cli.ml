@@ -579,15 +579,40 @@ let diag_cmd =
       & info [ "list-codes" ]
           ~doc:"Print every registered error code with its description (CI diffs this              against docs/ERROR_CODES.txt).")
   in
-  let run list =
-    if list then begin
-      List.iter (fun (code, descr) -> Printf.printf "%s %s\n" code descr) Diag.all_codes;
-      `Ok ()
-    end
-    else `Error (true, "nothing to do (try --list-codes)")
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:
+            "Print the registry description and notes for one diagnostic code (e.g. \
+             E0530). Unknown codes exit 2 with did-you-mean suggestions.")
+  in
+  let run list explain =
+    match explain with
+    | Some code -> (
+        match Diag.describe code with
+        | Some descr ->
+            Printf.printf "%s: %s\n" code descr;
+            List.iter (Printf.printf "  note: %s\n") (Diag.explain_notes code);
+            `Ok ()
+        | None ->
+            let names = List.map fst Diag.all_codes in
+            let hint =
+              match Rtl.Choice.suggest ~names code with
+              | [] -> ""
+              | cs -> Printf.sprintf "; did you mean %s?" (String.concat " or " cs)
+            in
+            `Error (false, Printf.sprintf "unknown diagnostic code '%s'%s" code hint))
+    | None ->
+        if list then begin
+          List.iter (fun (code, descr) -> Printf.printf "%s %s\n" code descr) Diag.all_codes;
+          `Ok ()
+        end
+        else `Error (true, "nothing to do (try --list-codes or --explain CODE)")
   in
   let doc = "Inspect the diagnostics engine (error-code registry)." in
-  Cmd.v (Cmd.info "diag" ~doc) Term.(ret (const run $ list_codes))
+  Cmd.v (Cmd.info "diag" ~doc) Term.(ret (const run $ list_codes $ explain))
 
 (* ---- serve: the long-running compile daemon ---- *)
 

@@ -17,11 +17,16 @@ type 'f spec = {
   df_transfer : op -> fact:(value -> 'f) -> (value * 'f) list;
   df_join : 'f -> 'f -> 'f;
   df_equal : 'f -> 'f -> bool;
+  df_widen : (value -> 'f -> 'f -> 'f) option;
 }
 
 type 'f result = { fact_of : value -> 'f; iterations : int }
 
 exception Diverged of string
+
+(* after this many changes to one value's fact, jump to the widened
+   element instead of climbing the lattice one rung at a time *)
+let widen_threshold = 3
 
 let run (spec : 'f spec) (g : graph) : 'f result =
   let ops = Array.of_list (all_ops g) in
@@ -53,9 +58,13 @@ let run (spec : 'f spec) (g : graph) : 'f result =
   (match spec.df_direction with
   | Forward -> for i = 0 to n - 1 do enqueue i done
   | Backward -> for i = n - 1 downto 0 do enqueue i done);
-  (* any monotone analysis on these lattices converges well within
-     O(ops * values); beyond that the transfer function is broken *)
+  (* with widening each value's fact changes O(widen_threshold + lattice
+     height after widening) times, so the fixpoint is linear in uses; the
+     quadratic budget below is a pure safety net for broken (non-monotone
+     or unwidened ever-growing) transfer functions, not a convergence
+     mechanism *)
   let budget = 64 * (n + 1) * (n + 1) in
+  let changes : (int, int) Hashtbl.t = Hashtbl.create (2 * n) in
   let iterations = ref 0 in
   while not (Queue.is_empty q) do
     let i = Queue.take q in
@@ -70,8 +79,17 @@ let run (spec : 'f spec) (g : graph) : 'f result =
       (fun ((v : value), f) ->
         let old = fact v in
         let joined = spec.df_join old f in
+        let joined =
+          match spec.df_widen with
+          | Some widen when not (spec.df_equal old joined) ->
+              let c = Option.value ~default:0 (Hashtbl.find_opt changes v.vid) in
+              if c >= widen_threshold then widen v old joined else joined
+          | _ -> joined
+        in
         if not (spec.df_equal old joined) then begin
           Hashtbl.replace facts v.vid joined;
+          Hashtbl.replace changes v.vid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt changes v.vid));
           match spec.df_direction with
           | Forward ->
               List.iter enqueue (Option.value ~default:[] (Hashtbl.find_opt use_idx v.vid))
@@ -332,6 +350,21 @@ let ranges_compute (op : op) ~(fact : value -> range option) (r : value) : range
          all we know is the type range *)
       top
 
+(* widening with thresholds at the type bounds: any bound still moving
+   after [widen_threshold] updates jumps straight to the representable
+   extreme, so interval growth can never be milked one step at a time *)
+let widen_range (v : value) old joined =
+  match (old, joined) with
+  | None, j -> j
+  | Some o, Some j ->
+      let full = range_of_ty v.vty in
+      Some
+        {
+          lo = (if Bn.compare j.lo o.lo < 0 then full.lo else j.lo);
+          hi = (if Bn.compare j.hi o.hi > 0 then full.hi else j.hi);
+        }
+  | Some _, None -> old
+
 let ranges : range option spec =
   {
     df_name = "ranges";
@@ -342,6 +375,7 @@ let ranges : range option spec =
         List.map (fun (r : value) -> (r, ranges_compute op ~fact r)) op.results);
     df_join = rjoin;
     df_equal = requal;
+    df_widen = Some widen_range;
   }
 
 (* ---- liveness ---- *)
@@ -359,6 +393,7 @@ let liveness : bool spec =
         if live then List.map (fun v -> (v, true)) op.operands else []);
     df_join = ( || );
     df_equal = Bool.equal;
+    df_widen = None;
   }
 
 (* ---- reaching writes ---- *)

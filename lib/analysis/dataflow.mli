@@ -4,9 +4,14 @@
     {!spec}: the lattice (join/equal, with [init] as the per-value starting
     element) plus a transfer function mapping one op's surrounding facts to
     updated facts. Forward analyses re-enqueue the users of a changed
-    value; backward analyses re-enqueue its definer. The engine raises on
-    divergence (a transfer-count budget quadratic in the graph size), and
-    reports the number of transfer applications so tests can assert
+    value; backward analyses re-enqueue its definer. Analyses on lattices
+    of unbounded height supply a widening operator ([df_widen]): once a
+    value's fact has changed {!widen_threshold} times, further growth
+    jumps to the widened element (for intervals: the type bounds), making
+    fixpoints linear in the number of uses. A transfer-count budget
+    quadratic in the graph size remains as a pure safety net for broken
+    (non-monotone, unwidened) transfer functions; the engine reports the
+    number of transfer applications so tests can assert the real
     convergence bounds.
 
     Instances used by the linter (docs/ANALYSIS.md):
@@ -27,6 +32,11 @@ type 'f spec = {
       (** new facts implied by one op under the current assignment *)
   df_join : 'f -> 'f -> 'f;
   df_equal : 'f -> 'f -> bool;
+  df_widen : (Ir.Mir.value -> 'f -> 'f -> 'f) option;
+      (** [widen v old joined] replaces [joined] once [v]'s fact has
+          changed {!widen_threshold} times; must be an upper bound of
+          [joined] on a sub-lattice of finite height. [None] for lattices
+          that are already finite-height (e.g. liveness). *)
 }
 
 type 'f result = {
@@ -35,8 +45,11 @@ type 'f result = {
 }
 
 exception Diverged of string
-(** Raised when the worklist exceeds its budget — a non-monotone or
-    ever-growing lattice. *)
+(** Raised when the worklist exceeds its safety-net budget — a
+    non-monotone or ever-growing (and unwidened) lattice. *)
+
+val widen_threshold : int
+(** Number of fact changes per value before [df_widen] kicks in. *)
 
 val run : 'f spec -> Ir.Mir.graph -> 'f result
 
@@ -51,8 +64,37 @@ val range_of_ty : Bitvec.ty -> range
 val range_exact : range -> Bitvec.Bn.t option
 (** [Some v] when the interval pins a single value. *)
 
+val exact : Bitvec.Bn.t -> range option
+(** The singleton interval. *)
+
+val clamp : Bitvec.ty -> range -> range
+(** Intersect with the type's representable range (full range when the
+    intersection would be empty). *)
+
+val rjoin : range option -> range option -> range option
+(** Interval join ([None] = bottom is the identity). *)
+
+val requal : range option -> range option -> bool
+
+val widen_range : Ir.Mir.value -> range option -> range option -> range option
+(** Interval widening with thresholds at the value's type bounds: a bound
+    that is still moving jumps to the representable extreme. *)
+
+val decide_cmp :
+  [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ] -> range -> range -> bool option
+(** Decide a comparison from two intervals; [None] when undecidable. *)
+
+val icmp_pred : string -> [ `Eq | `Ne | `Lt | `Le | `Gt | `Ge ] option
+(** The [hwarith.icmp] predicate attribute, parsed. *)
+
+val ranges_compute :
+  Ir.Mir.op -> fact:(Ir.Mir.value -> range option) -> Ir.Mir.value -> range option
+(** The interval transfer function for one result of one op — exposed so
+    {!Absint} can reuse it as the interval half of its reduced product. *)
+
 val ranges : range option spec
-(** Forward interval analysis; [None] is bottom (no executions seen). *)
+(** Forward interval analysis; [None] is bottom (no executions seen).
+    Widens at the type bounds. *)
 
 (** {2 Liveness} *)
 

@@ -19,6 +19,9 @@ let lint_codes =
     ("W1005", "shift amount provably >= operand width");
     ("W1006", "local read before any assignment");
     ("W1007", "instruction writes no architectural state");
+    ("W1008", "architectural write provably truncates its value");
+    ("W1009", "comparison is provably constant (bit-level analysis)");
+    ("W1010", "result bits can never toggle");
   ]
 
 let span_of loc = Coredsl.Ast.span_of_loc loc
@@ -211,6 +214,10 @@ let mir_lints ~what ~is_instruction (g : M.graph) =
   let live = Dataflow.run Dataflow.liveness g in
   let rng = lazy (Dataflow.run Dataflow.ranges g) in
   let range_of v = (Lazy.force rng).Dataflow.fact_of v in
+  (* The bit-level product analysis, for the W1008-W1010 lints: shared by
+     the whole graph walk and only forced when a candidate op exists. *)
+  let ai = lazy (Absint.analyze g) in
+  let afact v = Absint.fact_of (Lazy.force ai) v in
   let seen = Hashtbl.create 16 in
   let out = ref [] in
   let push d = dedup_push seen out d in
@@ -237,6 +244,33 @@ let mir_lints ~what ~is_instruction (g : M.graph) =
         in
         push (Diag.make ~severity:Diag.Warning ?span:op.oloc ~code:"W1001" msg)
       end;
+      (* W1008: an architectural write whose value rides through a
+         narrowing cast the analysis proves always loses the value — the
+         source interval lies entirely outside the destination's range. *)
+      if Ir.Passes.has_side_effect op then
+        List.iter
+          (fun (v : M.value) ->
+            match Hashtbl.find_opt defs v.M.vid with
+            | Some (d : M.op) when d.opname = "hwarith.cast" -> (
+                match d.M.operands with
+                | [ src ] when src.M.vty.Bitvec.width > v.M.vty.Bitvec.width -> (
+                    match afact src with
+                    | Some f ->
+                        let dst = Dataflow.range_of_ty v.M.vty in
+                        let r = f.Absint.f_range in
+                        if
+                          Bitvec.Bn.compare r.Dataflow.lo dst.Dataflow.hi > 0
+                          || Bitvec.Bn.compare r.Dataflow.hi dst.Dataflow.lo < 0
+                        then
+                          push
+                            (warn ?span:op.oloc "W1008"
+                               "%s: written value is provably truncated (a %d-bit \
+                                value never representable in %d bits)"
+                               what src.M.vty.Bitvec.width v.M.vty.Bitvec.width)
+                    | None -> ())
+                | _ -> ())
+            | _ -> ())
+          op.operands;
       (* W1004: comparison / branch condition provably constant. *)
       (match op.opname with
       | "hwarith.icmp" -> (
@@ -248,7 +282,16 @@ let mir_lints ~what ~is_instruction (g : M.graph) =
                   push
                     (warn ?span:op.oloc "W1004"
                        "%s: comparison is always %s" what truth)
-              | None -> ())
+              | None -> (
+                  (* W1009: the intervals alone could not decide, but the
+                     bit-level product can. *)
+                  match Option.bind (afact r) Absint.decide_bool with
+                  | Some b ->
+                      push
+                        (warn ?span:op.oloc "W1009"
+                           "%s: comparison is always %s (bit-level analysis)" what
+                           (if b then "true" else "false"))
+                  | None -> ()))
           | _ -> ())
       | "hwarith.mux" -> (
           match op.operands with
@@ -284,6 +327,31 @@ let mir_lints ~what ~is_instruction (g : M.graph) =
                        "%s: shift amount is always >= the operand width (%d)"
                        what x.M.vty.Bitvec.width)
               | _ -> ())
+          | _ -> ())
+      | "hwarith.add" | "hwarith.sub" | "hwarith.mul" | "comb.add" | "comb.sub"
+      | "comb.mul" -> (
+          (* W1010: arithmetic result bits the analysis proves stuck beyond
+             what the value's interval already explains (restricted to
+             arithmetic so structural shift/concat zeros stay silent). *)
+          match op.results with
+          | [ r ]
+            when match Hashtbl.find_opt uses r.M.vid with
+                 | Some (_ :: _) -> true
+                 | _ -> false -> (
+              match afact r with
+              | Some f ->
+                  let w = r.M.vty.Bitvec.width in
+                  let known = Absint.known_count ~width:w f.Absint.f_bits in
+                  let explained =
+                    Absint.known_count ~width:w
+                      (Absint.bits_from_range r.M.vty f.Absint.f_range)
+                  in
+                  if known < w && known > explained then
+                    push
+                      (warn ?span:op.oloc "W1010"
+                         "%s: %d of %d result bits can never toggle" what
+                         (known - explained) w)
+              | None -> ())
           | _ -> ())
       | _ -> ()))
     ops;

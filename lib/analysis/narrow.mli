@@ -1,0 +1,56 @@
+(** Analysis-driven width narrowing of LIL graphs (docs/NARROWING.md).
+
+    Consumes {!Absint} proofs to shrink the datapath — the paper's
+    bit-precise-types advantage, applied by the optimizer instead of the
+    programmer:
+
+    - {!narrow_widths}: an op whose top [k] result bits are proven
+      constant is re-emitted at width [w-k] on the low bits of its
+      operands, and the constant high bits are re-attached with a free
+      [comb.concat] (a fully pinned result becomes an [hw.constant]);
+      only the modular ops (add/sub/mul/and/or/xor/mux) are eligible;
+    - {!simplify_compares}: [comb.icmp_*] ops the domain decides fold to
+      1-bit constants;
+    - {!eliminate_dead_selects}: a [comb.mux] with a decided condition
+      (or identical arms) forwards the surviving arm.
+
+    {!narrow_graph} runs the three passes, re-running the analysis
+    between them, then the ordinary fold/cse/dce pipeline to erase the
+    stranded high-bit logic. Every pass that changed the graph — and the
+    end-to-end composition — is checked by {!Tv}; a counterexample
+    raises {!Diag.Fatal} [E0530] and no invalid graph can escape. *)
+
+type stats = {
+  ns_ops_rewritten : int;  (** ops re-emitted at a narrower width *)
+  ns_bits_removed : int;  (** total result bits proven constant and stripped *)
+  ns_compares_folded : int;
+  ns_selects_removed : int;
+  ns_tv_validations : int;  (** translation-validator runs that passed *)
+  ns_tv_vectors : int;  (** total input vectors driven across them *)
+  ns_tv_exhaustive : int;  (** how many runs enumerated the whole space *)
+}
+
+val zero_stats : stats
+
+val narrowable : string -> bool
+(** Is this opname eligible for width narrowing? *)
+
+val narrow_widths : Absint.result -> Ir.Mir.graph -> Ir.Mir.graph * int * int
+(** [(graph', ops_rewritten, bits_removed)] — pure rewrite, no TV. *)
+
+val simplify_compares : Absint.result -> Ir.Mir.graph -> Ir.Mir.graph * int
+(** [(graph', compares_folded)] — pure rewrite, no TV. *)
+
+val eliminate_dead_selects : Absint.result -> Ir.Mir.graph -> Ir.Mir.graph * int
+(** [(graph', selects_removed)] — pure rewrite, no TV. *)
+
+val narrow_graph :
+  ?obs:Obs.scope ->
+  ?verify_each:(pass_name:string -> Ir.Mir.graph -> unit) ->
+  Ir.Mir.graph ->
+  Ir.Mir.graph * stats
+(** The full TV-guarded narrowing stage. With [obs], each pass records a
+    ["pass:NAME"] span via {!Ir.Passes.run_pass}. With [verify_each],
+    the sanitizer callback runs after every graph-changing pass. Raises
+    {!Diag.Fatal} (E0530) if translation validation finds a
+    counterexample. *)

@@ -1,0 +1,210 @@
+(* Translation validation for optimization passes (see the .mli).
+
+   Equivalence is checked by co-simulating the two graphs through
+   {!Ir.Comb_eval}, the single concrete semantics of the [comb] dialect:
+
+   - the free inputs are the results of non-comb ops (interface reads,
+     instruction fields, ...). Passes never touch those ops, so the two
+     graphs share them by SSA id and a single assignment drives both;
+   - the observables are the side-effecting ops (architectural writes and
+     stores), in op order: their opname, attributes, and the concrete
+     patterns of their operands must coincide on every driven vector.
+
+   When the total free-input width fits the exhaustive budget the whole
+   input space is enumerated — a proof, not a test. Beyond it we drive
+   corner vectors (all-zeros, all-ones, each input saturated alone) plus
+   a fixed-seed pseudo-random sample, so validation is deterministic
+   across runs. Any counterexample raises a structured E0530 naming the
+   pass and the offending assignment. *)
+
+open Ir.Mir
+module Bn = Bitvec.Bn
+
+type verdict = { tv_pass : string; tv_vectors : int; tv_exhaustive : bool }
+
+(* total free-input bits up to which the input space is enumerated *)
+let exhaustive_budget = 12
+
+(* pseudo-random vectors driven beyond the exhaustive budget *)
+let random_vectors = 128
+
+let attr_render (k, a) =
+  match a with
+  | A_int i -> Printf.sprintf "%s=%d" k i
+  | A_str s -> Printf.sprintf "%s=%s" k s
+  | A_bool b -> Printf.sprintf "%s=%b" k b
+  | A_bv v -> Printf.sprintf "%s=%s" k (Bitvec.to_hex_string v)
+
+let op_skeleton (op : op) =
+  Printf.sprintf "%s{%s}" op.opname (String.concat "," (List.map attr_render op.attrs))
+
+(* results of non-comb ops, in op order: the free inputs of the graph *)
+let free_inputs (g : graph) : value list =
+  List.concat_map
+    (fun (op : op) ->
+      if Ir.Comb_eval.is_comb op.opname then [] else op.results)
+    (all_ops g)
+
+let fail ~pass_name fmt =
+  Format.kasprintf
+    (fun msg ->
+      Diag.fatal
+        (Diag.make ~code:"E0530"
+           (Printf.sprintf "translation validation failed in pass '%s': %s" pass_name msg)))
+    fmt
+
+(* evaluate [g] under the free-input assignment [env0]; returns the
+   observable stream *)
+let eval_graph (g : graph) (env0 : (int, Bitvec.t) Hashtbl.t) :
+    (string * Bitvec.t list) list =
+  let env : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
+  let lookup (v : value) =
+    match Hashtbl.find_opt env v.vid with
+    | Some x -> x
+    | None -> (
+        match Hashtbl.find_opt env0 v.vid with
+        | Some x -> x
+        | None -> Bitvec.zero (Bitvec.unsigned_ty v.vty.Bitvec.width))
+  in
+  let obs = ref [] in
+  List.iter
+    (fun (op : op) ->
+      (if Ir.Comb_eval.is_comb op.opname then
+         match op.results with
+         | [ r ] ->
+             let ops = List.map lookup op.operands in
+             let res =
+               Ir.Comb_eval.eval ~name:op.opname ~attrs:op.attrs ~ops
+                 ~result_width:r.vty.Bitvec.width
+             in
+             Hashtbl.replace env r.vid res
+         | _ -> ()
+       else
+         (* free input: take the driven value *)
+         List.iter
+           (fun (r : value) -> Hashtbl.replace env r.vid (lookup r))
+           op.results);
+      if Ir.Passes.has_side_effect op then
+        obs := (op_skeleton op, List.map lookup op.operands) :: !obs)
+    (all_ops g);
+  List.rev !obs
+
+(* deterministic seed from the graph name and pass, so reruns drive the
+   same sample *)
+let seed_of ~pass_name (g : graph) =
+  let h = Hashtbl.hash (g.gname, pass_name) in
+  [| h; h lxor 0x5f3759df |]
+
+let bn_random st w =
+  let x = ref Bn.zero in
+  let remaining = ref w in
+  while !remaining > 0 do
+    let k = min 24 !remaining in
+    x := Bn.add (Bn.shift_left !x k) (Bn.of_int (Random.State.int st (1 lsl k)));
+    remaining := !remaining - k
+  done;
+  !x
+
+let assignment_render inputs env0 =
+  String.concat ", "
+    (List.map
+       (fun (v : value) ->
+         let x =
+           match Hashtbl.find_opt env0 v.vid with
+           | Some x -> x
+           | None -> Bitvec.zero (Bitvec.unsigned_ty v.vty.Bitvec.width)
+         in
+         Printf.sprintf "%%%d=%s" v.vid (Bitvec.to_hex_string x))
+       inputs)
+
+let check_vector ~pass_name ~original ~optimized inputs env0 =
+  let oa = eval_graph original env0 and ob = eval_graph optimized env0 in
+  if List.length oa <> List.length ob then
+    fail ~pass_name "graphs perform %d vs %d side effects under %s" (List.length oa)
+      (List.length ob)
+      (assignment_render inputs env0)
+  else
+    List.iter2
+      (fun (ska, va) (skb, vb) ->
+        if ska <> skb then
+          fail ~pass_name "side-effect skeleton changed: %s vs %s" ska skb;
+        if not (List.for_all2 (fun a b -> Bn.equal (Bitvec.pattern a) (Bitvec.pattern b)) va vb)
+        then
+          fail ~pass_name
+            "counterexample on %s: %s observes [%s] in the original but [%s] after the pass"
+            ska
+            (assignment_render inputs env0)
+            (String.concat ";" (List.map Bitvec.to_hex_string va))
+            (String.concat ";" (List.map Bitvec.to_hex_string vb)))
+      oa ob
+
+let validate ~pass_name ~(original : graph) ~(optimized : graph) : verdict =
+  (* the free inputs must survive the pass untouched: same ids, same
+     types — otherwise the co-simulation below would be vacuous. A pass
+     may drop an input that became unused (dce of interface reads) but
+     can never invent or retype one. *)
+  let inputs = free_inputs original in
+  let inputs' = free_inputs optimized in
+  let id_ty (v : value) = (v.vid, v.vty) in
+  let originals = List.map id_ty inputs in
+  List.iter
+    (fun v ->
+      if not (List.mem (id_ty v) originals) then
+        fail ~pass_name "the pass rewrote a non-combinational (interface) op")
+    inputs';
+  let total_bits = List.fold_left (fun acc (v : value) -> acc + v.vty.Bitvec.width) 0 inputs in
+  let drive env0 = check_vector ~pass_name ~original ~optimized inputs env0 in
+  if total_bits <= exhaustive_budget then begin
+    let n = 1 lsl total_bits in
+    for i = 0 to n - 1 do
+      let env0 = Hashtbl.create 16 in
+      let off = ref 0 in
+      List.iter
+        (fun (v : value) ->
+          let w = v.vty.Bitvec.width in
+          let slice = (i lsr !off) land ((1 lsl w) - 1) in
+          Hashtbl.replace env0 v.vid (Bitvec.of_int (Bitvec.unsigned_ty w) slice);
+          off := !off + w)
+        inputs;
+      drive env0
+    done;
+    { tv_pass = pass_name; tv_vectors = max n 1; tv_exhaustive = true }
+  end
+  else begin
+    let vectors = ref 0 in
+    let drive env0 = incr vectors; drive env0 in
+    let const_vec f =
+      let env0 = Hashtbl.create 16 in
+      List.iter
+        (fun (v : value) ->
+          let w = v.vty.Bitvec.width in
+          Hashtbl.replace env0 v.vid (Bitvec.of_bn (Bitvec.unsigned_ty w) (f w)))
+        inputs;
+      env0
+    in
+    (* corners: all zeros, all ones, then each input saturated alone *)
+    drive (const_vec (fun _ -> Bn.zero));
+    drive (const_vec (fun w -> Bn.sub (Bn.pow2 w) Bn.one));
+    List.iter
+      (fun (vsat : value) ->
+        let env0 = Hashtbl.create 16 in
+        List.iter
+          (fun (v : value) ->
+            let w = v.vty.Bitvec.width in
+            let x = if v.vid = vsat.vid then Bn.sub (Bn.pow2 w) Bn.one else Bn.zero in
+            Hashtbl.replace env0 v.vid (Bitvec.of_bn (Bitvec.unsigned_ty w) x))
+          inputs;
+        drive env0)
+      inputs;
+    let st = Random.State.make (seed_of ~pass_name original) in
+    for _ = 1 to random_vectors do
+      let env0 = Hashtbl.create 16 in
+      List.iter
+        (fun (v : value) ->
+          let w = v.vty.Bitvec.width in
+          Hashtbl.replace env0 v.vid (Bitvec.of_bn (Bitvec.unsigned_ty w) (bn_random st w)))
+        inputs;
+      drive env0
+    done;
+    { tv_pass = pass_name; tv_vectors = !vectors; tv_exhaustive = false }
+  end

@@ -98,6 +98,7 @@ let all_codes =
     ("E0520", "netlist: multiple drivers");
     ("E0521", "netlist: combinational cycle");
     ("E0522", "netlist: undefined signal");
+    ("E0530", "translation validation failed: optimized IR is not equivalent");
     ("E0601", "assembly error");
     ("E0901", "internal error");
     ("E0902", "conflicting compile options");
@@ -114,10 +115,49 @@ let all_codes =
     ("W1005", "shift amount provably >= operand width");
     ("W1006", "local read before any assignment");
     ("W1007", "instruction writes no architectural state");
+    ("W1008", "architectural write provably truncates its value");
+    ("W1009", "comparison is provably constant");
+    ("W1010", "result bits can never toggle");
   ]
 
 let describe code = List.assoc_opt code all_codes
 let is_registered code = List.mem_assoc code all_codes
+
+(* Longer-form guidance for [diag --explain CODE]; codes without an entry
+   get only the registry description. *)
+let explain_notes = function
+  | "E0512" ->
+      [
+        "raised by the --verify-each sanitizer when an optimization pass leaves the IR \
+         structurally invalid";
+        "the message names the offending pass";
+      ]
+  | "E0530" ->
+      [
+        "raised by the translation validator guarding the --narrow=on rewrites: the \
+         optimized graph disagreed with the original on a concrete input vector";
+        "the message names the pass and the counterexample assignment";
+        "see docs/NARROWING.md for the validation protocol";
+      ]
+  | "E0902" -> [ "the compile request mixed options that cannot be combined" ]
+  | "W1004" -> [ "the interval analysis proved the condition constant on every path" ]
+  | "W1008" ->
+      [
+        "the value written to architectural state passes through a narrowing cast, and \
+         its proven interval never fits the destination width";
+      ]
+  | "W1009" ->
+      [
+        "the bit-level known-bits analysis decided the comparison where the intervals \
+         alone could not (see docs/NARROWING.md)";
+      ]
+  | "W1010" ->
+      [
+        "some bits of an arithmetic result are proven constant beyond what the value's \
+         range explains — the datapath is wider than the computation";
+        "--narrow=on removes such bits mechanically";
+      ]
+  | _ -> []
 
 (* ---- source registry ---- *)
 

@@ -102,6 +102,10 @@ val all_codes : (string * string) list
 val describe : string -> string option
 val is_registered : string -> bool
 
+val explain_notes : string -> string list
+(** Longer-form guidance printed by [diag --explain CODE] under the
+    registry description; [[]] for codes with no extra notes. *)
+
 (** {1 Source registry}
 
     Caret snippets need the text of the file a span points into.  Compile

@@ -80,6 +80,14 @@ let all : entry list =
       demonstrates = "PC and custom register access in always-block";
     };
     {
+      name = "chksum";
+      target = "X_CHKSUM";
+      import_name = "X_CHKSUM.core_desc";
+      source = Sources.chksum;
+      description = "Byte-wise checksum accumulated in a naively word-wide datapath";
+      demonstrates = "Analysis-driven width narrowing of over-wide arithmetic";
+    };
+    {
       name = "autoinc+zol";
       target = "AUTOINC_ZOL";
       import_name = "AUTOINC_ZOL.core_desc";

@@ -272,6 +272,31 @@ InstructionSet X_ZOL extends RV32I {
 }
 |}
 
+(* Byte-wise checksum written naively at word width.  The accumulator is
+   declared unsigned<32> even though four bytes can never exceed 11 bits,
+   so the datapath is over-wide by construction: the bit-level analysis
+   proves the leading bits constant and --narrow=on shrinks the adders. *)
+let chksum =
+  {|
+import "RV32I.core_desc"
+
+InstructionSet X_CHKSUM extends RV32I {
+  instructions {
+    CHKSUM {
+      encoding: 7'd0 :: rs2[4:0] :: rs1[4:0] :: 3'b111 :: rd[4:0] :: 7'b0001011;
+      behavior: {
+        unsigned<32> sum = 0;
+        for (int i = 0; i < 32; i += 8) {
+          sum = (unsigned<32>)(sum + X[rs1][i+7:i] + X[rs2][i+7:i]);
+        }
+        sum = (unsigned<32>)((sum & 0x0000FFFF) + (sum >> 16));
+        if (rd != 0) X[rd] = sum;
+      }
+    }
+  }
+}
+|}
+
 (* Combination used in the Section 5.5 case study. *)
 let autoinc_zol =
   {|

@@ -15,4 +15,5 @@ val sqrt_body : string
 val sqrt_tightly : string
 val sqrt_decoupled : string
 val zol : string
+val chksum : string
 val autoinc_zol : string

@@ -126,6 +126,7 @@ type knobs = {
   k_hazard_handling : bool;
   k_sim_engine : Rtl.Engine.kind;  (* RTL-in-the-loop simulation engine *)
   k_backend : Rtl.Backend.kind;  (* HDL emission backend *)
+  k_narrow : bool;  (* analysis-driven width narrowing (TV-guarded) *)
 }
 
 let default_knobs =
@@ -136,13 +137,15 @@ let default_knobs =
     k_hazard_handling = true;
     k_sim_engine = Rtl.Engine.Compiled;
     k_backend = Rtl.Backend.Sv;
+    k_narrow = false;
   }
 
 let knobs ?(scheduler = Sched_build.Ilp) ?(delay = Delay_model.Default) ?cycle_time
     ?(hazard_handling = true) ?(sim_engine = Rtl.Engine.Compiled)
-    ?(backend = Rtl.Backend.Sv) () =
+    ?(backend = Rtl.Backend.Sv) ?(narrow = false) () =
   { k_scheduler = scheduler; k_delay = delay; k_cycle_time = cycle_time;
-    k_hazard_handling = hazard_handling; k_sim_engine = sim_engine; k_backend = backend }
+    k_hazard_handling = hazard_handling; k_sim_engine = sim_engine; k_backend = backend;
+    k_narrow = narrow }
 
 let scheduler_name = function Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "asap"
 
@@ -152,11 +155,12 @@ let scheduler_name = function Sched_build.Ilp -> "ilp" | Sched_build.Asap -> "as
    bit-identical) but is still keyed so engine-tagged runs never share
    entries; the emission backend changes the HDL text and must be keyed. *)
 let func_knobs_key k =
-  Printf.sprintf "%s|ct:%s|%s|eng:%s|be:%s" (scheduler_name k.k_scheduler)
+  Printf.sprintf "%s|ct:%s|%s|eng:%s|be:%s|nw:%s" (scheduler_name k.k_scheduler)
     (match k.k_cycle_time with Some ct -> Printf.sprintf "%h" ct | None -> "core")
     (Delay_model.spec_key k.k_delay)
     (Rtl.Engine.kind_to_string k.k_sim_engine)
     (Rtl.Backend.to_string k.k_backend)
+    (if k.k_narrow then "on" else "off")
 
 let delay_model_for core k =
   let ct =
@@ -275,13 +279,16 @@ let core_fp s (core : Scaiev.Datasheet.t) =
 
 let frontend s ?obs ~key thunk = Cache.Store.find_or_add s.s_frontend ?obs ("fe/" ^ key) thunk
 
-let ir_key s tu ~kind ~name =
-  Printf.sprintf "%s/%s/%s" (unit_fp s tu)
+let ir_key s tu ~narrow ~kind ~name =
+  Printf.sprintf "%s/%s/%s%s" (unit_fp s tu)
     (match kind with `Instruction -> "instr" | `Always -> "always")
     name
+    (if narrow then "/nw" else "")
 
 let func_key s k core tu ~kind ~name =
-  Printf.sprintf "%s/%s/%s" (ir_key s tu ~kind ~name) (core_fp s core) (func_knobs_key k)
+  Printf.sprintf "%s/%s/%s"
+    (ir_key s tu ~narrow:k.k_narrow ~kind ~name)
+    (core_fp s core) (func_knobs_key k)
 
 let target_key s k (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) =
   Printf.sprintf "%s/%s/%s|%s" (unit_fp s tu) (core_fp s core) (func_knobs_key k)
@@ -348,6 +355,7 @@ module Request = struct
             k_hazard_handling = Option.value hazard_handling ~default:true;
             k_sim_engine = Rtl.Engine.Compiled;
             k_backend = Rtl.Backend.Sv;
+            k_narrow = false;
           }
     in
     { knobs; session; obs; jobs; verify_each }
@@ -378,7 +386,7 @@ let pass_sanitizer ~pass_name g =
             Printf.sprintf "pass '%s' produced invalid IR: %s" pass_name d.Diag.message;
         }
 
-let build_func_ir ?(verify_each = false) (tu : Coredsl.Tast.tunit) obs fn =
+let build_func_ir ?(verify_each = false) ?(narrow = false) (tu : Coredsl.Tast.tunit) obs fn =
   let hlir, fields =
     Obs.span_opt obs "hlir" (fun sobs ->
         let hlir, fields =
@@ -402,6 +410,26 @@ let build_func_ir ?(verify_each = false) (tu : Coredsl.Tast.tunit) obs fn =
     Obs.span_opt obs "optimize" (fun sobs ->
         let sanitizer = if verify_each then Some pass_sanitizer else None in
         Ir.Passes.optimize ?obs:sobs ?verify_each:sanitizer lil)
+  in
+  (* analysis-driven width narrowing: off by default so the stage list
+     (and the profile schema) only grows when the knob asks for it. Every
+     rewrite inside is translation-validated (E0530 on counterexample). *)
+  let lil =
+    if not narrow then lil
+    else
+      Obs.span_opt obs "narrow" (fun sobs ->
+          let sanitizer = if verify_each then Some pass_sanitizer else None in
+          let lil, (st : Analysis.Narrow.stats) =
+            Analysis.Narrow.narrow_graph ?obs:sobs ?verify_each:sanitizer lil
+          in
+          Obs.metric_int_opt sobs "ops_rewritten" st.ns_ops_rewritten;
+          Obs.metric_int_opt sobs "bits_removed" st.ns_bits_removed;
+          Obs.metric_int_opt sobs "compares_folded" st.ns_compares_folded;
+          Obs.metric_int_opt sobs "selects_removed" st.ns_selects_removed;
+          Obs.metric_int_opt sobs "tv_validations" st.ns_tv_validations;
+          Obs.metric_int_opt sobs "tv_vectors" st.ns_tv_vectors;
+          Obs.metric_int_opt sobs "tv_exhaustive" st.ns_tv_exhaustive;
+          lil)
   in
   let lil =
     Obs.span_opt obs "verify" (fun sobs ->
@@ -536,14 +564,20 @@ let compile_functionality_in session k ?obs ?(verify_each = false)
     (match kind with `Instruction -> "instruction" | `Always -> "always");
   let fir =
     Obs.span_opt obs "ir_artifact" @@ fun sobs ->
-    Cache.Store.find_or_add session.s_ir ?obs:sobs (ir_key session tu ~kind ~name)
-      (fun () -> build_func_ir ~verify_each tu sobs fn)
+    Cache.Store.find_or_add session.s_ir ?obs:sobs
+      (ir_key session tu ~narrow:k.k_narrow ~kind ~name)
+      (fun () -> build_func_ir ~verify_each ~narrow:k.k_narrow tu sobs fn)
   in
   (* the persistent solver is keyed per functionality x core but *not* per
-     knobs: the knobs only move rhs/bounds, which is what resolves warm *)
+     knobs: the knobs only move rhs/bounds, which is what resolves warm.
+     Narrowing changes the IR the problem is built from, so it rides in
+     via [ir_key]. *)
   let solver_for p =
     session_solver session
-      ~key:(Printf.sprintf "%s/%s" (ir_key session tu ~kind ~name) (core_fp session core))
+      ~key:
+        (Printf.sprintf "%s/%s"
+           (ir_key session tu ~narrow:k.k_narrow ~kind ~name)
+           (core_fp session core))
       ~create:(fun () -> Sched.Ilp_scheduler.Incremental.create p)
   in
   Obs.span_opt obs "sched_artifact" @@ fun sobs ->
@@ -626,12 +660,12 @@ let compile ?request (core : Scaiev.Datasheet.t) (tu : Coredsl.Tast.tunit) : com
    calling domain. The parallel driver runs this before fanning out, so
    the frontend/IR half is computed once and shared read-only — worker
    domains then run only the per-target sched/hwgen/SV/integration tail. *)
-let warm_ir ?(verify_each = false) session (tu : Coredsl.Tast.tunit) =
+let warm_ir ?(verify_each = false) ?(narrow = false) session (tu : Coredsl.Tast.tunit) =
   let warm ~kind ~name fn =
     with_stage_diags name (fun () ->
         ignore
-          (Cache.Store.find_or_add session.s_ir (ir_key session tu ~kind ~name) (fun () ->
-               build_func_ir ~verify_each tu None fn)))
+          (Cache.Store.find_or_add session.s_ir (ir_key session tu ~narrow ~kind ~name)
+             (fun () -> build_func_ir ~verify_each ~narrow tu None fn)))
   in
   List.iter
     (fun (ti : Coredsl.Tast.tinstr) -> warm ~kind:`Instruction ~name:ti.ti_name (`Instr ti))
@@ -663,7 +697,8 @@ let compile_many ?request targets =
       (fun ((_ : Scaiev.Datasheet.t), tu) ->
         if not (List.memq tu !seen) then begin
           seen := tu :: !seen;
-          warm_ir ~verify_each:r.Request.verify_each session tu
+          warm_ir ~verify_each:r.Request.verify_each ~narrow:r.Request.knobs.k_narrow
+            session tu
         end)
       targets
   end;

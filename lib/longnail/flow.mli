@@ -89,6 +89,10 @@ type knobs = {
       (** RTL-in-the-loop simulation engine (compiled by default) *)
   k_backend : Rtl.Backend.kind;
       (** HDL emission backend: SystemVerilog or Verilog-2001 *)
+  k_narrow : bool;
+      (** analysis-driven width narrowing of the optimized LIL
+          ({!Analysis.Narrow}); every rewrite is translation-validated
+          (E0530 on any counterexample). Off by default. *)
 }
 
 val default_knobs : knobs
@@ -103,13 +107,15 @@ val knobs :
   ?hazard_handling:bool ->
   ?sim_engine:Rtl.Engine.kind ->
   ?backend:Rtl.Backend.kind ->
+  ?narrow:bool ->
   unit ->
   knobs
 
 val func_knobs_key : knobs -> string
 (** The knob component of sched-artifact keys (excludes hazard handling,
-    which only appears in the target key; includes the simulation engine
-    and emission backend, so switching either never shares artifacts). *)
+    which only appears in the target key; includes the simulation engine,
+    emission backend and narrowing knob, so switching any of them never
+    shares artifacts). *)
 
 val delay_model_for : Scaiev.Datasheet.t -> knobs -> Delay_model.t
 (** Resolve the knob's delay spec against the effective cycle time. *)
@@ -247,7 +253,7 @@ val compile_request : Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> c
 val compile : ?request:Request.t -> Scaiev.Datasheet.t -> Coredsl.Tast.tunit -> compiled
 (** [compile_request] with [?request] defaulting to {!Request.default}. *)
 
-val warm_ir : ?verify_each:bool -> session -> Coredsl.Tast.tunit -> unit
+val warm_ir : ?verify_each:bool -> ?narrow:bool -> session -> Coredsl.Tast.tunit -> unit
 (** Populate the session's core-independent IR artifacts (hlir + optimized
     lil per ISAX functionality) on the calling domain. {!compile_many}
     calls this before fanning out worker domains, so the frontend/IR half

@@ -34,6 +34,13 @@ let specs =
       doc = "HDL emission backend: sv (SystemVerilog, default) or v2001 (Verilog-2001 subset).";
     };
     {
+      name = "narrow";
+      arg = Some "MODE";
+      doc =
+        "Analysis-driven width narrowing: 'on' (translation-validated, E0530 on any \
+         counterexample) or 'off' (default).";
+    };
+    {
       name = "jobs";
       arg = Some "N";
       doc = "Worker domains for batch compiles (default 1 = sequential).";
@@ -70,6 +77,7 @@ type t = {
   hazard_handling : bool;
   sim_engine : Rtl.Engine.kind;
   emit_backend : Rtl.Backend.kind;
+  narrow : bool;
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;
@@ -86,6 +94,7 @@ let default =
     hazard_handling = true;
     sim_engine = Rtl.Engine.Compiled;
     emit_backend = Rtl.Backend.Sv;
+    narrow = false;
     jobs = 1;
     cache_enabled = true;
     cache_capacity = None;
@@ -124,6 +133,9 @@ let set t name value =
       match Rtl.Backend.of_string v with
       | Ok k -> Ok { t with emit_backend = k }
       | Error m -> err "--emit: %s" m)
+  | "narrow", Some "on" -> Ok { t with narrow = true }
+  | "narrow", Some "off" -> Ok { t with narrow = false }
+  | "narrow", Some v -> err "--narrow expects 'on' or 'off', got '%s'" v
   | "jobs", Some v -> (
       match int_of_string_opt v with
       | Some n when n >= 1 -> Ok { t with jobs = n }
@@ -187,6 +199,7 @@ let knobs t =
     k_hazard_handling = t.hazard_handling;
     k_sim_engine = t.sim_engine;
     k_backend = t.emit_backend;
+    k_narrow = t.narrow;
   }
 
 (* Flags whose rejections are structured diagnostics rather than plain

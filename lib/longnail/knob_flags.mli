@@ -12,6 +12,7 @@
     --no-hazard-handling    drop the decoupled-mode scoreboard
     --sim-engine ENGINE     compiled (default) or interp
     --emit BACKEND          sv (SystemVerilog, default) or v2001
+    --narrow MODE           analysis-driven width narrowing: on or off (default)
     --jobs N                worker domains for batch compiles (default 1)
     --no-cache              disable artifact retention
     --verify-each           re-verify the IR after every optimization pass
@@ -33,6 +34,7 @@ type t = {
   hazard_handling : bool;
   sim_engine : Rtl.Engine.kind;
   emit_backend : Rtl.Backend.kind;
+  narrow : bool;
   jobs : int;
   cache_enabled : bool;
   cache_capacity : int option;

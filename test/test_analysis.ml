@@ -7,6 +7,9 @@ module V = Analysis.Verifier
 module D = Analysis.Dataflow
 module L = Analysis.Lint
 module N = Analysis.Netcheck
+module A = Analysis.Absint
+module Tv = Analysis.Tv
+module Nw = Analysis.Narrow
 module Bn = Bitvec.Bn
 
 let u = Bitvec.unsigned_ty
@@ -241,10 +244,29 @@ let test_dataflow_converges () =
                   ti.Coredsl.Tast.ti_name name res.D.iterations n
             in
             check_spec "ranges" D.ranges;
-            check_spec "liveness" D.liveness
+            check_spec "liveness" D.liveness;
+            check_spec "absint" A.spec
           end)
         tu.Coredsl.Tast.tinstrs)
     Isax.Registry.all
+
+(* widening: a range that keeps growing is jumped to the type bound after
+   [widen_threshold] changes, which is what makes fixpoints linear *)
+let test_range_widening () =
+  Alcotest.(check int) "threshold exported" 3 D.widen_threshold;
+  let v = mk_val 0 (u 8) in
+  let r lo hi = { D.lo = Bn.of_int lo; hi = Bn.of_int hi } in
+  (match D.widen_range v (Some (r 0 10)) (Some (r 0 20)) with
+  | Some w ->
+      Alcotest.(check string) "lo kept" "0" (Bn.to_string w.D.lo);
+      Alcotest.(check string) "hi widened to type bound" "255" (Bn.to_string w.D.hi)
+  | None -> Alcotest.fail "widening lost the fact");
+  (* a stable bound is left alone *)
+  match D.widen_range v (Some (r 3 10)) (Some (r 2 10)) with
+  | Some w ->
+      Alcotest.(check string) "lo widened" "0" (Bn.to_string w.D.lo);
+      Alcotest.(check string) "hi untouched" "10" (Bn.to_string w.D.hi)
+  | None -> Alcotest.fail "widening lost the fact"
 
 let test_reaching_writes () =
   let tu = Isax.Registry.compile_by_name "dotprod" in
@@ -360,10 +382,13 @@ let test_w_codes_registered () =
     (fun (code, _) ->
       Alcotest.(check bool) (code ^ " registered") true (Diag.is_registered code))
     L.lint_codes;
-  Alcotest.(check bool) "catalog covers W1001..W1007" true
+  Alcotest.(check bool) "catalog covers W1001..W1010" true
     (List.for_all
        (fun c -> List.mem_assoc c L.lint_codes)
-       [ "W1001"; "W1002"; "W1003"; "W1004"; "W1005"; "W1006"; "W1007" ])
+       [
+         "W1001"; "W1002"; "W1003"; "W1004"; "W1005"; "W1006"; "W1007"; "W1008";
+         "W1009"; "W1010";
+       ])
 
 (* ---- netlist checks ---- *)
 
@@ -498,6 +523,371 @@ let test_verify_each_equivalent () =
         Isax.Registry.all)
     (Scaiev.Core_registry.datasheets ())
 
+(* ---- bit-level abstract interpretation ---- *)
+
+let band = Bn.bitwise ( land )
+
+let test_absint_basics () =
+  let bld = M.builder () in
+  let a = M.add_op1 bld "lil.read_rs1" [] (u 32) in
+  let c =
+    M.add_op1 bld "hw.constant" [] (u 32)
+      ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) 0xFF)) ]
+  in
+  (* masking pins the high 24 bits to zero *)
+  let masked = M.add_op1 bld "comb.and" [ a; c ] (u 32) in
+  (* adding two byte-bounded values pins the high 23 bits *)
+  let sum = M.add_op1 bld "comb.add" [ masked; masked ] (u 32) in
+  ignore (M.add_op bld "lil.write_rd" [ sum ] []);
+  ignore (M.add_op bld "lil.sink" [] []);
+  let g = M.finish bld ~name:"mask" ~kind:`Instruction () in
+  let res = A.analyze g in
+  (match A.fact_of res masked with
+  | Some f ->
+      Alcotest.(check int) "and: 24 leading bits known"
+        24
+        (A.leading_known ~width:32 f.A.f_bits)
+  | None -> Alcotest.fail "no fact for masked");
+  match A.fact_of res sum with
+  | Some f ->
+      Alcotest.(check bool) "add: high bits known" true
+        (A.leading_known ~width:32 f.A.f_bits >= 23)
+  | None -> Alcotest.fail "no fact for sum"
+
+(* soundness on random graphs: every fact agrees with concrete evaluation
+   (the bits half contains the pattern, the interval contains the value) *)
+
+let check_fact_sound ~what (res : A.result) (v : M.value) (concrete : Bn.t) =
+  match A.fact_of res v with
+  | None -> QCheck.Test.fail_reportf "%s: no fact for %%%d" what v.M.vid
+  | Some f ->
+      let w = v.M.vty.Bitvec.width in
+      let pat = Bn.mod_pow2 concrete w in
+      if not (Bn.equal (band pat f.A.f_bits.bk) f.A.f_bits.bv) then
+        QCheck.Test.fail_reportf "%s: %%%d bits claim bk=%s bv=%s but pattern=%s" what
+          v.M.vid
+          (Bn.to_string f.A.f_bits.bk)
+          (Bn.to_string f.A.f_bits.bv)
+          (Bn.to_string pat);
+      if
+        Bn.compare concrete f.A.f_range.D.lo < 0
+        || Bn.compare concrete f.A.f_range.D.hi > 0
+      then
+        QCheck.Test.fail_reportf "%s: %%%d = %s outside claimed [%s,%s]" what v.M.vid
+          (Bn.to_string concrete)
+          (Bn.to_string f.A.f_range.D.lo)
+          (Bn.to_string f.A.f_range.D.hi);
+      true
+
+(* random straight-line comb graphs: uniform width, the wrapping algebra *)
+let prop_absint_sound_comb =
+  QCheck.Test.make ~name:"absint is sound on random comb graphs" ~count:200
+    QCheck.(triple (int_bound 1_000_000) (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (seed, x1, x2) ->
+      let st = Random.State.make [| seed |] in
+      let w = 1 + Random.State.int st 12 in
+      let bld = M.builder () in
+      let i1 = M.add_op1 bld "lil.read_rs1" [] (u w) in
+      let i2 = M.add_op1 bld "lil.read_rs2" [] (u w) in
+      let cst =
+        M.add_op1 bld "hw.constant" [] (u w)
+          ~attrs:
+            [ ("value", M.A_bv (Bitvec.of_int (u w) (Random.State.int st (1 lsl w)))) ]
+      in
+      let pool = ref [ i1; i2; cst ] in
+      let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+      let nops = 3 + Random.State.int st 6 in
+      for _ = 1 to nops do
+        let opname =
+          List.nth
+            [ "comb.add"; "comb.sub"; "comb.mul"; "comb.and"; "comb.or"; "comb.xor" ]
+            (Random.State.int st 6)
+        in
+        let r = M.add_op1 bld opname [ pick (); pick () ] (u w) in
+        pool := r :: !pool
+      done;
+      ignore (M.add_op bld "lil.write_rd" [ List.hd !pool ] []);
+      ignore (M.add_op bld "lil.sink" [] []);
+      let g = M.finish bld ~name:"rand_comb" ~kind:`Instruction () in
+      (* concrete evaluation through the one true comb semantics *)
+      let env : (int, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
+      Hashtbl.replace env i1.M.vid (Bitvec.of_int (u w) (x1 land ((1 lsl w) - 1)));
+      Hashtbl.replace env i2.M.vid (Bitvec.of_int (u w) (x2 land ((1 lsl w) - 1)));
+      List.iter
+        (fun (op : M.op) ->
+          if Ir.Comb_eval.is_comb op.M.opname then
+            match op.M.results with
+            | [ r ] ->
+                let ops = List.map (fun (v : M.value) -> Hashtbl.find env v.M.vid) op.M.operands in
+                Hashtbl.replace env r.M.vid
+                  (Ir.Comb_eval.eval ~name:op.M.opname ~attrs:op.M.attrs ~ops
+                     ~result_width:r.M.vty.Bitvec.width)
+            | _ -> ())
+        (M.all_ops g);
+      let res = A.analyze g in
+      Hashtbl.fold
+        (fun vid x acc ->
+          let v = { M.vid; vty = u w; vhint = "" } in
+          acc && check_fact_sound ~what:"comb" res v (Bitvec.pattern x))
+        env true)
+
+(* random straight-line hwarith graphs: the non-wrapping algebra, result
+   types wide enough that values never overflow *)
+let prop_absint_sound_hwarith =
+  QCheck.Test.make ~name:"absint is sound on random hwarith graphs" ~count:200
+    QCheck.(triple (int_bound 1_000_000) (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (seed, x1, x2) ->
+      let st = Random.State.make [| seed |] in
+      let bld = M.builder () in
+      let w1 = 2 + Random.State.int st 9 and w2 = 2 + Random.State.int st 9 in
+      let i1 = M.add_op1 bld "coredsl.get" [] (u w1) ~attrs:[ ("state", M.A_str "R1") ] in
+      let i2 = M.add_op1 bld "coredsl.get" [] (u w2) ~attrs:[ ("state", M.A_str "R2") ] in
+      let c = Random.State.int st (1 lsl 8) in
+      let cst =
+        M.add_op1 bld "hw.constant" [] (u 8)
+          ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 8) c)) ]
+      in
+      let v1 = Bn.of_int (x1 land ((1 lsl w1) - 1)) in
+      let v2 = Bn.of_int (x2 land ((1 lsl w2) - 1)) in
+      (* the pool carries each value's concrete meaning alongside it *)
+      let pool = ref [ (i1, v1); (i2, v2); (cst, Bn.of_int c) ] in
+      let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+      let signed_ty (v : M.value) = v.M.vty.Bitvec.signed in
+      let nops = 3 + Random.State.int st 6 in
+      for _ = 1 to nops do
+        let a, va = pick () and b, vb = pick () in
+        let wa = a.M.vty.Bitvec.width and wb = b.M.vty.Bitvec.width in
+        if max wa wb <= 24 then begin
+          let any_signed = signed_ty a || signed_ty b in
+          match Random.State.int st 5 with
+          | 0 ->
+              let ty =
+                if any_signed then Bitvec.signed_ty (max wa wb + 2)
+                else u (max wa wb + 1)
+              in
+              let r = M.add_op1 bld "hwarith.add" [ a; b ] ty in
+              pool := (r, Bn.add va vb) :: !pool
+          | 1 ->
+              let r = M.add_op1 bld "hwarith.sub" [ a; b ] (Bitvec.signed_ty (max wa wb + 2)) in
+              pool := (r, Bn.sub va vb) :: !pool
+          | 2 ->
+              let ty =
+                if any_signed then Bitvec.signed_ty (wa + wb + 1) else u (wa + wb)
+              in
+              let r = M.add_op1 bld "hwarith.mul" [ a; b ] ty in
+              pool := (r, Bn.mul va vb) :: !pool
+          | 3 ->
+              if (not (signed_ty a)) && not (signed_ty b) then begin
+                let r = M.add_op1 bld "hwarith.band" [ a; b ] (u (max wa wb)) in
+                pool := (r, band va vb) :: !pool
+              end
+          | _ ->
+              let pred, holds =
+                match Random.State.int st 3 with
+                | 0 -> ("eq", Bn.compare va vb = 0)
+                | 1 -> ("lt", Bn.compare va vb < 0)
+                | _ -> ("ge", Bn.compare va vb >= 0)
+              in
+              let r =
+                M.add_op1 bld "hwarith.icmp" [ a; b ] (u 1)
+                  ~attrs:[ ("predicate", M.A_str pred) ]
+              in
+              pool := (r, if holds then Bn.one else Bn.zero) :: !pool
+        end
+      done;
+      let last, _ = List.hd !pool in
+      ignore (M.add_op bld "coredsl.set" [ last ] [] ~attrs:[ ("state", M.A_str "ACC") ]);
+      let g = M.finish bld ~name:"rand_hw" ~kind:`Instruction () in
+      let res = A.analyze g in
+      List.for_all
+        (fun ((v : M.value), concrete) -> check_fact_sound ~what:"hwarith" res v concrete)
+        !pool)
+
+(* ---- translation validation ---- *)
+
+(* a tiny LIL pair differing by a constant: TV must produce the E0530
+   counterexample (the injected-miscompile acceptance test) *)
+let tv_graph delta =
+  let bld = M.builder () in
+  let a = M.add_op1 bld "lil.read_rs1" [] (u 8) in
+  let c =
+    M.add_op1 bld "hw.constant" [] (u 8)
+      ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 8) delta)) ]
+  in
+  let s = M.add_op1 bld "comb.add" [ a; c ] (u 8) in
+  ignore (M.add_op bld "lil.write_rd" [ s ] []);
+  ignore (M.add_op bld "lil.sink" [] []);
+  M.finish bld ~name:"tv" ~kind:`Instruction ()
+
+let test_tv_accepts_identity () =
+  let g = tv_graph 1 in
+  let v = Tv.validate ~pass_name:"identity" ~original:g ~optimized:g in
+  Alcotest.(check bool) "exhaustive within budget" true v.Tv.tv_exhaustive;
+  Alcotest.(check int) "whole 8-bit space driven" 256 v.Tv.tv_vectors
+
+let test_tv_catches_miscompile () =
+  match Tv.validate ~pass_name:"bad_pass" ~original:(tv_graph 1) ~optimized:(tv_graph 2) with
+  | exception Diag.Fatal (d :: _) ->
+      Alcotest.(check string) "code" "E0530" d.Diag.code;
+      let mentions s =
+        let msg = d.Diag.message in
+        let nl = String.length s and hl = String.length msg in
+        let rec go i = i + nl <= hl && (String.sub msg i nl = s || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the pass" true (mentions "bad_pass")
+  | _ -> Alcotest.fail "miscompile not caught"
+
+(* beyond the exhaustive budget the sampled path must still catch it *)
+let test_tv_catches_miscompile_sampled () =
+  let wide delta =
+    let bld = M.builder () in
+    let a = M.add_op1 bld "lil.read_rs1" [] (u 32) in
+    let b = M.add_op1 bld "lil.read_rs2" [] (u 32) in
+    let s = M.add_op1 bld "comb.add" [ a; b ] (u 32) in
+    let c =
+      M.add_op1 bld "hw.constant" [] (u 32)
+        ~attrs:[ ("value", M.A_bv (Bitvec.of_int (u 32) delta)) ]
+    in
+    let t = M.add_op1 bld "comb.xor" [ s; c ] (u 32) in
+    ignore (M.add_op bld "lil.write_rd" [ t ] []);
+    ignore (M.add_op bld "lil.sink" [] []);
+    M.finish bld ~name:"tv_wide" ~kind:`Instruction ()
+  in
+  (match Tv.validate ~pass_name:"ok" ~original:(wide 0) ~optimized:(wide 0) with
+  | v -> Alcotest.(check bool) "sampled, not exhaustive" false v.Tv.tv_exhaustive);
+  match Tv.validate ~pass_name:"bad_wide" ~original:(wide 0) ~optimized:(wide 1) with
+  | exception Diag.Fatal (d :: _) -> Alcotest.(check string) "code" "E0530" d.Diag.code
+  | _ -> Alcotest.fail "wide miscompile not caught"
+
+(* ---- width narrowing ---- *)
+
+(* every LIL graph of every bundled ISAX, through the narrowing stage:
+   the acceptance bar is rewrites in at least 3 ISAXes, each TV-checked *)
+let bundled_narrow_stats () =
+  List.map
+    (fun (e : Isax.Registry.entry) ->
+      let tu = Isax.Registry.compile e in
+      let stats = ref Nw.zero_stats in
+      let add (st : Nw.stats) =
+        stats :=
+          {
+            !stats with
+            Nw.ns_ops_rewritten = !stats.Nw.ns_ops_rewritten + st.Nw.ns_ops_rewritten;
+            ns_bits_removed = !stats.Nw.ns_bits_removed + st.Nw.ns_bits_removed;
+            ns_compares_folded = !stats.Nw.ns_compares_folded + st.Nw.ns_compares_folded;
+            ns_selects_removed = !stats.Nw.ns_selects_removed + st.Nw.ns_selects_removed;
+            ns_tv_validations = !stats.Nw.ns_tv_validations + st.Nw.ns_tv_validations;
+          }
+      in
+      let narrow_of hlir fields =
+        let lil = Ir.Passes.optimize (Ir.Lil.of_hlir tu.Coredsl.Tast.elab ~fields hlir) in
+        let lil', st = Nw.narrow_graph lil in
+        Analysis.Verifier.verify ~level:`Lil lil';
+        add st
+      in
+      List.iter
+        (fun ti ->
+          if Longnail.Flow.is_isax_instruction ti then
+            narrow_of (Ir.Hlir.lower_instruction tu ti) ti.Coredsl.Tast.fields)
+        tu.Coredsl.Tast.tinstrs;
+      List.iter
+        (fun ta -> narrow_of (Ir.Hlir.lower_always tu ta) [])
+        tu.Coredsl.Tast.talways;
+      (e.name, !stats))
+    Isax.Registry.all
+
+let test_narrow_bundled () =
+  let per_isax = bundled_narrow_stats () in
+  let nonzero =
+    List.filter (fun (_, (st : Nw.stats)) -> st.Nw.ns_bits_removed > 0) per_isax
+  in
+  let render =
+    String.concat ", "
+      (List.map
+         (fun (n, (st : Nw.stats)) -> Printf.sprintf "%s:%d" n st.Nw.ns_bits_removed)
+         per_isax)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "narrowing fires in >= 3 ISAXes (%s)" render)
+    true
+    (List.length nonzero >= 3);
+  (* every graph-changing run was translation-validated *)
+  List.iter
+    (fun (name, (st : Nw.stats)) ->
+      if
+        st.Nw.ns_ops_rewritten + st.Nw.ns_compares_folded + st.Nw.ns_selects_removed > 0
+      then
+        Alcotest.(check bool)
+          (name ^ ": rewrites were TV-checked")
+          true (st.Nw.ns_tv_validations > 0))
+    per_isax
+
+(* narrow on/off cosim equality: identical stimuli drive bit-identical
+   responses across the full bundled grid on the reference core *)
+let render_response (r : Longnail.Cosim.response) =
+  let bv = function
+    | Some (x, valid) -> Printf.sprintf "%s/%b" (Bitvec.to_hex_string x) valid
+    | None -> "-"
+  in
+  Printf.sprintf "rd=%s pc=%s cust=[%s] memw=%s memr=%s cycles=%d" (bv r.rd_write)
+    (bv r.pc_write)
+    (String.concat ";"
+       (List.map
+          (fun (w : Longnail.Cosim.custreg_write) ->
+            Printf.sprintf "%s[%s]=%s/%b" w.cw_reg
+              (match w.cw_index with Some i -> string_of_int i | None -> "")
+              (Bitvec.to_hex_string w.cw_data) w.cw_valid)
+          r.custreg_writes))
+    (match r.mem_write with
+    | Some (a, d, v) -> Printf.sprintf "%x:%s/%b" a (Bitvec.to_hex_string d) v
+    | None -> "-")
+    (match r.mem_read_request with
+    | Some (a, v) -> Printf.sprintf "%x/%b" a v
+    | None -> "-")
+    r.cycles
+
+let test_narrow_cosim_equivalent () =
+  let core = Scaiev.Datasheet.vexriscv in
+  let u32 = u 32 in
+  List.iter
+    (fun (e : Isax.Registry.entry) ->
+      let tu = Isax.Registry.compile e in
+      let plain = Longnail.Flow.compile_request (Longnail.Flow.Request.make ()) core tu in
+      let narrowed =
+        Longnail.Flow.compile_request
+          (Longnail.Flow.Request.make
+             ~knobs:(Longnail.Flow.knobs ~narrow:true ())
+             ())
+          core tu
+      in
+      List.iter2
+        (fun (a : Longnail.Flow.compiled_functionality)
+             (b : Longnail.Flow.compiled_functionality) ->
+          List.iteri
+            (fun i (w1, w2) ->
+              let stim =
+                {
+                  Longnail.Cosim.default_stimulus with
+                  instr_word = Some (Bitvec.of_int u32 w1);
+                  rs1 = Some (Bitvec.of_int u32 w2);
+                  rs2 = Some (Bitvec.of_int u32 (w1 lxor w2));
+                  pc = Some (Bitvec.of_int u32 0x400);
+                }
+              in
+              let ra = Longnail.Cosim.run a stim and rb = Longnail.Cosim.run b stim in
+              Alcotest.(check string)
+                (Printf.sprintf "%s/%s stim %d traces equal" e.name a.cf_name i)
+                (render_response ra) (render_response rb))
+            [
+              (0x0020_80EB, 0xDEADBEEF);
+              (0x0020_80EB, 0x00000001);
+              (0xFFFF_FFFF, 0x7FFFFFFF);
+              (0x0000_0000, 0x0000_0000);
+            ])
+        plain.Longnail.Flow.funcs narrowed.Longnail.Flow.funcs)
+    Isax.Registry.all
+
 let () =
   Alcotest.run "analysis"
     [
@@ -513,7 +903,26 @@ let () =
           Alcotest.test_case "range_of_ty" `Quick test_range_of_ty;
           Alcotest.test_case "liveness" `Quick test_liveness;
           Alcotest.test_case "convergence bound" `Slow test_dataflow_converges;
+          Alcotest.test_case "range widening" `Quick test_range_widening;
           Alcotest.test_case "reaching writes" `Quick test_reaching_writes;
+        ] );
+      ( "absint",
+        [
+          Alcotest.test_case "known bits basics" `Quick test_absint_basics;
+          QCheck_alcotest.to_alcotest prop_absint_sound_comb;
+          QCheck_alcotest.to_alcotest prop_absint_sound_hwarith;
+        ] );
+      ( "tv",
+        [
+          Alcotest.test_case "identity is exhaustive" `Quick test_tv_accepts_identity;
+          Alcotest.test_case "injected miscompile (E0530)" `Quick test_tv_catches_miscompile;
+          Alcotest.test_case "sampled miscompile (E0530)" `Quick
+            test_tv_catches_miscompile_sampled;
+        ] );
+      ( "narrow",
+        [
+          Alcotest.test_case "bundled rewrites >= 3 ISAXes" `Slow test_narrow_bundled;
+          Alcotest.test_case "cosim traces equal on/off" `Slow test_narrow_cosim_equivalent;
         ] );
       ( "lint",
         [

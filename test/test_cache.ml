@@ -127,6 +127,7 @@ let test_tunit_fp_golden () =
       ("sqrt_tightly", "f01475cbdc6a9201bf60d92256cd5275");
       ("sqrt_decoupled", "4497cbaabe85805eeadc1bfec0cfe288");
       ("zol", "7eeef67145714948d060e637baf6739c");
+      ("chksum", "d034f8bb5603d68e3e562706897a528e");
       ("autoinc+zol", "b1fb71a5a2060e970c2bf80680a43546");
     ]
   in
@@ -170,10 +171,10 @@ let test_datasheet_fp_distinct () =
    its datasheet is ours to tune — but the paper cores are contracts.) *)
 let paper_core_golden =
   [
-    ("ORCA", "55b574243811dfaf5685daa37d69b7f6");
-    ("Piccolo", "922dacf4fa49bc2889b2916b2281f5b5");
-    ("PicoRV32", "5de78846395b155028ca0f8cd7c784ae");
-    ("VexRiscv", "f8f52101c9a7314ec3922ffe5875275b");
+    ("ORCA", "46e53df7617a651544ed5abc3090264a");
+    ("Piccolo", "4a0e19ddd852ffb8cf2f10a27ab71f06");
+    ("PicoRV32", "956a3788cf0eeaa47afc4750eb150319");
+    ("VexRiscv", "8a326db4713dcbf06bfe82ef764d24c1");
   ]
 
 let test_paper_core_artifacts_golden () =
